@@ -1,0 +1,105 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures (or an
+ablation) at a laptop-friendly scale.  Campaign sizes can be scaled with
+environment variables:
+
+``REPRO_BENCH_TESTS``      tests per campaign for Table I          (default 800)
+``REPRO_BENCH_COV_TESTS``  tests per campaign for Fig. 3 / Fig. 4  (default 500)
+``REPRO_BENCH_TRIALS``     trials per configuration                 (default 2)
+``REPRO_BENCH_ABLATION_TESTS`` tests per ablation campaign          (default 250)
+
+Rendered tables and figure data are printed to the terminal and written to
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import MABFuzzConfig
+from repro.fuzzing.base import FuzzerConfig
+from repro.harness.experiments import ExperimentConfig
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+@pytest.fixture(scope="session")
+def bench_table1_config() -> ExperimentConfig:
+    """Experiment scaling used for the Table I benchmark."""
+    return ExperimentConfig(
+        num_tests=_env_int("REPRO_BENCH_TESTS", 1200),
+        trials=_env_int("REPRO_BENCH_TRIALS", 2),
+        seed=2024,
+        algorithms=("egreedy", "ucb", "exp3"),
+        fuzzer_config=FuzzerConfig(num_seeds=10, mutants_per_test=4),
+        mab_config=MABFuzzConfig(),
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_coverage_config() -> ExperimentConfig:
+    """Experiment scaling used for the Fig. 3 / Fig. 4 benchmarks."""
+    return ExperimentConfig(
+        num_tests=_env_int("REPRO_BENCH_COV_TESTS", 500),
+        trials=_env_int("REPRO_BENCH_TRIALS", 2),
+        seed=7,
+        algorithms=("egreedy", "ucb", "exp3"),
+        processors=("cva6", "rocket", "boom"),
+        fuzzer_config=FuzzerConfig(num_seeds=10, mutants_per_test=4),
+        mab_config=MABFuzzConfig(),
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_ablation_config() -> ExperimentConfig:
+    """Experiment scaling used for the ablation benchmarks."""
+    return ExperimentConfig(
+        num_tests=_env_int("REPRO_BENCH_ABLATION_TESTS", 250),
+        trials=1,
+        seed=11,
+        algorithms=("ucb",),
+        processors=("cva6",),
+        fuzzer_config=FuzzerConfig(num_seeds=10, mutants_per_test=4),
+        mab_config=MABFuzzConfig(),
+    )
+
+
+@pytest.fixture(scope="session")
+def shared_results():
+    """Session cache so Fig. 4 reuses the campaigns run for Fig. 3."""
+    return {}
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Persist a rendered benchmark artefact under benchmarks/results/."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+
+    def _save(name: str, text: str) -> Path:
+        path = RESULTS_DIR / name
+        path.write_text(text + "\n")
+        return path
+
+    return _save
+
+
+@pytest.fixture
+def announce(capsys):
+    """Print a rendered table to the real terminal (bypassing capture)."""
+
+    def _announce(text: str) -> None:
+        with capsys.disabled():
+            print("\n" + text + "\n")
+
+    return _announce

@@ -1,0 +1,36 @@
+"""Benchmark E2: regenerate Fig. 3 (branch coverage vs number of tests).
+
+Runs TheHuzz and the three MABFuzz variants on CVA6, Rocket and BOOM and
+emits the mean coverage-versus-tests series per processor per fuzzer (ASCII
+chart + CSV).  Expected shape (as in the paper): the MABFuzz curves sit on
+or above the TheHuzz curve on CVA6 and Rocket, while on BOOM -- whose
+reachable space both fuzzers nearly saturate -- the curves converge.
+"""
+
+from repro.harness.experiments import figure3_series, run_coverage_study
+from repro.harness.figures import figure3_csv, render_figure3
+
+
+def test_fig3_branch_coverage_curves(benchmark, bench_coverage_config,
+                                     shared_results, save_result, announce):
+    study = benchmark.pedantic(
+        run_coverage_study, args=(bench_coverage_config,), rounds=1, iterations=1)
+    shared_results["coverage_study"] = study
+
+    series = figure3_series(study, num_samples=25)
+    rendered = render_figure3(series)
+    announce(rendered)
+    save_result("fig3_coverage_curves.txt", rendered)
+    save_result("fig3_coverage_curves.csv", figure3_csv(series))
+
+    # Shape checks: curves are monotone, and on every core the best MABFuzz
+    # variant finishes at least on par with TheHuzz (small tolerance).
+    for processor, per_fuzzer in series.items():
+        for fuzzer, samples in per_fuzzer.items():
+            covered = [s.covered for s in samples]
+            assert covered == sorted(covered), f"non-monotone curve {processor}/{fuzzer}"
+        baseline_final = per_fuzzer["thehuzz"][-1].covered
+        best_mab = max(samples[-1].covered
+                       for name, samples in per_fuzzer.items() if name != "thehuzz")
+        assert best_mab >= 0.95 * baseline_final, (
+            f"on {processor} every MABFuzz variant fell >5% short of TheHuzz")

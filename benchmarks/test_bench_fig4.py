@@ -1,0 +1,35 @@
+"""Benchmark E3: regenerate Fig. 4 (coverage speedup and increment vs TheHuzz).
+
+Derives, from the same campaigns as the Fig. 3 benchmark, the end-of-campaign
+coverage speedup (how many times fewer tests MABFuzz needs to reach TheHuzz's
+final coverage) and the relative coverage increment, per processor and per
+MAB algorithm.  Expected shape: speedups of roughly 1-5x with the largest
+gains on the hardest-to-cover core (CVA6) and the smallest on the nearly
+saturated BOOM, mirroring the paper.
+"""
+
+from repro.harness.experiments import figure4_summary, run_coverage_study
+from repro.harness.figures import figure4_csv
+from repro.harness.tables import render_figure4_table
+
+
+def test_fig4_coverage_speedup_and_increment(benchmark, bench_coverage_config,
+                                             shared_results, save_result, announce):
+    study = shared_results.get("coverage_study")
+    if study is None:
+        study = run_coverage_study(bench_coverage_config)
+        shared_results["coverage_study"] = study
+
+    summary = benchmark.pedantic(figure4_summary, args=(study,), rounds=1, iterations=1)
+
+    rendered = render_figure4_table(summary)
+    announce(rendered)
+    save_result("fig4_coverage_speedup.txt", rendered)
+    save_result("fig4_coverage_speedup.csv", figure4_csv(summary))
+
+    # Shape checks: every speedup is positive, and at least one MABFuzz
+    # algorithm achieves >= 1x coverage speedup on CVA6 and Rocket.
+    for processor in ("cva6", "rocket"):
+        speedups = [metrics["speedup"] for metrics in summary[processor].values()]
+        assert all(s > 0 for s in speedups)
+        assert max(speedups) >= 1.0, f"no MAB algorithm matched TheHuzz on {processor}"

@@ -1,0 +1,24 @@
+"""Benchmark E7: the Sec. V extension -- MAB over mutation operators.
+
+Compares plain TheHuzz (static operator weights) against the
+mutation-operator bandit on CVA6, reporting end-of-campaign coverage.  The
+paper proposes this avenue as future work; the benchmark quantifies it on
+the same substrate used for the headline results.
+"""
+
+from repro.harness.experiments import run_mutation_bandit_comparison
+from repro.harness.tables import render_ablation_table
+
+
+def test_mutation_operator_bandit_vs_static_weights(benchmark, bench_ablation_config,
+                                                    save_result, announce):
+    comparison = benchmark.pedantic(
+        run_mutation_bandit_comparison, args=(bench_ablation_config,),
+        rounds=1, iterations=1)
+    rendered = ("Extension E7: MAB over mutation operators (Sec. V avenue)\n"
+                + render_ablation_table(comparison, parameter_name="fuzzer"))
+    announce(rendered)
+    save_result("extension_mutation_bandit.txt", rendered)
+    assert set(comparison) == {"thehuzz", "mutation-bandit:exp3"}
+    for trialset in comparison.values():
+        assert trialset.mean_coverage_count() > 0

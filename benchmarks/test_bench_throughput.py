@@ -1,0 +1,67 @@
+"""Micro-benchmarks of the substrate itself (simulation and fuzzing throughput).
+
+These are conventional timing benchmarks (multiple rounds) rather than
+one-shot experiment regenerations: they track how expensive one golden-model
+run, one instrumented DUT run and one full fuzzing iteration are -- the
+quantities that determine how far the scaled campaigns can go.
+"""
+
+import pytest
+
+from repro.api import make_fuzzer, make_processor
+from repro.core.config import MABFuzzConfig
+from repro.fuzzing.base import FuzzerConfig
+from repro.fuzzing.mutation import MutationEngine
+from repro.isa.generator import SeedGenerator
+from repro.sim.golden import GoldenModel
+
+
+@pytest.fixture(scope="module")
+def sample_programs():
+    return SeedGenerator(rng=42).generate_many(20)
+
+
+def test_golden_model_run_throughput(benchmark, sample_programs):
+    golden = GoldenModel()
+
+    def run_all():
+        return [golden.run(p).instret for p in sample_programs]
+
+    retired = benchmark(run_all)
+    assert all(count >= 1 for count in retired)
+
+
+@pytest.mark.parametrize("processor", ["cva6", "rocket", "boom"])
+def test_dut_model_run_throughput(benchmark, sample_programs, processor):
+    dut = make_processor(processor, bugs=[])
+
+    def run_all():
+        return [dut.run(p).coverage_count for p in sample_programs]
+
+    counts = benchmark(run_all)
+    assert all(count > 0 for count in counts)
+
+
+def test_mutation_engine_throughput(benchmark, sample_programs):
+    engine = MutationEngine(rng=1)
+
+    def mutate_all():
+        return [engine.mutate(p, count=4) for p in sample_programs]
+
+    children = benchmark(mutate_all)
+    assert all(len(batch) == 4 for batch in children)
+
+
+def test_thehuzz_iteration_throughput(benchmark):
+    fuzzer = make_fuzzer("thehuzz", make_processor("rocket", bugs=[]),
+                         fuzzer_config=FuzzerConfig(num_seeds=5), rng=0)
+    outcome = benchmark(fuzzer.fuzz_one)
+    assert outcome.coverage
+
+
+def test_mabfuzz_iteration_throughput(benchmark):
+    fuzzer = make_fuzzer("mabfuzz:ucb", make_processor("rocket", bugs=[]),
+                         fuzzer_config=FuzzerConfig(num_seeds=5),
+                         mab_config=MABFuzzConfig(num_arms=5), rng=0)
+    outcome = benchmark(fuzzer.fuzz_one)
+    assert outcome.coverage

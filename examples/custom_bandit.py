@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Plugging a custom MAB algorithm into MABFuzz (the "agnostic" claim).
+
+The paper stresses that MABFuzz works with *any* MAB algorithm.  This example
+implements a Thompson-sampling-style policy (Beta posteriors over a
+"produced new coverage" Bernoulli signal, reset-aware) that the library does
+not ship, plugs it into ``MABFuzz`` unchanged, and compares it against the
+built-in UCB scheduler and TheHuzz on the Rocket model.
+
+Usage::
+
+    python examples/custom_bandit.py [--tests 300]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.api import make_fuzzer, make_processor
+from repro.core.bandit.base import BanditAlgorithm
+from repro.core.config import MABFuzzConfig
+from repro.core.mabfuzz import MABFuzz
+from repro.fuzzing.base import FuzzerConfig
+
+
+class ThompsonSamplingBandit(BanditAlgorithm):
+    """Beta-Bernoulli Thompson sampling over "did this pull find new coverage".
+
+    Rewards are continuous (the α-weighted coverage counts), so they are
+    binarised: any positive reward counts as a success.  Resetting an arm
+    restores its uninformative Beta(1, 1) prior -- the same spirit as the
+    paper's reset modification for ε-greedy/UCB.
+    """
+
+    name = "thompson"
+
+    def __init__(self, num_arms: int, rng=None) -> None:
+        super().__init__(num_arms, rng)
+        self.successes = [1.0] * num_arms
+        self.failures = [1.0] * num_arms
+
+    def select(self) -> int:
+        samples = [self.rng.beta(self.successes[a], self.failures[a])
+                   for a in range(self.num_arms)]
+        return int(max(range(self.num_arms), key=samples.__getitem__))
+
+    def update(self, arm: int, reward: float) -> None:
+        self._record_pull(arm)
+        if reward > 0:
+            self.successes[arm] += 1.0
+        else:
+            self.failures[arm] += 1.0
+
+    def reset_arm(self, arm: int) -> None:
+        self._check_arm(arm)
+        self.successes[arm] = 1.0
+        self.failures[arm] = 1.0
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tests", type=int, default=300)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    fuzzer_config = FuzzerConfig(num_seeds=10, mutants_per_test=4)
+    mab_config = MABFuzzConfig()
+
+    results = {}
+
+    # Baseline: TheHuzz and the built-in UCB variant via the factory API.
+    for name in ("thehuzz", "mabfuzz:ucb"):
+        dut = make_processor("rocket", bugs=[])
+        fuzzer = make_fuzzer(name, dut, fuzzer_config=fuzzer_config,
+                             mab_config=mab_config, rng=args.seed)
+        results[name] = fuzzer.run(args.tests)
+
+    # The custom policy: pass the instance straight to MABFuzz.
+    dut = make_processor("rocket", bugs=[])
+    custom = MABFuzz(dut,
+                     algorithm=ThompsonSamplingBandit(mab_config.num_arms,
+                                                      rng=args.seed),
+                     mab_config=mab_config, config=fuzzer_config, rng=args.seed)
+    results[custom.name] = custom.run(args.tests)
+
+    print(f"\nCoverage after {args.tests} tests on rocket:")
+    for name, result in sorted(results.items(), key=lambda kv: -kv[1].coverage_count):
+        print(f"  {name:18s} {result.coverage_count:5d} points "
+              f"({result.coverage_percent:.1f}%)")
+    print("\nAny object implementing select/update/reset_arm drops into MABFuzz "
+          "without touching the fuzzing loop.")
+
+
+if __name__ == "__main__":
+    main()

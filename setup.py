@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The build environment used for the reproduction has no ``wheel`` package and
+no network access, so editable installs fall back to
+``pip install -e . --no-build-isolation --no-use-pep517``, which requires
+this file.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

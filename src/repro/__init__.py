@@ -1,0 +1,32 @@
+"""Reproduction of *MABFuzz: Multi-Armed Bandit Algorithms for Fuzzing Processors*.
+
+The package is organised as a set of substrates (``isa``, ``sim``, ``rtl``,
+``coverage``, ``fuzzing``) on top of which the paper's contribution
+(``core`` -- the MAB scheduling layer) and the evaluation harness
+(``harness``) are built.
+
+Quickstart::
+
+    from repro import quick_campaign
+
+    result = quick_campaign(processor="cva6", fuzzer="mabfuzz:ucb", num_tests=500)
+    print(result.coverage_count, result.bugs_found)
+"""
+
+from repro.version import __version__
+from repro.api import (
+    available_processors,
+    available_fuzzers,
+    make_fuzzer,
+    make_processor,
+    quick_campaign,
+)
+
+__all__ = [
+    "__version__",
+    "available_processors",
+    "available_fuzzers",
+    "make_fuzzer",
+    "make_processor",
+    "quick_campaign",
+]

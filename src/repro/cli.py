@@ -1,0 +1,207 @@
+"""Command-line interface.
+
+Installed as the ``mabfuzz`` console script::
+
+    mabfuzz list                                  # processors, fuzzers, bugs
+    mabfuzz fuzz --processor cva6 --fuzzer mabfuzz:ucb --tests 500
+    mabfuzz table1 --tests 800 --trials 2         # Table I reproduction
+    mabfuzz coverage --tests 500 --trials 2       # Fig. 3 + Fig. 4 reproduction
+    mabfuzz ablation gamma --tests 300            # ablation sweeps
+
+Every command prints its results to stdout; ``--output`` additionally writes
+them to a file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.api import available_fuzzers, available_processors, quick_campaign
+from repro.core.config import MABFuzzConfig
+from repro.fuzzing.base import FuzzerConfig
+from repro.harness.experiments import (
+    ExperimentConfig,
+    figure3_series,
+    figure4_summary,
+    run_alpha_ablation,
+    run_arm_count_ablation,
+    run_coverage_study,
+    run_gamma_ablation,
+    run_table1,
+)
+from repro.harness.figures import render_figure3
+from repro.harness.report import build_experiments_report
+from repro.harness.tables import (
+    render_ablation_table,
+    render_figure4_table,
+    render_table1,
+)
+from repro.rtl.bugs import BUGS_BY_ID
+
+
+def _experiment_config(args, algorithms=None, processors=None) -> ExperimentConfig:
+    return ExperimentConfig(
+        num_tests=args.tests,
+        trials=args.trials,
+        seed=args.seed,
+        algorithms=tuple(algorithms or ("egreedy", "ucb", "exp3")),
+        processors=tuple(processors or ("cva6", "rocket", "boom")),
+        fuzzer_config=FuzzerConfig(num_seeds=args.seeds,
+                                   mutants_per_test=args.mutants),
+        mab_config=MABFuzzConfig(),
+    )
+
+
+def _emit(text: str, output: Optional[str]) -> None:
+    print(text)
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+
+
+# ----------------------------------------------------------------- commands
+def _cmd_list(args) -> int:
+    lines = ["Processors:"]
+    lines += [f"  {name}" for name in available_processors()]
+    lines.append("Fuzzers:")
+    lines += [f"  {name}" for name in available_fuzzers()]
+    lines.append("Injectable vulnerabilities:")
+    for bug_id, bug_cls in sorted(BUGS_BY_ID.items()):
+        bug = bug_cls()
+        lines.append(f"  {bug_id} (CWE-{bug.cwe}, {bug.processor}): {bug.description}")
+    _emit("\n".join(lines), args.output)
+    return 0
+
+
+def _cmd_fuzz(args) -> int:
+    result = quick_campaign(
+        processor=args.processor,
+        fuzzer=args.fuzzer,
+        num_tests=args.tests,
+        seed=args.seed,
+        fuzzer_config=FuzzerConfig(num_seeds=args.seeds,
+                                   mutants_per_test=args.mutants),
+    )
+    lines = [result.summary()]
+    for bug_id, detection in sorted(result.bug_detections.items()):
+        lines.append(f"  {bug_id}: detected after {detection.tests_to_detection} tests")
+    _emit("\n".join(lines), args.output)
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    config = _experiment_config(args)
+    result = run_table1(config)
+    _emit(render_table1(result), args.output)
+    return 0
+
+
+def _cmd_coverage(args) -> int:
+    config = _experiment_config(args, processors=args.processors)
+    study = run_coverage_study(config)
+    text = "\n\n".join([
+        render_figure3(figure3_series(study)),
+        render_figure4_table(figure4_summary(study)),
+    ])
+    _emit(text, args.output)
+    return 0
+
+
+def _cmd_report(args) -> int:
+    config = _experiment_config(args, processors=args.processors)
+    table1 = run_table1(config)
+    study = run_coverage_study(config)
+    text = build_experiments_report(table1=table1, study=study,
+                                    notes=f"Scaled runs: {args.tests} tests x "
+                                          f"{args.trials} trials per campaign.")
+    _emit(text, args.output)
+    return 0
+
+
+_ABLATIONS = {
+    "alpha": (run_alpha_ablation, "alpha"),
+    "gamma": (run_gamma_ablation, "gamma"),
+    "arms": (run_arm_count_ablation, "num_arms"),
+}
+
+
+def _cmd_ablation(args) -> int:
+    config = _experiment_config(args, algorithms=(args.algorithm,),
+                                processors=(args.processor,))
+    runner, parameter = _ABLATIONS[args.which]
+    results = runner(config, processor=args.processor, algorithm=args.algorithm)
+    _emit(render_ablation_table(results, parameter_name=parameter), args.output)
+    return 0
+
+
+# -------------------------------------------------------------------- parser
+def _add_common_campaign_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--tests", type=int, default=400, help="tests per campaign")
+    parser.add_argument("--trials", type=int, default=2, help="trials per campaign")
+    parser.add_argument("--seed", type=int, default=0, help="base RNG seed")
+    parser.add_argument("--seeds", type=int, default=10, help="initial seed tests")
+    parser.add_argument("--mutants", type=int, default=4,
+                        help="mutants per interesting test")
+    parser.add_argument("--output", help="also write the result to this file")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="mabfuzz", description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser("list", help="list processors, fuzzers and bugs")
+    list_parser.add_argument("--output")
+    list_parser.set_defaults(func=_cmd_list)
+
+    fuzz_parser = subparsers.add_parser("fuzz", help="run one fuzzing campaign")
+    fuzz_parser.add_argument("--processor", default="cva6",
+                             choices=available_processors())
+    fuzz_parser.add_argument("--fuzzer", default="mabfuzz:ucb",
+                             choices=available_fuzzers())
+    _add_common_campaign_arguments(fuzz_parser)
+    fuzz_parser.set_defaults(func=_cmd_fuzz)
+
+    table1_parser = subparsers.add_parser("table1", help="reproduce Table I")
+    _add_common_campaign_arguments(table1_parser)
+    table1_parser.set_defaults(func=_cmd_table1)
+
+    coverage_parser = subparsers.add_parser("coverage",
+                                            help="reproduce Fig. 3 and Fig. 4")
+    coverage_parser.add_argument("--processors", nargs="+",
+                                 default=["cva6", "rocket", "boom"],
+                                 choices=["cva6", "rocket", "boom"])
+    _add_common_campaign_arguments(coverage_parser)
+    coverage_parser.set_defaults(func=_cmd_coverage)
+
+    report_parser = subparsers.add_parser("report",
+                                          help="run all experiments and emit a Markdown report")
+    report_parser.add_argument("--processors", nargs="+",
+                               default=["cva6", "rocket", "boom"],
+                               choices=["cva6", "rocket", "boom"])
+    _add_common_campaign_arguments(report_parser)
+    report_parser.set_defaults(func=_cmd_report)
+
+    ablation_parser = subparsers.add_parser("ablation", help="run an ablation sweep")
+    ablation_parser.add_argument("which", choices=sorted(_ABLATIONS))
+    ablation_parser.add_argument("--processor", default="cva6",
+                                 choices=available_processors())
+    ablation_parser.add_argument("--algorithm", default="ucb",
+                                 choices=("egreedy", "ucb", "exp3"))
+    _add_common_campaign_arguments(ablation_parser)
+    ablation_parser.set_defaults(func=_cmd_ablation)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the ``mabfuzz`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""MABFuzz: the paper's contribution.
+
+The ``core`` package layers a multi-armed-bandit scheduling policy on top of
+the base fuzzer substrate:
+
+* :mod:`repro.core.bandit` -- the modified ε-greedy, UCB and EXP3 algorithms
+  with the *reset arms* feature (Algorithms 1 and 2 of the paper), plus
+  non-learning baseline policies.
+* :mod:`repro.core.arms` -- arms (seed + per-arm test pool + per-arm
+  coverage history).
+* :mod:`repro.core.reward` -- the α-weighted local/global coverage reward.
+* :mod:`repro.core.monitor` -- the γ-window saturation monitor.
+* :mod:`repro.core.scheduler` -- glue between bandit, arms, reward and monitor.
+* :mod:`repro.core.mabfuzz` -- the MABFuzz fuzzer itself.
+* :mod:`repro.core.mutation_bandit` -- the Sec. V extension: MAB over
+  mutation operators.
+"""
+
+from repro.core.config import MABFuzzConfig
+from repro.core.arms import Arm, ArmSet
+from repro.core.reward import RewardBreakdown, RewardComputer
+from repro.core.monitor import SaturationMonitor
+from repro.core.scheduler import MABScheduler, SchedulerUpdate
+from repro.core.mabfuzz import MABFuzz
+from repro.core.mutation_bandit import MutationBanditFuzzer
+from repro.core.bandit import (
+    BanditAlgorithm,
+    EpsilonGreedyBandit,
+    UCBBandit,
+    EXP3Bandit,
+    UniformRandomPolicy,
+    RoundRobinPolicy,
+    GreedyPolicy,
+    make_bandit,
+    available_bandits,
+)
+
+__all__ = [
+    "MABFuzzConfig",
+    "Arm",
+    "ArmSet",
+    "RewardBreakdown",
+    "RewardComputer",
+    "SaturationMonitor",
+    "MABScheduler",
+    "SchedulerUpdate",
+    "MABFuzz",
+    "MutationBanditFuzzer",
+    "BanditAlgorithm",
+    "EpsilonGreedyBandit",
+    "UCBBandit",
+    "EXP3Bandit",
+    "UniformRandomPolicy",
+    "RoundRobinPolicy",
+    "GreedyPolicy",
+    "make_bandit",
+    "available_bandits",
+]

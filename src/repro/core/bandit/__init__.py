@@ -1,0 +1,24 @@
+"""Multi-armed bandit algorithms (with the paper's reset-arms modification)."""
+
+from repro.core.bandit.base import BanditAlgorithm
+from repro.core.bandit.epsilon_greedy import EpsilonGreedyBandit
+from repro.core.bandit.ucb import UCBBandit
+from repro.core.bandit.exp3 import EXP3Bandit
+from repro.core.bandit.baselines import (
+    GreedyPolicy,
+    RoundRobinPolicy,
+    UniformRandomPolicy,
+)
+from repro.core.bandit.factory import available_bandits, make_bandit
+
+__all__ = [
+    "BanditAlgorithm",
+    "EpsilonGreedyBandit",
+    "UCBBandit",
+    "EXP3Bandit",
+    "GreedyPolicy",
+    "RoundRobinPolicy",
+    "UniformRandomPolicy",
+    "available_bandits",
+    "make_bandit",
+]

@@ -1,0 +1,83 @@
+"""Non-learning scheduling policies used as ablation baselines.
+
+These implement the same :class:`~repro.core.bandit.base.BanditAlgorithm`
+interface so they can be dropped into MABFuzz unchanged:
+
+* :class:`UniformRandomPolicy` -- pick an arm uniformly at random (what many
+  existing fuzzers effectively do, Sec. III-B).
+* :class:`RoundRobinPolicy` -- cycle through the arms (static schedule).
+* :class:`GreedyPolicy` -- always exploit the best-observed arm (the
+  motivational example's failure mode: it would never try seed S2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.bandit.base import BanditAlgorithm
+
+
+class UniformRandomPolicy(BanditAlgorithm):
+    """Select arms uniformly at random; ignores rewards."""
+
+    name = "uniform"
+
+    def select(self) -> int:
+        return int(self.rng.integers(0, self.num_arms))
+
+    def update(self, arm: int, reward: float) -> None:
+        self._record_pull(arm)
+
+    def reset_arm(self, arm: int) -> None:
+        self._check_arm(arm)
+
+
+class RoundRobinPolicy(BanditAlgorithm):
+    """Cycle deterministically through the arms; ignores rewards."""
+
+    name = "roundrobin"
+
+    def __init__(self, num_arms: int, rng=None) -> None:
+        super().__init__(num_arms, rng)
+        self._next = 0
+
+    def select(self) -> int:
+        arm = self._next
+        self._next = (self._next + 1) % self.num_arms
+        return arm
+
+    def update(self, arm: int, reward: float) -> None:
+        self._record_pull(arm)
+
+    def reset_arm(self, arm: int) -> None:
+        self._check_arm(arm)
+
+
+class GreedyPolicy(BanditAlgorithm):
+    """Pure exploitation: always pick the arm with the best average reward."""
+
+    name = "greedy"
+
+    def __init__(self, num_arms: int, rng=None) -> None:
+        super().__init__(num_arms, rng)
+        self.q_values: List[float] = [0.0] * num_arms
+        self.arm_pulls: List[int] = [0] * num_arms
+
+    def select(self) -> int:
+        return self._argmax_random_tie(self.q_values)
+
+    def update(self, arm: int, reward: float) -> None:
+        self._record_pull(arm)
+        self.arm_pulls[arm] += 1
+        self.q_values[arm] += (reward - self.q_values[arm]) / self.arm_pulls[arm]
+
+    def reset_arm(self, arm: int) -> None:
+        self._check_arm(arm)
+        self.q_values[arm] = 0.0
+        self.arm_pulls[arm] = 0
+
+    def snapshot(self) -> Dict[str, object]:
+        snap = super().snapshot()
+        snap.update({"q_values": list(self.q_values),
+                     "arm_pulls": list(self.arm_pulls)})
+        return snap

@@ -1,0 +1,52 @@
+"""Modified ε-greedy (Algorithm 1 of the paper, ε-greedy branch).
+
+Standard incremental sample-average ε-greedy with one modification: when the
+saturation monitor resets an arm, both its action-value estimate ``Q(a)``
+and its pull counter ``N(a)`` are cleared (lines 11-12 of Algorithm 1), so
+the fresh seed behind the arm is treated as a brand-new action.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.bandit.base import BanditAlgorithm
+
+
+class EpsilonGreedyBandit(BanditAlgorithm):
+    """ε-greedy with sample-average value estimates and reset support."""
+
+    name = "egreedy"
+
+    def __init__(self, num_arms: int, epsilon: float = 0.1, rng=None) -> None:
+        super().__init__(num_arms, rng)
+        if not 0.0 <= epsilon <= 1.0:
+            raise ValueError("epsilon must be in [0, 1]")
+        self.epsilon = epsilon
+        self.q_values: List[float] = [0.0] * num_arms
+        self.arm_pulls: List[int] = [0] * num_arms
+
+    def select(self) -> int:
+        if self.rng.random() < self.epsilon:
+            return int(self.rng.integers(0, self.num_arms))
+        return self._argmax_random_tie(self.q_values)
+
+    def update(self, arm: int, reward: float) -> None:
+        self._record_pull(arm)
+        self.arm_pulls[arm] += 1
+        step = self.arm_pulls[arm]
+        self.q_values[arm] += (reward - self.q_values[arm]) / step
+
+    def reset_arm(self, arm: int) -> None:
+        self._check_arm(arm)
+        self.q_values[arm] = 0.0
+        self.arm_pulls[arm] = 0
+
+    def snapshot(self) -> Dict[str, object]:
+        snap = super().snapshot()
+        snap.update({
+            "epsilon": self.epsilon,
+            "q_values": list(self.q_values),
+            "arm_pulls": list(self.arm_pulls),
+        })
+        return snap

@@ -1,0 +1,66 @@
+"""Modified UCB1 (Algorithm 1 of the paper, UCB branch).
+
+Upper-confidence-bound selection ``argmax_a [Q(a) + sqrt(2 ln t / N(a))]``
+where never-pulled arms (N(a) = 0) have unbounded confidence and are pulled
+first.  The reset-arms modification clears ``Q(a)`` and ``N(a)`` so a reset
+arm is immediately re-explored.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from repro.core.bandit.base import BanditAlgorithm
+
+
+class UCBBandit(BanditAlgorithm):
+    """UCB1 with reset support and a tunable exploration multiplier."""
+
+    name = "ucb"
+
+    def __init__(self, num_arms: int, exploration: float = 1.0, rng=None) -> None:
+        super().__init__(num_arms, rng)
+        if exploration <= 0:
+            raise ValueError("exploration must be positive")
+        self.exploration = exploration
+        self.q_values: List[float] = [0.0] * num_arms
+        self.arm_pulls: List[int] = [0] * num_arms
+        self._time = 0
+
+    def _ucb_scores(self) -> List[float]:
+        scores = []
+        time = max(self._time, 1)
+        for arm in range(self.num_arms):
+            pulls = self.arm_pulls[arm]
+            if pulls == 0:
+                scores.append(math.inf)
+                continue
+            bonus = self.exploration * math.sqrt(2.0 * math.log(time) / pulls)
+            scores.append(self.q_values[arm] + bonus)
+        return scores
+
+    def select(self) -> int:
+        return self._argmax_random_tie(self._ucb_scores())
+
+    def update(self, arm: int, reward: float) -> None:
+        self._record_pull(arm)
+        self._time += 1
+        self.arm_pulls[arm] += 1
+        step = self.arm_pulls[arm]
+        self.q_values[arm] += (reward - self.q_values[arm]) / step
+
+    def reset_arm(self, arm: int) -> None:
+        self._check_arm(arm)
+        self.q_values[arm] = 0.0
+        self.arm_pulls[arm] = 0
+
+    def snapshot(self) -> Dict[str, object]:
+        snap = super().snapshot()
+        snap.update({
+            "exploration": self.exploration,
+            "q_values": list(self.q_values),
+            "arm_pulls": list(self.arm_pulls),
+            "time": self._time,
+        })
+        return snap

@@ -1,0 +1,52 @@
+"""The γ-window saturation monitor (Sec. III-C).
+
+For every arm the monitor remembers how much new coverage each of the last
+γ pulls of that arm produced.  When γ consecutive pulls produced nothing
+new, the arm is declared *saturated* (depleted) and the scheduler replaces
+it with a fresh seed.  γ trades depth for breadth: a large γ gives a seed
+more chances to reach deep points before being abandoned, a small γ moves
+on to unexplored regions sooner (footnote 1 of the paper).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+
+class SaturationMonitor:
+    """Tracks per-arm new-coverage history over a sliding γ-window."""
+
+    def __init__(self, gamma: Optional[int] = 3) -> None:
+        if gamma is not None and gamma < 1:
+            raise ValueError("gamma must be >= 1 (or None to disable resets)")
+        self.gamma = gamma
+        self._history: Dict[int, Deque[int]] = {}
+
+    # ------------------------------------------------------------------ updates
+    def record(self, arm_index: int, new_coverage_count: int) -> None:
+        """Record how many new points one pull of ``arm_index`` produced."""
+        if new_coverage_count < 0:
+            raise ValueError("new_coverage_count must be non-negative")
+        if self.gamma is None:
+            return
+        history = self._history.setdefault(arm_index, deque(maxlen=self.gamma))
+        history.append(new_coverage_count)
+
+    def clear(self, arm_index: int) -> None:
+        """Forget the history of ``arm_index`` (called when the arm is reset)."""
+        self._history.pop(arm_index, None)
+
+    # ------------------------------------------------------------------ queries
+    def is_saturated(self, arm_index: int) -> bool:
+        """Whether the arm produced no new coverage in its entire γ-window."""
+        if self.gamma is None:
+            return False
+        history = self._history.get(arm_index)
+        if history is None or len(history) < self.gamma:
+            return False
+        return all(count == 0 for count in history)
+
+    def window(self, arm_index: int) -> List[int]:
+        """The recorded window of ``arm_index`` (most recent last)."""
+        return list(self._history.get(arm_index, ()))

@@ -1,0 +1,21 @@
+"""Coverage substrate: points, per-run maps and the cumulative database.
+
+The paper uses *branch coverage* reported by the RTL simulator as its
+feedback and comparison metric (Sec. IV-A).  Here every modelled
+microarchitectural decision in a DUT is a named *coverage point*; a test's
+coverage is the set of points its execution hit.
+"""
+
+from repro.coverage.points import coverage_point, parse_point
+from repro.coverage.map import CoverageMap
+from repro.coverage.collector import CoverageCollector
+from repro.coverage.database import CoverageDatabase, CoverageSample
+
+__all__ = [
+    "coverage_point",
+    "parse_point",
+    "CoverageMap",
+    "CoverageCollector",
+    "CoverageDatabase",
+    "CoverageSample",
+]

@@ -1,0 +1,32 @@
+"""Per-run coverage collector used by the DUT executors."""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+
+class CoverageCollector:
+    """Accumulates the coverage points hit during a single program run."""
+
+    def __init__(self) -> None:
+        self._hits: Set[str] = set()
+
+    def hit(self, point: str) -> None:
+        """Record that ``point`` was exercised."""
+        self._hits.add(point)
+
+    def hit_many(self, points: Iterable[str]) -> None:
+        """Record several points at once."""
+        self._hits.update(points)
+
+    def reset(self) -> None:
+        """Clear all recorded hits (called at the start of each run)."""
+        self._hits.clear()
+
+    @property
+    def hits(self) -> frozenset:
+        """The set of points hit so far in this run."""
+        return frozenset(self._hits)
+
+    def __len__(self) -> int:
+        return len(self._hits)

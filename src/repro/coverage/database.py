@@ -1,0 +1,100 @@
+"""Cumulative coverage database for a fuzzing campaign.
+
+Tracks which points have been covered so far, which test first covered each
+point, and the coverage-vs-tests curve -- the raw material for Fig. 3 and
+for the reward computation (global-new points).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set
+
+
+@dataclass(frozen=True)
+class CoverageSample:
+    """One point of the coverage-versus-tests curve."""
+
+    test_index: int
+    covered: int
+
+
+class CoverageDatabase:
+    """Campaign-level cumulative coverage bookkeeping."""
+
+    def __init__(self, space: Optional[frozenset] = None) -> None:
+        self.space = space
+        self._covered: Set[str] = set()
+        self._first_hit: Dict[str, int] = {}
+        self._curve: List[CoverageSample] = []
+        self._tests_recorded = 0
+
+    # ------------------------------------------------------------------ updates
+    def record(self, test_index: int, points: Iterable[str]) -> Set[str]:
+        """Record the coverage of one executed test.
+
+        Returns the set of *globally new* points contributed by this test.
+        """
+        new_points = set(points) - self._covered
+        if self.space is not None:
+            outside = new_points - self.space
+            if outside:
+                raise ValueError(
+                    f"coverage points outside the DUT space: {sorted(outside)[:5]}")
+        for point in new_points:
+            self._first_hit[point] = test_index
+        self._covered.update(new_points)
+        self._tests_recorded = max(self._tests_recorded, test_index + 1)
+        self._curve.append(CoverageSample(test_index, len(self._covered)))
+        return new_points
+
+    # ------------------------------------------------------------------ queries
+    @property
+    def covered(self) -> frozenset:
+        return frozenset(self._covered)
+
+    @property
+    def covered_count(self) -> int:
+        return len(self._covered)
+
+    @property
+    def tests_recorded(self) -> int:
+        return self._tests_recorded
+
+    def is_covered(self, point: str) -> bool:
+        return point in self._covered
+
+    def first_hit(self, point: str) -> Optional[int]:
+        """Index of the test that first covered ``point`` (or ``None``)."""
+        return self._first_hit.get(point)
+
+    def percent(self) -> float:
+        """Covered percentage of the space (requires a known space)."""
+        if not self.space:
+            raise ValueError("coverage space unknown; cannot compute percent")
+        return 100.0 * len(self._covered) / len(self.space)
+
+    def curve(self) -> List[CoverageSample]:
+        """The full coverage-vs-tests curve (one sample per recorded test)."""
+        return list(self._curve)
+
+    def curve_at(self, test_indices: Iterable[int]) -> List[CoverageSample]:
+        """Downsample the curve at the given test indices."""
+        samples = []
+        curve = self._curve
+        for target in test_indices:
+            covered = 0
+            for sample in curve:
+                if sample.test_index <= target:
+                    covered = sample.covered
+                else:
+                    break
+            samples.append(CoverageSample(target, covered))
+        return samples
+
+    def tests_to_reach(self, target_covered: int) -> Optional[int]:
+        """Number of tests needed to reach ``target_covered`` points (or ``None``)."""
+        for sample in self._curve:
+            if sample.covered >= target_covered:
+                return sample.test_index + 1
+        return None

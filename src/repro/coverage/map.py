@@ -1,0 +1,77 @@
+"""Per-run and cumulative coverage sets."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Set
+
+
+class CoverageMap:
+    """A set of covered coverage points with convenience operations.
+
+    The map optionally knows the total coverage *space* it lives in, which
+    enables percentage queries and guards against emitting points outside
+    the declared space (a modelling bug).
+    """
+
+    def __init__(self, points: Optional[Iterable[str]] = None,
+                 space: Optional[frozenset] = None) -> None:
+        self._points: Set[str] = set(points or ())
+        self._space = space
+        if space is not None:
+            unknown = self._points - space
+            if unknown:
+                raise ValueError(f"points outside coverage space: {sorted(unknown)[:5]}")
+
+    # ------------------------------------------------------------------ basics
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._points)
+
+    def __contains__(self, point: str) -> bool:
+        return point in self._points
+
+    @property
+    def points(self) -> frozenset:
+        return frozenset(self._points)
+
+    @property
+    def space(self) -> Optional[frozenset]:
+        return self._space
+
+    # ------------------------------------------------------------------ updates
+    def add(self, point: str) -> bool:
+        """Add one point; return True if it was new."""
+        if self._space is not None and point not in self._space:
+            raise ValueError(f"point outside coverage space: {point!r}")
+        if point in self._points:
+            return False
+        self._points.add(point)
+        return True
+
+    def update(self, points: Iterable[str]) -> int:
+        """Add many points; return how many were new."""
+        new = 0
+        for point in points:
+            new += self.add(point)
+        return new
+
+    # ------------------------------------------------------------------ queries
+    def new_points(self, points: Iterable[str]) -> Set[str]:
+        """Return the subset of ``points`` not already covered."""
+        return set(points) - self._points
+
+    def merge(self, other: "CoverageMap") -> "CoverageMap":
+        """Return a new map covering the union of both maps."""
+        return CoverageMap(self._points | other._points, space=self._space)
+
+    def fraction(self) -> float:
+        """Covered fraction of the space (requires a known space)."""
+        if not self._space:
+            raise ValueError("coverage space unknown; cannot compute fraction")
+        return len(self._points) / len(self._space)
+
+    def percent(self) -> float:
+        """Covered percentage of the space."""
+        return 100.0 * self.fraction()

@@ -1,0 +1,31 @@
+"""Coverage-point naming.
+
+A coverage point is identified by a dot-separated string
+``<module>.<feature>[.<qualifier>...]``, e.g. ``decode.addi.rd_zero`` or
+``dcache.set17.miss``.  Strings keep the substrate simple and debuggable;
+the sets involved (tens of thousands of points) are well within what Python
+set operations handle comfortably at the campaign sizes used here.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+
+def coverage_point(*parts: object) -> str:
+    """Build a canonical coverage-point name from its components."""
+    if not parts:
+        raise ValueError("a coverage point needs at least one component")
+    return ".".join(str(p) for p in parts)
+
+
+def parse_point(point: str) -> Tuple[str, ...]:
+    """Split a coverage-point name back into its components."""
+    if not point:
+        raise ValueError("empty coverage point")
+    return tuple(point.split("."))
+
+
+def point_module(point: str) -> str:
+    """Return the top-level module a point belongs to."""
+    return parse_point(point)[0]

@@ -1,0 +1,37 @@
+"""Base hardware-fuzzer substrate (the TheHuzz reimplementation).
+
+This package contains everything a coverage-guided, differential-testing
+processor fuzzer needs *except* the scheduling policy: mutation operators,
+test pools, the differential tester, the shared fuzzing session plumbing and
+campaign result records.  :class:`~repro.fuzzing.thehuzz.TheHuzzFuzzer`
+composes these with the paper's baseline *static FIFO* policy;
+:class:`~repro.core.mabfuzz.MABFuzz` composes the same pieces with the
+multi-armed-bandit policy that is the paper's contribution.
+"""
+
+from repro.fuzzing.mutation import MutationEngine, MutationOperator, DEFAULT_OPERATOR_WEIGHTS
+from repro.fuzzing.testpool import TestPool
+from repro.fuzzing.differential import DifferentialTester, Mismatch, DifferentialReport
+from repro.fuzzing.results import BugDetection, FuzzCampaignResult, TestOutcome
+from repro.fuzzing.session import FuzzSession
+from repro.fuzzing.base import Fuzzer, FuzzerConfig
+from repro.fuzzing.thehuzz import TheHuzzFuzzer
+from repro.fuzzing.random_fuzzer import RandomFuzzer
+
+__all__ = [
+    "MutationEngine",
+    "MutationOperator",
+    "DEFAULT_OPERATOR_WEIGHTS",
+    "TestPool",
+    "DifferentialTester",
+    "Mismatch",
+    "DifferentialReport",
+    "BugDetection",
+    "FuzzCampaignResult",
+    "TestOutcome",
+    "FuzzSession",
+    "Fuzzer",
+    "FuzzerConfig",
+    "TheHuzzFuzzer",
+    "RandomFuzzer",
+]

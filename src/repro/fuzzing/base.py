@@ -1,0 +1,124 @@
+"""Abstract fuzzer base class and shared configuration.
+
+A concrete fuzzer only decides *which test to run next* and *what to do with
+the outcome*; everything else (seed generation, mutation, execution,
+coverage, differential testing, campaign bookkeeping) lives in the shared
+plumbing.  This is the boundary at which MABFuzz plugs its MAB scheduler
+into an existing fuzzer.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.fuzzing.mutation import MutationEngine
+from repro.fuzzing.results import FuzzCampaignResult, TestOutcome
+from repro.fuzzing.session import FuzzSession
+from repro.isa.generator import GeneratorConfig, SeedGenerator
+from repro.isa.program import TestProgram
+from repro.rtl.harness import DutModel
+from repro.utils.rng import derive_rng, make_rng
+
+
+@dataclass(frozen=True)
+class FuzzerConfig:
+    """Configuration shared by all fuzzers.
+
+    Attributes:
+        num_seeds: size of the initial seed set (TheHuzz) / number of arms'
+            initial seeds (MABFuzz uses its own ``num_arms``).
+        mutants_per_test: how many mutants an interesting test spawns.
+        generator_config: configuration of the random seed generator.
+        mutation_weights: overrides for the static mutation-operator weights.
+        max_program_steps: per-test execution step limit (``None`` = model default).
+    """
+
+    num_seeds: int = 10
+    mutants_per_test: int = 4
+    generator_config: Optional[GeneratorConfig] = None
+    mutation_weights: Optional[Dict[str, float]] = None
+    max_program_steps: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.num_seeds < 1:
+            raise ValueError("num_seeds must be >= 1")
+        if self.mutants_per_test < 1:
+            raise ValueError("mutants_per_test must be >= 1")
+
+
+class Fuzzer(abc.ABC):
+    """Base class for coverage-guided differential fuzzers."""
+
+    #: human-readable fuzzer name (used in results and report tables).
+    name = "fuzzer"
+
+    def __init__(self, dut: DutModel, config: Optional[FuzzerConfig] = None,
+                 rng=None) -> None:
+        self.dut = dut
+        self.config = config or FuzzerConfig()
+        self.rng = make_rng(rng)
+        self.session = FuzzSession(dut)
+        self.seed_generator = SeedGenerator(
+            self.config.generator_config, derive_rng(self.rng, "seeds"))
+        self.mutation_engine = MutationEngine(
+            weights=self.config.mutation_weights,
+            generator_config=self.config.generator_config,
+            rng=derive_rng(self.rng, "mutation"),
+            mutants_per_test=self.config.mutants_per_test,
+        )
+
+    # -------------------------------------------------------------- scheduling
+    @abc.abstractmethod
+    def _next_test(self) -> TestProgram:
+        """Select the next test program to execute."""
+
+    @abc.abstractmethod
+    def _after_test(self, program: TestProgram, outcome: TestOutcome) -> None:
+        """React to the outcome of an executed test (mutate, update state ...)."""
+
+    # ------------------------------------------------------------------ running
+    def fuzz_one(self) -> TestOutcome:
+        """Execute a single fuzzing iteration."""
+        program = self._next_test()
+        outcome = self.session.run_test(program)
+        self._after_test(program, outcome)
+        return outcome
+
+    def run(self, num_tests: int,
+            metadata: Optional[Dict[str, object]] = None) -> FuzzCampaignResult:
+        """Run a campaign of ``num_tests`` tests and return its summary."""
+        if num_tests < 1:
+            raise ValueError("num_tests must be >= 1")
+        start = time.perf_counter()
+        for _ in range(num_tests):
+            self.fuzz_one()
+        elapsed = time.perf_counter() - start
+        return self._build_result(num_tests, elapsed, metadata or {})
+
+    # ------------------------------------------------------------------ results
+    def _build_result(self, num_tests: int, elapsed: float,
+                      metadata: Dict[str, object]) -> FuzzCampaignResult:
+        session = self.session
+        result_metadata = dict(self._result_metadata())
+        result_metadata.update(metadata)
+        return FuzzCampaignResult(
+            fuzzer_name=self.name,
+            dut_name=self.dut.name,
+            num_tests=num_tests,
+            coverage_curve=session.coverage_db.curve(),
+            coverage_count=session.coverage_count,
+            total_points=session.total_points,
+            bug_detections=dict(session.bug_detections),
+            interesting_tests=session.interesting_tests,
+            mismatching_tests=session.mismatching_tests,
+            elapsed_seconds=elapsed,
+            metadata=result_metadata,
+        )
+
+    def _result_metadata(self) -> Dict[str, object]:
+        """Fuzzer-specific metadata attached to campaign results."""
+        return {"num_seeds": self.config.num_seeds,
+                "mutants_per_test": self.config.mutants_per_test}

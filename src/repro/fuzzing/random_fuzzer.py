@@ -1,0 +1,25 @@
+"""Purely random regression baseline (no coverage feedback, no mutation).
+
+Not part of the paper's headline comparison, but useful as an ablation
+anchor: it shows how much of TheHuzz's and MABFuzz's coverage comes from
+feedback-driven mutation at all.
+"""
+
+from __future__ import annotations
+
+from repro.fuzzing.base import Fuzzer
+from repro.fuzzing.results import TestOutcome
+from repro.isa.program import TestProgram
+
+
+class RandomFuzzer(Fuzzer):
+    """Generates an independent random test every iteration."""
+
+    name = "random"
+
+    def _next_test(self) -> TestProgram:
+        return self.seed_generator.generate()
+
+    def _after_test(self, program: TestProgram, outcome: TestOutcome) -> None:
+        # Random regression ignores feedback entirely.
+        return None

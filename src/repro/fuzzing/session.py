@@ -1,0 +1,81 @@
+"""Shared fuzzing-session plumbing.
+
+A :class:`FuzzSession` bundles the pieces every fuzzer needs per campaign --
+the DUT model, the golden reference, the cumulative coverage database, the
+differential tester and the bug-detection bookkeeping -- behind a single
+``run_test`` call.  Both TheHuzz and MABFuzz drive campaigns exclusively
+through this interface, which is what makes the MAB layer fuzzer-agnostic
+(the paper's claim in Sec. III).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.coverage.database import CoverageDatabase
+from repro.fuzzing.differential import DifferentialTester
+from repro.fuzzing.results import BugDetection, TestOutcome
+from repro.isa.program import TestProgram
+from repro.rtl.harness import DutModel
+from repro.sim.golden import GoldenModel
+
+
+class FuzzSession:
+    """Executes tests against one DUT with differential testing and coverage tracking."""
+
+    def __init__(self, dut: DutModel, golden: Optional[GoldenModel] = None) -> None:
+        self.dut = dut
+        self.golden = golden or GoldenModel(dut.executor_config)
+        self.coverage_db = CoverageDatabase(space=dut.coverage_space())
+        self.differential = DifferentialTester()
+        self.bug_detections: Dict[str, BugDetection] = {}
+        self.tests_executed = 0
+        self.interesting_tests = 0
+        self.mismatching_tests = 0
+
+    # ------------------------------------------------------------------ running
+    def run_test(self, program: TestProgram) -> TestOutcome:
+        """Run one test on golden + DUT, update coverage and bug bookkeeping."""
+        test_index = self.tests_executed
+        golden_result = self.golden.run(program)
+        dut_run = self.dut.run(program)
+        report = self.differential.check(golden_result, dut_run)
+        new_points = self.coverage_db.record(test_index, dut_run.coverage)
+
+        if report.found_mismatch:
+            self.mismatching_tests += 1
+            for bug_id in report.detected_bugs:
+                if bug_id not in self.bug_detections:
+                    self.bug_detections[bug_id] = BugDetection(
+                        bug_id=bug_id,
+                        test_index=test_index,
+                        program_id=program.program_id,
+                        description=report.mismatch.describe() if report.mismatch else "",
+                    )
+        outcome = TestOutcome(
+            test_index=test_index,
+            program=program,
+            coverage=dut_run.coverage,
+            new_points=frozenset(new_points),
+            mismatch=report.mismatch,
+            detected_bugs=report.detected_bugs,
+            halt_reason=dut_run.execution.halt_reason,
+        )
+        if outcome.is_interesting:
+            self.interesting_tests += 1
+        self.tests_executed += 1
+        return outcome
+
+    # ------------------------------------------------------------------ queries
+    @property
+    def coverage_count(self) -> int:
+        return self.coverage_db.covered_count
+
+    @property
+    def total_points(self) -> int:
+        return len(self.coverage_db.space or ())
+
+    def undetected_bugs(self) -> List[str]:
+        """Bug ids injected into the DUT that have not been detected yet."""
+        injected = {bug.bug_id for bug in self.dut.bugs}
+        return sorted(injected - set(self.bug_detections))

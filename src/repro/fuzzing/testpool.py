@@ -1,0 +1,74 @@
+"""FIFO test pools.
+
+TheHuzz stores pending tests in a plain first-in-first-out database and,
+as the paper points out (Sec. I), "does not prioritize selecting the tests
+with more potential first".  MABFuzz keeps one such pool *per arm*; the
+pool implementation itself is shared.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, Iterator, List, Optional
+
+from repro.isa.program import TestProgram
+
+
+class TestPool:
+    """A FIFO queue of pending test programs with simple statistics."""
+
+    def __init__(self, tests: Optional[Iterable[TestProgram]] = None,
+                 max_size: Optional[int] = None) -> None:
+        if max_size is not None and max_size <= 0:
+            raise ValueError("max_size must be positive")
+        self.max_size = max_size
+        self._queue: Deque[TestProgram] = deque()
+        self.total_pushed = 0
+        self.total_popped = 0
+        self.total_dropped = 0
+        if tests:
+            self.push_many(tests)
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)
+
+    def __iter__(self) -> Iterator[TestProgram]:
+        return iter(self._queue)
+
+    def push(self, program: TestProgram) -> bool:
+        """Append one test; returns False if it was dropped due to ``max_size``."""
+        if self.max_size is not None and len(self._queue) >= self.max_size:
+            self.total_dropped += 1
+            return False
+        self._queue.append(program)
+        self.total_pushed += 1
+        return True
+
+    def push_many(self, programs: Iterable[TestProgram]) -> int:
+        """Append several tests; returns how many were accepted."""
+        accepted = 0
+        for program in programs:
+            accepted += self.push(program)
+        return accepted
+
+    def pop(self) -> TestProgram:
+        """Remove and return the oldest test (FIFO)."""
+        if not self._queue:
+            raise IndexError("pop from an empty test pool")
+        self.total_popped += 1
+        return self._queue.popleft()
+
+    def peek(self) -> Optional[TestProgram]:
+        """Return the oldest test without removing it (or ``None``)."""
+        return self._queue[0] if self._queue else None
+
+    def clear(self) -> None:
+        """Drop all pending tests."""
+        self._queue.clear()
+
+    def snapshot(self) -> List[TestProgram]:
+        """A list copy of the pending tests (oldest first)."""
+        return list(self._queue)

@@ -1,0 +1,100 @@
+"""Campaign running: one (processor, fuzzer) pair, possibly repeated.
+
+The paper runs every configuration at least three times to reduce the
+effect of randomness (Sec. IV-A); :class:`TrialSet` is the container for
+such repeated campaigns and the unit the metrics module aggregates over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.api import make_fuzzer, make_processor
+from repro.core.config import MABFuzzConfig
+from repro.fuzzing.base import FuzzerConfig
+from repro.fuzzing.results import FuzzCampaignResult
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A reproducible description of one campaign configuration.
+
+    Attributes:
+        processor: DUT name (``"cva6"``, ``"rocket"``, ``"boom"``).
+        fuzzer: fuzzer name (``"thehuzz"``, ``"mabfuzz:ucb"`` ...).
+        num_tests: tests per trial.
+        trials: number of repeated trials.
+        seed: base RNG seed; trial ``i`` uses ``seed + i``.
+        bugs: bug ids to inject (``None`` = the paper's defaults for the DUT).
+        fuzzer_config: shared fuzzer configuration.
+        mab_config: MABFuzz configuration (ignored by non-MAB fuzzers).
+    """
+
+    processor: str
+    fuzzer: str
+    num_tests: int = 500
+    trials: int = 3
+    seed: int = 0
+    bugs: Optional[Sequence[str]] = None
+    fuzzer_config: Optional[FuzzerConfig] = None
+    mab_config: Optional[MABFuzzConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.num_tests < 1:
+            raise ValueError("num_tests must be >= 1")
+        if self.trials < 1:
+            raise ValueError("trials must be >= 1")
+
+
+@dataclass
+class TrialSet:
+    """The results of all trials of one campaign specification."""
+
+    spec: CampaignSpec
+    results: List[FuzzCampaignResult] = field(default_factory=list)
+
+    @property
+    def fuzzer_name(self) -> str:
+        return self.spec.fuzzer
+
+    @property
+    def processor(self) -> str:
+        return self.spec.processor
+
+    @property
+    def num_trials(self) -> int:
+        return len(self.results)
+
+    def mean_coverage_count(self) -> float:
+        if not self.results:
+            return 0.0
+        return sum(r.coverage_count for r in self.results) / len(self.results)
+
+    def mean_coverage_percent(self) -> float:
+        if not self.results:
+            return 0.0
+        return sum(r.coverage_percent for r in self.results) / len(self.results)
+
+    def detection_tests(self, bug_id: str) -> List[Optional[int]]:
+        """Per-trial tests-to-detection for ``bug_id`` (``None`` = undetected)."""
+        return [r.detection_tests(bug_id) for r in self.results]
+
+
+def run_campaign(spec: CampaignSpec, trial_index: int = 0) -> FuzzCampaignResult:
+    """Run a single trial of ``spec`` and return its result."""
+    dut = make_processor(spec.processor, bugs=spec.bugs)
+    fuzzer = make_fuzzer(
+        spec.fuzzer, dut,
+        fuzzer_config=spec.fuzzer_config,
+        mab_config=spec.mab_config,
+        rng=spec.seed + trial_index,
+    )
+    return fuzzer.run(spec.num_tests,
+                      metadata={"trial": trial_index, "seed": spec.seed + trial_index})
+
+
+def run_trials(spec: CampaignSpec) -> TrialSet:
+    """Run every trial of ``spec`` and collect the results."""
+    results = [run_campaign(spec, trial) for trial in range(spec.trials)]
+    return TrialSet(spec=spec, results=results)

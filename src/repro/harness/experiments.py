@@ -1,0 +1,240 @@
+"""The paper's experiments (Table I, Fig. 3, Fig. 4) and the ablations.
+
+Every experiment is a plain function taking an :class:`ExperimentConfig`
+(which mainly scales the campaign size) and returning a structured result
+that the renderers in :mod:`repro.harness.tables` /
+:mod:`repro.harness.figures` turn into the paper's tables and figure data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import MABFuzzConfig
+from repro.coverage.database import CoverageSample
+from repro.fuzzing.base import FuzzerConfig
+from repro.harness.campaign import CampaignSpec, TrialSet, run_trials
+from repro.harness.metrics import (
+    coverage_increment_percent,
+    coverage_speedup,
+    detection_speedup,
+    mean_coverage_curve,
+    mean_detection_tests,
+)
+from repro.rtl.bugs import BUGS_BY_ID, CVA6_BUG_IDS, ROCKET_BUG_IDS
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Scaling knobs shared by all experiments.
+
+    The defaults are sized for laptop-scale runs (minutes, not the paper's
+    50,000-test VCS campaigns); the shapes of the results -- who wins, and
+    roughly by how much -- are what the reproduction targets.
+    """
+
+    num_tests: int = 400
+    trials: int = 2
+    seed: int = 0
+    algorithms: Tuple[str, ...] = ("egreedy", "ucb", "exp3")
+    processors: Tuple[str, ...] = ("cva6", "rocket", "boom")
+    fuzzer_config: Optional[FuzzerConfig] = None
+    mab_config: Optional[MABFuzzConfig] = None
+
+    def mab_fuzzer_names(self) -> Tuple[str, ...]:
+        return tuple(f"mabfuzz:{algo}" for algo in self.algorithms)
+
+    def spec(self, processor: str, fuzzer: str, **overrides) -> CampaignSpec:
+        """Build a campaign spec for one (processor, fuzzer) pair."""
+        base = CampaignSpec(
+            processor=processor,
+            fuzzer=fuzzer,
+            num_tests=self.num_tests,
+            trials=self.trials,
+            seed=self.seed,
+            fuzzer_config=self.fuzzer_config,
+            mab_config=self.mab_config,
+        )
+        return replace(base, **overrides) if overrides else base
+
+
+# =============================================================== Table I (E1)
+@dataclass(frozen=True)
+class Table1Row:
+    """One vulnerability row of Table I."""
+
+    bug_id: str
+    cwe: int
+    description: str
+    processor: str
+    baseline_tests: Optional[float]
+    speedups: Dict[str, Optional[float]] = field(default_factory=dict)
+
+
+@dataclass
+class Table1Result:
+    """The full Table I reproduction."""
+
+    config: ExperimentConfig
+    rows: List[Table1Row] = field(default_factory=list)
+    trialsets: Dict[Tuple[str, str], TrialSet] = field(default_factory=dict)
+
+    def row(self, bug_id: str) -> Table1Row:
+        for row in self.rows:
+            if row.bug_id == bug_id:
+                return row
+        raise KeyError(f"no row for bug {bug_id}")
+
+    def best_speedup(self, bug_id: str) -> Optional[float]:
+        """Best speedup any MAB algorithm achieved on ``bug_id``."""
+        values = [v for v in self.row(bug_id).speedups.values() if v is not None]
+        return max(values) if values else None
+
+
+def _bug_map() -> Dict[str, Tuple[str, ...]]:
+    """Processor -> bug ids evaluated on it (per the paper)."""
+    return {"cva6": CVA6_BUG_IDS, "rocket": ROCKET_BUG_IDS}
+
+
+def run_table1(config: Optional[ExperimentConfig] = None) -> Table1Result:
+    """Reproduce Table I: vulnerability detection speedup vs TheHuzz."""
+    config = config or ExperimentConfig()
+    result = Table1Result(config=config)
+    fuzzers = ("thehuzz",) + config.mab_fuzzer_names()
+
+    for processor, bug_ids in _bug_map().items():
+        trialsets: Dict[str, TrialSet] = {}
+        for fuzzer in fuzzers:
+            spec = config.spec(processor, fuzzer)
+            trialsets[fuzzer] = run_trials(spec)
+            result.trialsets[(processor, fuzzer)] = trialsets[fuzzer]
+        baseline = trialsets["thehuzz"]
+        for bug_id in bug_ids:
+            bug_cls = BUGS_BY_ID[bug_id]
+            speedups: Dict[str, Optional[float]] = {}
+            for algo, fuzzer in zip(config.algorithms, config.mab_fuzzer_names()):
+                speedups[algo] = detection_speedup(
+                    baseline.results, trialsets[fuzzer].results, bug_id)
+            result.rows.append(Table1Row(
+                bug_id=bug_id,
+                cwe=bug_cls.cwe,
+                description=bug_cls.description,
+                processor=processor,
+                baseline_tests=mean_detection_tests(baseline.results, bug_id),
+                speedups=speedups,
+            ))
+    return result
+
+
+# ====================================================== Fig. 3 / Fig. 4 (E2, E3)
+@dataclass
+class CoverageStudy:
+    """Shared campaign data behind Fig. 3 and Fig. 4."""
+
+    config: ExperimentConfig
+    trialsets: Dict[Tuple[str, str], TrialSet] = field(default_factory=dict)
+
+    def fuzzers(self) -> Tuple[str, ...]:
+        return ("thehuzz",) + self.config.mab_fuzzer_names()
+
+    def get(self, processor: str, fuzzer: str) -> TrialSet:
+        return self.trialsets[(processor, fuzzer)]
+
+
+def run_coverage_study(config: Optional[ExperimentConfig] = None) -> CoverageStudy:
+    """Run the coverage campaigns behind Fig. 3 / Fig. 4 (TheHuzz + MAB algorithms)."""
+    config = config or ExperimentConfig()
+    study = CoverageStudy(config=config)
+    for processor in config.processors:
+        for fuzzer in ("thehuzz",) + config.mab_fuzzer_names():
+            study.trialsets[(processor, fuzzer)] = run_trials(
+                config.spec(processor, fuzzer))
+    return study
+
+
+def figure3_series(study: CoverageStudy,
+                   num_samples: int = 25
+                   ) -> Dict[str, Dict[str, List[CoverageSample]]]:
+    """Fig. 3 data: mean coverage-vs-tests curves per processor per fuzzer."""
+    series: Dict[str, Dict[str, List[CoverageSample]]] = {}
+    for processor in study.config.processors:
+        series[processor] = {}
+        for fuzzer in study.fuzzers():
+            trialset = study.get(processor, fuzzer)
+            series[processor][fuzzer] = mean_coverage_curve(
+                trialset.results, num_samples=num_samples)
+    return series
+
+
+def figure4_summary(study: CoverageStudy) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Fig. 4 data: coverage speedup and increment vs TheHuzz per processor/algorithm."""
+    summary: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for processor in study.config.processors:
+        baseline = study.get(processor, "thehuzz")
+        summary[processor] = {}
+        for algo, fuzzer in zip(study.config.algorithms,
+                                study.config.mab_fuzzer_names()):
+            candidate = study.get(processor, fuzzer)
+            summary[processor][algo] = {
+                "speedup": coverage_speedup(baseline.results, candidate.results),
+                "increment_percent": coverage_increment_percent(
+                    baseline.results, candidate.results),
+                "final_coverage": candidate.mean_coverage_count(),
+                "baseline_coverage": baseline.mean_coverage_count(),
+            }
+    return summary
+
+
+# =================================================================== ablations
+def run_alpha_ablation(config: Optional[ExperimentConfig] = None,
+                       alphas: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
+                       processor: str = "cva6",
+                       algorithm: str = "ucb") -> Dict[float, TrialSet]:
+    """E4: sweep the reward weighting α (the paper fixes α = 0.25)."""
+    config = config or ExperimentConfig()
+    results: Dict[float, TrialSet] = {}
+    for alpha in alphas:
+        mab_config = replace(config.mab_config or MABFuzzConfig(), alpha=alpha)
+        spec = config.spec(processor, f"mabfuzz:{algorithm}", mab_config=mab_config)
+        results[alpha] = run_trials(spec)
+    return results
+
+
+def run_gamma_ablation(config: Optional[ExperimentConfig] = None,
+                       gammas: Sequence[Optional[int]] = (1, 3, 5, 10, None),
+                       processor: str = "cva6",
+                       algorithm: str = "ucb") -> Dict[Optional[int], TrialSet]:
+    """E5: sweep the reset threshold γ; ``None`` disables resets entirely."""
+    config = config or ExperimentConfig()
+    results: Dict[Optional[int], TrialSet] = {}
+    for gamma in gammas:
+        mab_config = replace(config.mab_config or MABFuzzConfig(), gamma=gamma)
+        spec = config.spec(processor, f"mabfuzz:{algorithm}", mab_config=mab_config)
+        results[gamma] = run_trials(spec)
+    return results
+
+
+def run_arm_count_ablation(config: Optional[ExperimentConfig] = None,
+                           arm_counts: Sequence[int] = (2, 5, 10, 20),
+                           processor: str = "cva6",
+                           algorithm: str = "ucb") -> Dict[int, TrialSet]:
+    """E6: sweep the number of arms (the paper fixes 10)."""
+    config = config or ExperimentConfig()
+    results: Dict[int, TrialSet] = {}
+    for count in arm_counts:
+        mab_config = replace(config.mab_config or MABFuzzConfig(), num_arms=count)
+        spec = config.spec(processor, f"mabfuzz:{algorithm}", mab_config=mab_config)
+        results[count] = run_trials(spec)
+    return results
+
+
+def run_mutation_bandit_comparison(config: Optional[ExperimentConfig] = None,
+                                   processor: str = "cva6",
+                                   algorithm: str = "exp3") -> Dict[str, TrialSet]:
+    """E7 (Sec. V extension): MAB over mutation operators vs static weights."""
+    config = config or ExperimentConfig()
+    comparison = {}
+    for fuzzer in ("thehuzz", f"mutation-bandit:{algorithm}"):
+        comparison[fuzzer] = run_trials(config.spec(processor, fuzzer))
+    return comparison

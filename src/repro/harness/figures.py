@@ -1,0 +1,62 @@
+"""Renderers for the paper's figures.
+
+Figures are emitted as CSV series (for plotting elsewhere) and as compact
+ASCII charts so benchmark output remains human-readable in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.coverage.database import CoverageSample
+
+Figure3Series = Dict[str, Dict[str, List[CoverageSample]]]
+Figure4Summary = Dict[str, Dict[str, Dict[str, float]]]
+
+
+def figure3_csv(series: Figure3Series) -> str:
+    """Fig. 3 as CSV: processor, fuzzer, tests, covered points."""
+    lines = ["processor,fuzzer,tests,covered_points"]
+    for processor, per_fuzzer in series.items():
+        for fuzzer, samples in per_fuzzer.items():
+            for sample in samples:
+                lines.append(
+                    f"{processor},{fuzzer},{sample.test_index + 1},{sample.covered}")
+    return "\n".join(lines)
+
+
+def figure4_csv(summary: Figure4Summary) -> str:
+    """Fig. 4 as CSV: processor, algorithm, coverage speedup, increment."""
+    lines = ["processor,algorithm,coverage_speedup,coverage_increment_percent"]
+    for processor, per_algo in summary.items():
+        for algo, metrics in per_algo.items():
+            lines.append(f"{processor},{algo},{metrics['speedup']:.3f},"
+                         f"{metrics['increment_percent']:.3f}")
+    return "\n".join(lines)
+
+
+def _ascii_curve(samples: List[CoverageSample], width: int = 40,
+                 max_value: int = 0) -> str:
+    if not samples:
+        return ""
+    peak = max(max_value, max(s.covered for s in samples), 1)
+    cells = []
+    blocks = " .:-=+*#%@"
+    for sample in samples[:width]:
+        level = int((len(blocks) - 1) * sample.covered / peak)
+        cells.append(blocks[level])
+    return "".join(cells)
+
+
+def render_figure3(series: Figure3Series) -> str:
+    """Fig. 3 as a compact per-processor ASCII chart plus final values."""
+    lines = ["Fig. 3 reproduction: branch coverage vs number of tests"]
+    for processor, per_fuzzer in series.items():
+        lines.append(f"\n[{processor}]")
+        peak = max((samples[-1].covered for samples in per_fuzzer.values()
+                    if samples), default=1)
+        for fuzzer, samples in per_fuzzer.items():
+            final = samples[-1].covered if samples else 0
+            curve = _ascii_curve(samples, max_value=peak)
+            lines.append(f"  {fuzzer:<18} |{curve}| final={final}")
+    return "\n".join(lines)

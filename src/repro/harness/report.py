@@ -1,0 +1,40 @@
+"""Markdown report generation (the EXPERIMENTS.md machinery)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.harness.experiments import (
+    CoverageStudy,
+    Table1Result,
+    figure3_series,
+    figure4_summary,
+)
+from repro.harness.figures import figure3_csv, render_figure3
+from repro.harness.tables import render_figure4_table, render_table1
+
+
+def build_experiments_report(table1: Optional[Table1Result] = None,
+                             study: Optional[CoverageStudy] = None,
+                             notes: str = "") -> str:
+    """Build a Markdown report of measured results for EXPERIMENTS.md.
+
+    Any experiment that was not run is simply omitted from the report, so
+    partial reports (e.g. Table I only) are possible.
+    """
+    sections = ["# MABFuzz reproduction — measured results", ""]
+    if notes:
+        sections += [notes.strip(), ""]
+    if table1 is not None:
+        sections += ["## Table I — vulnerability detection speedup", "",
+                     "```", render_table1(table1), "```", ""]
+    if study is not None:
+        series = figure3_series(study)
+        summary = figure4_summary(study)
+        sections += ["## Figure 3 — branch coverage vs tests", "",
+                     "```", render_figure3(series), "```", "",
+                     "### Raw series (CSV)", "", "```",
+                     figure3_csv(series), "```", ""]
+        sections += ["## Figure 4 — coverage speedup and increment", "",
+                     "```", render_figure4_table(summary), "```", ""]
+    return "\n".join(sections)

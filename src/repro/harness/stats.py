@@ -1,0 +1,96 @@
+"""Small statistics helpers for aggregating repeated trials.
+
+The paper repeats every experiment at least three times "to reduce
+randomness in results" (Sec. IV-A); these helpers summarise such repeated
+measurements (mean, sample standard deviation, normal-approximation
+confidence intervals, geometric means for speedups) without pulling in any
+dependency beyond NumPy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Summary statistics of one repeated measurement."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    ci_low: float
+    ci_high: float
+
+    def format(self, unit: str = "") -> str:
+        """Render as ``mean ± half-width unit (n=count)``."""
+        half_width = (self.ci_high - self.ci_low) / 2.0
+        suffix = f" {unit}" if unit else ""
+        return f"{self.mean:.2f} ± {half_width:.2f}{suffix} (n={self.count})"
+
+
+def summarize(values: Iterable[float], confidence: float = 0.95) -> Summary:
+    """Summarise ``values`` with a normal-approximation confidence interval."""
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise ValueError("cannot summarise an empty sequence")
+    mean = float(data.mean())
+    std = float(data.std(ddof=1)) if data.size > 1 else 0.0
+    z = _z_score(confidence)
+    half_width = z * std / math.sqrt(data.size) if data.size > 1 else 0.0
+    return Summary(
+        count=int(data.size),
+        mean=mean,
+        std=std,
+        minimum=float(data.min()),
+        maximum=float(data.max()),
+        ci_low=mean - half_width,
+        ci_high=mean + half_width,
+    )
+
+
+def _z_score(confidence: float) -> float:
+    """Two-sided z-score for a handful of common confidence levels."""
+    table = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+    if confidence not in table:
+        raise ValueError(f"unsupported confidence level {confidence}; "
+                         f"choose one of {sorted(table)}")
+    return table[confidence]
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean (the right way to average speedup ratios)."""
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise ValueError("cannot average an empty sequence")
+    if (data <= 0).any():
+        raise ValueError("geometric mean requires strictly positive values")
+    return float(np.exp(np.log(data).mean()))
+
+
+def median(values: Iterable[float]) -> float:
+    """Median of the values."""
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise ValueError("cannot take the median of an empty sequence")
+    return float(np.median(data))
+
+
+def censored_mean(values: Sequence[Optional[float]],
+                  censor_at: float) -> Optional[float]:
+    """Mean of values where ``None`` entries are censored at ``censor_at``.
+
+    Returns ``None`` if every entry is ``None`` (nothing was ever observed).
+    """
+    if not values:
+        return None
+    if all(v is None for v in values):
+        return None
+    filled: List[float] = [censor_at if v is None else float(v) for v in values]
+    return sum(filled) / len(filled)

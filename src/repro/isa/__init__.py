@@ -1,0 +1,75 @@
+"""RISC-V ISA substrate: encodings, assembly, decoding and test generation.
+
+The fuzzers operate on :class:`~repro.isa.program.TestProgram` objects,
+which are sequences of :class:`~repro.isa.instruction.Instruction` values.
+Instructions round-trip through 32-bit words via the assembler and decoder,
+which is what makes bit-level mutation (as performed by TheHuzz's mutation
+engine) meaningful.
+"""
+
+from repro.isa.registers import (
+    NUM_REGISTERS,
+    REG_ABI_NAMES,
+    abi_name,
+    register_index,
+)
+from repro.isa.csr import (
+    CSR_NAMES,
+    IMPLEMENTED_CSRS,
+    READ_ONLY_CSRS,
+    UNIMPLEMENTED_CSRS,
+    csr_name,
+    is_implemented_csr,
+    is_read_only_csr,
+)
+from repro.isa.exceptions import TrapCause, Trap
+from repro.isa.encoding import (
+    InstrClass,
+    InstrFormat,
+    InstrSpec,
+    SPECS,
+    spec_for,
+    mnemonics,
+    mnemonics_of_class,
+)
+from repro.isa.instruction import Instruction
+from repro.isa.assembler import assemble, assemble_program, encode_instruction
+from repro.isa.decoder import decode_instruction, decode_word, is_legal_word
+from repro.isa.disassembler import disassemble, disassemble_program
+from repro.isa.program import TestProgram
+from repro.isa.generator import InstructionGenerator, SeedGenerator
+
+__all__ = [
+    "NUM_REGISTERS",
+    "REG_ABI_NAMES",
+    "abi_name",
+    "register_index",
+    "CSR_NAMES",
+    "IMPLEMENTED_CSRS",
+    "READ_ONLY_CSRS",
+    "UNIMPLEMENTED_CSRS",
+    "csr_name",
+    "is_implemented_csr",
+    "is_read_only_csr",
+    "TrapCause",
+    "Trap",
+    "InstrClass",
+    "InstrFormat",
+    "InstrSpec",
+    "SPECS",
+    "spec_for",
+    "mnemonics",
+    "mnemonics_of_class",
+    "Instruction",
+    "assemble",
+    "assemble_program",
+    "encode_instruction",
+    "decode_instruction",
+    "decode_word",
+    "is_legal_word",
+    "disassemble",
+    "disassemble_program",
+    "TestProgram",
+    "InstructionGenerator",
+    "SeedGenerator",
+]

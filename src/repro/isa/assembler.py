@@ -1,0 +1,188 @@
+"""Instruction -> 32-bit word encoding.
+
+The encoding follows the RISC-V unprivileged specification.  The
+``Instruction.imm`` field convention per format is:
+
+* I/S/B formats: signed immediate (byte offset for branches).
+* U format: the raw 20-bit ``imm[31:12]`` field (the execution stage shifts).
+* J format: signed 21-bit byte offset.
+* I_SHIFT: shift amount (0-63, or 0-31 for the ``*w`` variants).
+* CSR_IMM: 5-bit zero-extended immediate.
+* FENCE: the 8-bit predecessor/successor set.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.isa.encoding import (
+    OPCODE_OP_IMM_32,
+    InstrFormat,
+    InstrSpec,
+    spec_for,
+)
+from repro.isa.instruction import Instruction
+from repro.utils.bits import get_bit, get_bits
+
+
+def _encode_r(spec: InstrSpec, instr: Instruction) -> int:
+    return (
+        (spec.funct7 << 25)
+        | ((instr.rs2 & 0x1F) << 20)
+        | ((instr.rs1 & 0x1F) << 15)
+        | (spec.funct3 << 12)
+        | ((instr.rd & 0x1F) << 7)
+        | spec.opcode
+    )
+
+
+def _encode_i(spec: InstrSpec, instr: Instruction) -> int:
+    imm = instr.imm & 0xFFF
+    return (
+        (imm << 20)
+        | ((instr.rs1 & 0x1F) << 15)
+        | (spec.funct3 << 12)
+        | ((instr.rd & 0x1F) << 7)
+        | spec.opcode
+    )
+
+
+def _encode_i_shift(spec: InstrSpec, instr: Instruction) -> int:
+    if spec.opcode == OPCODE_OP_IMM_32:
+        shamt = instr.imm & 0x1F
+        upper = spec.funct7 << 25
+    else:
+        shamt = instr.imm & 0x3F
+        upper = (spec.funct7 >> 1) << 26
+    return (
+        upper
+        | (shamt << 20)
+        | ((instr.rs1 & 0x1F) << 15)
+        | (spec.funct3 << 12)
+        | ((instr.rd & 0x1F) << 7)
+        | spec.opcode
+    )
+
+
+def _encode_s(spec: InstrSpec, instr: Instruction) -> int:
+    imm = instr.imm & 0xFFF
+    return (
+        (get_bits(imm, 11, 5) << 25)
+        | ((instr.rs2 & 0x1F) << 20)
+        | ((instr.rs1 & 0x1F) << 15)
+        | (spec.funct3 << 12)
+        | (get_bits(imm, 4, 0) << 7)
+        | spec.opcode
+    )
+
+
+def _encode_b(spec: InstrSpec, instr: Instruction) -> int:
+    imm = instr.imm & 0x1FFF
+    return (
+        (get_bit(imm, 12) << 31)
+        | (get_bits(imm, 10, 5) << 25)
+        | ((instr.rs2 & 0x1F) << 20)
+        | ((instr.rs1 & 0x1F) << 15)
+        | (spec.funct3 << 12)
+        | (get_bits(imm, 4, 1) << 8)
+        | (get_bit(imm, 11) << 7)
+        | spec.opcode
+    )
+
+
+def _encode_u(spec: InstrSpec, instr: Instruction) -> int:
+    return ((instr.imm & 0xFFFFF) << 12) | ((instr.rd & 0x1F) << 7) | spec.opcode
+
+
+def _encode_j(spec: InstrSpec, instr: Instruction) -> int:
+    imm = instr.imm & 0x1F_FFFF
+    return (
+        (get_bit(imm, 20) << 31)
+        | (get_bits(imm, 10, 1) << 21)
+        | (get_bit(imm, 11) << 20)
+        | (get_bits(imm, 19, 12) << 12)
+        | ((instr.rd & 0x1F) << 7)
+        | spec.opcode
+    )
+
+
+def _encode_csr(spec: InstrSpec, instr: Instruction) -> int:
+    return (
+        ((instr.csr & 0xFFF) << 20)
+        | ((instr.rs1 & 0x1F) << 15)
+        | (spec.funct3 << 12)
+        | ((instr.rd & 0x1F) << 7)
+        | spec.opcode
+    )
+
+
+def _encode_csr_imm(spec: InstrSpec, instr: Instruction) -> int:
+    return (
+        ((instr.csr & 0xFFF) << 20)
+        | ((instr.imm & 0x1F) << 15)
+        | (spec.funct3 << 12)
+        | ((instr.rd & 0x1F) << 7)
+        | spec.opcode
+    )
+
+
+def _encode_fence(spec: InstrSpec, instr: Instruction) -> int:
+    return (
+        ((instr.imm & 0xFF) << 20)
+        | ((instr.rs1 & 0x1F) << 15)
+        | (spec.funct3 << 12)
+        | ((instr.rd & 0x1F) << 7)
+        | spec.opcode
+    )
+
+
+def _encode_system(spec: InstrSpec, instr: Instruction) -> int:
+    return (spec.funct12 << 20) | (spec.funct3 << 12) | spec.opcode
+
+
+def _encode_amo(spec: InstrSpec, instr: Instruction) -> int:
+    funct7 = (spec.funct5 << 2) | ((instr.aq & 1) << 1) | (instr.rl & 1)
+    return (
+        (funct7 << 25)
+        | ((instr.rs2 & 0x1F) << 20)
+        | ((instr.rs1 & 0x1F) << 15)
+        | (spec.funct3 << 12)
+        | ((instr.rd & 0x1F) << 7)
+        | spec.opcode
+    )
+
+
+_ENCODERS = {
+    InstrFormat.R: _encode_r,
+    InstrFormat.I: _encode_i,
+    InstrFormat.I_SHIFT: _encode_i_shift,
+    InstrFormat.S: _encode_s,
+    InstrFormat.B: _encode_b,
+    InstrFormat.U: _encode_u,
+    InstrFormat.J: _encode_j,
+    InstrFormat.CSR: _encode_csr,
+    InstrFormat.CSR_IMM: _encode_csr_imm,
+    InstrFormat.FENCE: _encode_fence,
+    InstrFormat.SYSTEM: _encode_system,
+    InstrFormat.AMO: _encode_amo,
+}
+
+
+def encode_instruction(instr: Instruction) -> int:
+    """Encode ``instr`` into its 32-bit instruction word."""
+    if instr.is_illegal:
+        if instr.raw is None:
+            raise ValueError("illegal instruction without a raw word")
+        return instr.raw & 0xFFFF_FFFF
+    spec = spec_for(instr.mnemonic)
+    return _ENCODERS[spec.fmt](spec, instr) & 0xFFFF_FFFF
+
+
+def assemble(instr: Instruction) -> int:
+    """Alias of :func:`encode_instruction`."""
+    return encode_instruction(instr)
+
+
+def assemble_program(instructions: Iterable[Instruction]) -> List[int]:
+    """Encode a sequence of instructions into 32-bit words."""
+    return [encode_instruction(i) for i in instructions]

@@ -1,0 +1,104 @@
+"""Control and status register (CSR) address space.
+
+Only machine-mode CSRs are modelled (the DUT models and the golden
+reference run everything in M-mode, matching how TheHuzz-style fuzzers
+drive bare-metal test programs).  A set of *unimplemented* CSR addresses is
+also enumerated: accessing them must raise an illegal-instruction exception
+in a correct design, and vulnerability V6 in CVA6 (CWE-1281) makes the DUT
+return undefined values instead.
+"""
+
+from __future__ import annotations
+
+# --- implemented machine-mode CSRs -------------------------------------------------
+MSTATUS = 0x300
+MISA = 0x301
+MIE = 0x304
+MTVEC = 0x305
+MCOUNTEREN = 0x306
+MSCRATCH = 0x340
+MEPC = 0x341
+MCAUSE = 0x342
+MTVAL = 0x343
+MIP = 0x344
+MCYCLE = 0xB00
+MINSTRET = 0xB02
+MVENDORID = 0xF11
+MARCHID = 0xF12
+MIMPID = 0xF13
+MHARTID = 0xF14
+CYCLE = 0xC00
+TIME = 0xC01
+INSTRET = 0xC02
+
+#: CSR address -> canonical name, for every CSR the golden model implements.
+CSR_NAMES = {
+    MSTATUS: "mstatus",
+    MISA: "misa",
+    MIE: "mie",
+    MTVEC: "mtvec",
+    MCOUNTEREN: "mcounteren",
+    MSCRATCH: "mscratch",
+    MEPC: "mepc",
+    MCAUSE: "mcause",
+    MTVAL: "mtval",
+    MIP: "mip",
+    MCYCLE: "mcycle",
+    MINSTRET: "minstret",
+    MVENDORID: "mvendorid",
+    MARCHID: "marchid",
+    MIMPID: "mimpid",
+    MHARTID: "mhartid",
+    CYCLE: "cycle",
+    TIME: "time",
+    INSTRET: "instret",
+}
+
+#: Addresses of CSRs implemented by the golden model (and correct DUTs).
+IMPLEMENTED_CSRS = frozenset(CSR_NAMES)
+
+#: Implemented CSRs that are read-only; writes raise illegal-instruction.
+READ_ONLY_CSRS = frozenset(
+    {MVENDORID, MARCHID, MIMPID, MHARTID, CYCLE, TIME, INSTRET}
+)
+
+#: A representative set of CSR addresses that exist in the privileged spec
+#: but are *not* implemented by these cores.  Accesses must trap; CVA6's V6
+#: vulnerability instead returns X-values (modelled as pseudo-random data).
+UNIMPLEMENTED_CSRS = frozenset(
+    {
+        0x180,  # satp        (no S-mode)
+        0x100,  # sstatus
+        0x105,  # stvec
+        0x141,  # sepc
+        0x142,  # scause
+        0x3A0,  # pmpcfg0
+        0x3B0,  # pmpaddr0
+        0x7A0,  # tselect
+        0x7A1,  # tdata1
+        0x7B0,  # dcsr
+        0x7B1,  # dpc
+        0x320,  # mcountinhibit
+        0xB03,  # mhpmcounter3
+        0x323,  # mhpmevent3
+    }
+)
+
+#: CSR addresses the fuzzer's instruction generator may emit (implemented
+#: plus unimplemented, so the V6 path is reachable by random tests).
+GENERATABLE_CSRS = tuple(sorted(IMPLEMENTED_CSRS | UNIMPLEMENTED_CSRS))
+
+
+def csr_name(address: int) -> str:
+    """Return the canonical name of ``address`` or ``csr_0x###`` if unknown."""
+    return CSR_NAMES.get(address, f"csr_0x{address:03x}")
+
+
+def is_implemented_csr(address: int) -> bool:
+    """Return True if the golden model implements the CSR at ``address``."""
+    return address in IMPLEMENTED_CSRS
+
+
+def is_read_only_csr(address: int) -> bool:
+    """Return True if the CSR at ``address`` is implemented but read-only."""
+    return address in READ_ONLY_CSRS

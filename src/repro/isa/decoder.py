@@ -1,0 +1,162 @@
+"""32-bit word -> Instruction decoding.
+
+Decoding is the inverse of :mod:`repro.isa.assembler`: every legally encoded
+instruction round-trips exactly.  Words that do not match any known
+instruction decode to ``Instruction.illegal(word)`` -- they remain first-class
+citizens of the fuzzing loop (they execute by raising an illegal-instruction
+trap), which matters because bit-level mutation frequently produces them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.encoding import (
+    OPCODE_OP_IMM_32,
+    SPECS,
+    InstrFormat,
+    InstrSpec,
+)
+from repro.isa.instruction import Instruction
+from repro.utils.bits import get_bit, get_bits, sign_extend
+
+
+def _index_specs() -> Dict[int, List[InstrSpec]]:
+    index: Dict[int, List[InstrSpec]] = {}
+    for spec in SPECS.values():
+        index.setdefault(spec.opcode, []).append(spec)
+    return index
+
+
+_SPECS_BY_OPCODE = _index_specs()
+
+
+def _decode_fields(word: int) -> Tuple[int, int, int, int, int, int]:
+    opcode = get_bits(word, 6, 0)
+    rd = get_bits(word, 11, 7)
+    funct3 = get_bits(word, 14, 12)
+    rs1 = get_bits(word, 19, 15)
+    rs2 = get_bits(word, 24, 20)
+    funct7 = get_bits(word, 31, 25)
+    return opcode, rd, funct3, rs1, rs2, funct7
+
+
+def _imm_i(word: int) -> int:
+    return sign_extend(get_bits(word, 31, 20), 12)
+
+
+def _imm_s(word: int) -> int:
+    value = (get_bits(word, 31, 25) << 5) | get_bits(word, 11, 7)
+    return sign_extend(value, 12)
+
+
+def _imm_b(word: int) -> int:
+    value = (
+        (get_bit(word, 31) << 12)
+        | (get_bit(word, 7) << 11)
+        | (get_bits(word, 30, 25) << 5)
+        | (get_bits(word, 11, 8) << 1)
+    )
+    return sign_extend(value, 13)
+
+
+def _imm_u(word: int) -> int:
+    return get_bits(word, 31, 12)
+
+
+def _imm_j(word: int) -> int:
+    value = (
+        (get_bit(word, 31) << 20)
+        | (get_bits(word, 19, 12) << 12)
+        | (get_bit(word, 20) << 11)
+        | (get_bits(word, 30, 21) << 1)
+    )
+    return sign_extend(value, 21)
+
+
+def _match_spec(word: int) -> Optional[InstrSpec]:
+    opcode, rd, funct3, rs1, rs2, funct7 = _decode_fields(word)
+    for spec in _SPECS_BY_OPCODE.get(opcode, ()):
+        if spec.funct3 is not None and spec.funct3 != funct3:
+            continue
+        if spec.fmt is InstrFormat.R and spec.funct7 != funct7:
+            continue
+        if spec.fmt is InstrFormat.I_SHIFT:
+            if spec.opcode == OPCODE_OP_IMM_32:
+                if spec.funct7 != funct7:
+                    continue
+            else:
+                if (spec.funct7 >> 1) != get_bits(word, 31, 26):
+                    continue
+        if spec.fmt is InstrFormat.SYSTEM:
+            if spec.funct12 != get_bits(word, 31, 20):
+                continue
+            if rd != 0 or rs1 != 0:
+                # Reserved encodings of ECALL/EBREAK/MRET/WFI.
+                continue
+        if spec.fmt is InstrFormat.AMO and spec.funct5 != get_bits(word, 31, 27):
+            continue
+        if spec.fmt is InstrFormat.FENCE and spec.mnemonic == "fence.i":
+            # FENCE.I requires rd = rs1 = 0 in the base encoding.
+            if rd != 0 or rs1 != 0:
+                continue
+        return spec
+    return None
+
+
+def decode_word(word: int) -> Instruction:
+    """Decode a 32-bit ``word`` into an :class:`Instruction`.
+
+    Unknown or reserved encodings decode to an ``illegal`` placeholder that
+    preserves the raw word.
+    """
+    word &= 0xFFFF_FFFF
+    spec = _match_spec(word)
+    if spec is None:
+        return Instruction.illegal(word)
+
+    opcode, rd, funct3, rs1, rs2, funct7 = _decode_fields(word)
+    fmt = spec.fmt
+    if fmt is InstrFormat.R:
+        return Instruction(spec.mnemonic, rd=rd, rs1=rs1, rs2=rs2)
+    if fmt is InstrFormat.I:
+        return Instruction(spec.mnemonic, rd=rd, rs1=rs1, imm=_imm_i(word))
+    if fmt is InstrFormat.I_SHIFT:
+        width = 0x1F if spec.opcode == OPCODE_OP_IMM_32 else 0x3F
+        return Instruction(spec.mnemonic, rd=rd, rs1=rs1, imm=get_bits(word, 25, 20) & width)
+    if fmt is InstrFormat.S:
+        return Instruction(spec.mnemonic, rs1=rs1, rs2=rs2, imm=_imm_s(word))
+    if fmt is InstrFormat.B:
+        return Instruction(spec.mnemonic, rs1=rs1, rs2=rs2, imm=_imm_b(word))
+    if fmt is InstrFormat.U:
+        return Instruction(spec.mnemonic, rd=rd, imm=_imm_u(word))
+    if fmt is InstrFormat.J:
+        return Instruction(spec.mnemonic, rd=rd, imm=_imm_j(word))
+    if fmt is InstrFormat.CSR:
+        return Instruction(spec.mnemonic, rd=rd, rs1=rs1, csr=get_bits(word, 31, 20))
+    if fmt is InstrFormat.CSR_IMM:
+        return Instruction(spec.mnemonic, rd=rd, imm=rs1, csr=get_bits(word, 31, 20))
+    if fmt is InstrFormat.FENCE:
+        return Instruction(spec.mnemonic, rd=rd, rs1=rs1, imm=get_bits(word, 27, 20))
+    if fmt is InstrFormat.SYSTEM:
+        return Instruction(spec.mnemonic)
+    if fmt is InstrFormat.AMO:
+        return Instruction(
+            spec.mnemonic,
+            rd=rd,
+            rs1=rs1,
+            rs2=rs2,
+            aq=get_bit(word, 26),
+            rl=get_bit(word, 25),
+        )
+    raise AssertionError(f"unhandled format {fmt}")  # pragma: no cover
+
+
+def decode_instruction(word: int) -> Instruction:
+    """Alias of :func:`decode_word`."""
+    return decode_word(word)
+
+
+def is_legal_word(word: int) -> bool:
+    """Return True if ``word`` decodes to a known (non-illegal) instruction."""
+    return _match_spec(word & 0xFFFF_FFFF) is not None

@@ -1,0 +1,63 @@
+"""Human-readable rendering of instructions and programs.
+
+Only used for logs, bug reports and examples; nothing in the fuzzing loop
+depends on the textual form.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.isa.csr import csr_name
+from repro.isa.encoding import InstrFormat, spec_for
+from repro.isa.instruction import Instruction
+from repro.isa.registers import abi_name
+
+
+def disassemble(instr: Instruction) -> str:
+    """Render ``instr`` as assembly text."""
+    if instr.is_illegal:
+        return f".word 0x{(instr.raw or 0):08x}  # illegal"
+    spec = spec_for(instr.mnemonic)
+    fmt = spec.fmt
+    mnem = instr.mnemonic
+    rd, rs1, rs2 = abi_name(instr.rd), abi_name(instr.rs1), abi_name(instr.rs2)
+    if fmt is InstrFormat.R:
+        return f"{mnem} {rd}, {rs1}, {rs2}"
+    if fmt is InstrFormat.I:
+        if spec.cls.value == "load" or mnem == "jalr":
+            return f"{mnem} {rd}, {instr.imm}({rs1})"
+        return f"{mnem} {rd}, {rs1}, {instr.imm}"
+    if fmt is InstrFormat.I_SHIFT:
+        return f"{mnem} {rd}, {rs1}, {instr.imm}"
+    if fmt is InstrFormat.S:
+        return f"{mnem} {rs2}, {instr.imm}({rs1})"
+    if fmt is InstrFormat.B:
+        return f"{mnem} {rs1}, {rs2}, {instr.imm}"
+    if fmt is InstrFormat.U:
+        return f"{mnem} {rd}, 0x{instr.imm & 0xFFFFF:x}"
+    if fmt is InstrFormat.J:
+        return f"{mnem} {rd}, {instr.imm}"
+    if fmt is InstrFormat.CSR:
+        return f"{mnem} {rd}, {csr_name(instr.csr)}, {rs1}"
+    if fmt is InstrFormat.CSR_IMM:
+        return f"{mnem} {rd}, {csr_name(instr.csr)}, {instr.imm & 0x1F}"
+    if fmt is InstrFormat.FENCE:
+        return mnem
+    if fmt is InstrFormat.SYSTEM:
+        return mnem
+    if fmt is InstrFormat.AMO:
+        suffix = ".aq" if instr.aq else ""
+        suffix += ".rl" if instr.rl else ""
+        return f"{mnem}{suffix} {rd}, {rs2}, ({rs1})"
+    raise AssertionError(f"unhandled format {fmt}")  # pragma: no cover
+
+
+def disassemble_program(instructions: Iterable[Instruction],
+                        base_address: int = 0) -> List[str]:
+    """Render a program, one ``address: text`` line per instruction."""
+    lines = []
+    for offset, instr in enumerate(instructions):
+        address = base_address + 4 * offset
+        lines.append(f"0x{address:08x}: {disassemble(instr)}")
+    return lines

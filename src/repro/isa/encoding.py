@@ -1,0 +1,280 @@
+"""Instruction formats, opcode tables and the full instruction-spec table.
+
+The modelled ISA is RV64IM + Zicsr + Zifencei + a subset of the A extension
+(LR/SC and the common AMOs), which is the subset exercised by the paper's
+seven vulnerabilities and by TheHuzz's instruction generator.
+
+Every instruction the library knows about has an :class:`InstrSpec` entry in
+:data:`SPECS`, keyed by mnemonic.  The assembler, decoder, disassembler,
+golden model, DUT decode stages and the mutation engine all consult this one
+table, so extending the ISA is a single-file change.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+class InstrFormat(enum.Enum):
+    """RISC-V encoding formats (plus CSR/shift/system sub-formats)."""
+
+    R = "R"
+    I = "I"
+    I_SHIFT = "I_SHIFT"      # shift-immediate: shamt in imm[5:0]
+    S = "S"
+    B = "B"
+    U = "U"
+    J = "J"
+    CSR = "CSR"              # CSRRW/CSRRS/CSRRC: rs1 is a register
+    CSR_IMM = "CSR_IMM"      # CSRRWI/...: rs1 field is a 5-bit immediate
+    FENCE = "FENCE"          # FENCE / FENCE.I
+    SYSTEM = "SYSTEM"        # ECALL / EBREAK / MRET / WFI (funct12 encoded)
+    AMO = "AMO"              # atomics: funct5 + aq/rl in funct7
+
+
+class InstrClass(enum.Enum):
+    """Coarse functional class, used by coverage, generation and mutation."""
+
+    ARITH = "arith"
+    LOGIC = "logic"
+    SHIFT = "shift"
+    COMPARE = "compare"
+    MUL = "mul"
+    DIV = "div"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    JUMP = "jump"
+    CSR = "csr"
+    SYSTEM = "system"
+    FENCE = "fence"
+    ATOMIC = "atomic"
+
+
+# Major opcodes (bits [6:0] of the instruction word).
+OPCODE_LUI = 0x37
+OPCODE_AUIPC = 0x17
+OPCODE_JAL = 0x6F
+OPCODE_JALR = 0x67
+OPCODE_BRANCH = 0x63
+OPCODE_LOAD = 0x03
+OPCODE_STORE = 0x23
+OPCODE_OP_IMM = 0x13
+OPCODE_OP = 0x33
+OPCODE_OP_IMM_32 = 0x1B
+OPCODE_OP_32 = 0x3B
+OPCODE_MISC_MEM = 0x0F
+OPCODE_SYSTEM = 0x73
+OPCODE_AMO = 0x2F
+
+
+@dataclass(frozen=True)
+class InstrSpec:
+    """Static description of one instruction.
+
+    Attributes:
+        mnemonic: canonical lower-case mnemonic (e.g. ``"addi"``).
+        fmt: encoding format.
+        opcode: major opcode (bits [6:0]).
+        funct3: bits [14:12], or ``None`` when unused (LUI/AUIPC/JAL).
+        funct7: bits [31:25] for R-type / shift instructions, ``None`` otherwise.
+        funct12: bits [31:20] for SYSTEM instructions without operands.
+        funct5: bits [31:27] for AMO instructions.
+        cls: coarse functional class.
+        extension: ISA extension the instruction belongs to ("I", "M", "A",
+            "Zicsr", "Zifencei").
+    """
+
+    mnemonic: str
+    fmt: InstrFormat
+    opcode: int
+    funct3: Optional[int] = None
+    funct7: Optional[int] = None
+    funct12: Optional[int] = None
+    funct5: Optional[int] = None
+    cls: InstrClass = InstrClass.ARITH
+    extension: str = "I"
+
+    @property
+    def writes_rd(self) -> bool:
+        """Whether the instruction architecturally writes a destination register."""
+        return self.fmt in (
+            InstrFormat.R,
+            InstrFormat.I,
+            InstrFormat.I_SHIFT,
+            InstrFormat.U,
+            InstrFormat.J,
+            InstrFormat.CSR,
+            InstrFormat.CSR_IMM,
+            InstrFormat.AMO,
+        )
+
+    @property
+    def reads_rs1(self) -> bool:
+        return self.fmt in (
+            InstrFormat.R,
+            InstrFormat.I,
+            InstrFormat.I_SHIFT,
+            InstrFormat.S,
+            InstrFormat.B,
+            InstrFormat.CSR,
+            InstrFormat.AMO,
+        )
+
+    @property
+    def reads_rs2(self) -> bool:
+        return self.fmt in (InstrFormat.R, InstrFormat.S, InstrFormat.B, InstrFormat.AMO)
+
+
+def _spec(
+    mnemonic: str,
+    fmt: InstrFormat,
+    opcode: int,
+    cls: InstrClass,
+    extension: str = "I",
+    funct3: Optional[int] = None,
+    funct7: Optional[int] = None,
+    funct12: Optional[int] = None,
+    funct5: Optional[int] = None,
+) -> InstrSpec:
+    return InstrSpec(
+        mnemonic=mnemonic,
+        fmt=fmt,
+        opcode=opcode,
+        funct3=funct3,
+        funct7=funct7,
+        funct12=funct12,
+        funct5=funct5,
+        cls=cls,
+        extension=extension,
+    )
+
+
+def _build_specs() -> Dict[str, InstrSpec]:
+    specs: List[InstrSpec] = []
+    F, C = InstrFormat, InstrClass
+
+    # --- RV64I upper-immediate / jumps ---------------------------------------
+    specs.append(_spec("lui", F.U, OPCODE_LUI, C.ARITH))
+    specs.append(_spec("auipc", F.U, OPCODE_AUIPC, C.ARITH))
+    specs.append(_spec("jal", F.J, OPCODE_JAL, C.JUMP))
+    specs.append(_spec("jalr", F.I, OPCODE_JALR, C.JUMP, funct3=0))
+
+    # --- branches -------------------------------------------------------------
+    for mnem, f3 in (("beq", 0), ("bne", 1), ("blt", 4), ("bge", 5),
+                     ("bltu", 6), ("bgeu", 7)):
+        specs.append(_spec(mnem, F.B, OPCODE_BRANCH, C.BRANCH, funct3=f3))
+
+    # --- loads / stores ---------------------------------------------------------
+    for mnem, f3 in (("lb", 0), ("lh", 1), ("lw", 2), ("ld", 3),
+                     ("lbu", 4), ("lhu", 5), ("lwu", 6)):
+        specs.append(_spec(mnem, F.I, OPCODE_LOAD, C.LOAD, funct3=f3))
+    for mnem, f3 in (("sb", 0), ("sh", 1), ("sw", 2), ("sd", 3)):
+        specs.append(_spec(mnem, F.S, OPCODE_STORE, C.STORE, funct3=f3))
+
+    # --- OP-IMM -----------------------------------------------------------------
+    for mnem, f3, cls in (("addi", 0, C.ARITH), ("slti", 2, C.COMPARE),
+                          ("sltiu", 3, C.COMPARE), ("xori", 4, C.LOGIC),
+                          ("ori", 6, C.LOGIC), ("andi", 7, C.LOGIC)):
+        specs.append(_spec(mnem, F.I, OPCODE_OP_IMM, cls, funct3=f3))
+    specs.append(_spec("slli", F.I_SHIFT, OPCODE_OP_IMM, C.SHIFT, funct3=1, funct7=0x00))
+    specs.append(_spec("srli", F.I_SHIFT, OPCODE_OP_IMM, C.SHIFT, funct3=5, funct7=0x00))
+    specs.append(_spec("srai", F.I_SHIFT, OPCODE_OP_IMM, C.SHIFT, funct3=5, funct7=0x20))
+
+    # --- OP-IMM-32 --------------------------------------------------------------
+    specs.append(_spec("addiw", F.I, OPCODE_OP_IMM_32, C.ARITH, funct3=0))
+    specs.append(_spec("slliw", F.I_SHIFT, OPCODE_OP_IMM_32, C.SHIFT, funct3=1, funct7=0x00))
+    specs.append(_spec("srliw", F.I_SHIFT, OPCODE_OP_IMM_32, C.SHIFT, funct3=5, funct7=0x00))
+    specs.append(_spec("sraiw", F.I_SHIFT, OPCODE_OP_IMM_32, C.SHIFT, funct3=5, funct7=0x20))
+
+    # --- OP ----------------------------------------------------------------------
+    op_rv32 = (
+        ("add", 0, 0x00, C.ARITH), ("sub", 0, 0x20, C.ARITH),
+        ("sll", 1, 0x00, C.SHIFT), ("slt", 2, 0x00, C.COMPARE),
+        ("sltu", 3, 0x00, C.COMPARE), ("xor", 4, 0x00, C.LOGIC),
+        ("srl", 5, 0x00, C.SHIFT), ("sra", 5, 0x20, C.SHIFT),
+        ("or", 6, 0x00, C.LOGIC), ("and", 7, 0x00, C.LOGIC),
+    )
+    for mnem, f3, f7, cls in op_rv32:
+        specs.append(_spec(mnem, F.R, OPCODE_OP, cls, funct3=f3, funct7=f7))
+    op_m = (
+        ("mul", 0, C.MUL), ("mulh", 1, C.MUL), ("mulhsu", 2, C.MUL),
+        ("mulhu", 3, C.MUL), ("div", 4, C.DIV), ("divu", 5, C.DIV),
+        ("rem", 6, C.DIV), ("remu", 7, C.DIV),
+    )
+    for mnem, f3, cls in op_m:
+        specs.append(_spec(mnem, F.R, OPCODE_OP, cls, extension="M", funct3=f3, funct7=0x01))
+
+    # --- OP-32 -------------------------------------------------------------------
+    op32_rv64 = (
+        ("addw", 0, 0x00, C.ARITH), ("subw", 0, 0x20, C.ARITH),
+        ("sllw", 1, 0x00, C.SHIFT), ("srlw", 5, 0x00, C.SHIFT),
+        ("sraw", 5, 0x20, C.SHIFT),
+    )
+    for mnem, f3, f7, cls in op32_rv64:
+        specs.append(_spec(mnem, F.R, OPCODE_OP_32, cls, funct3=f3, funct7=f7))
+    op32_m = (
+        ("mulw", 0, C.MUL), ("divw", 4, C.DIV), ("divuw", 5, C.DIV),
+        ("remw", 6, C.DIV), ("remuw", 7, C.DIV),
+    )
+    for mnem, f3, cls in op32_m:
+        specs.append(_spec(mnem, F.R, OPCODE_OP_32, cls, extension="M", funct3=f3, funct7=0x01))
+
+    # --- fences ---------------------------------------------------------------------
+    specs.append(_spec("fence", F.FENCE, OPCODE_MISC_MEM, C.FENCE, funct3=0))
+    specs.append(_spec("fence.i", F.FENCE, OPCODE_MISC_MEM, C.FENCE,
+                       extension="Zifencei", funct3=1))
+
+    # --- SYSTEM: environment + CSR ----------------------------------------------------
+    specs.append(_spec("ecall", F.SYSTEM, OPCODE_SYSTEM, C.SYSTEM, funct3=0, funct12=0x000))
+    specs.append(_spec("ebreak", F.SYSTEM, OPCODE_SYSTEM, C.SYSTEM, funct3=0, funct12=0x001))
+    specs.append(_spec("mret", F.SYSTEM, OPCODE_SYSTEM, C.SYSTEM, funct3=0, funct12=0x302))
+    specs.append(_spec("wfi", F.SYSTEM, OPCODE_SYSTEM, C.SYSTEM, funct3=0, funct12=0x105))
+    for mnem, f3 in (("csrrw", 1), ("csrrs", 2), ("csrrc", 3)):
+        specs.append(_spec(mnem, F.CSR, OPCODE_SYSTEM, C.CSR, extension="Zicsr", funct3=f3))
+    for mnem, f3 in (("csrrwi", 5), ("csrrsi", 6), ("csrrci", 7)):
+        specs.append(_spec(mnem, F.CSR_IMM, OPCODE_SYSTEM, C.CSR, extension="Zicsr", funct3=f3))
+
+    # --- A extension subset -----------------------------------------------------------
+    amo_ops = (
+        ("lr", 0x02), ("sc", 0x03), ("amoswap", 0x01), ("amoadd", 0x00),
+        ("amoxor", 0x04), ("amoand", 0x0C), ("amoor", 0x08),
+    )
+    for base, f5 in amo_ops:
+        for suffix, f3 in ((".w", 2), (".d", 3)):
+            specs.append(_spec(base + suffix, F.AMO, OPCODE_AMO, C.ATOMIC,
+                               extension="A", funct3=f3, funct5=f5))
+
+    table = {s.mnemonic: s for s in specs}
+    if len(table) != len(specs):
+        raise RuntimeError("duplicate mnemonics in instruction spec table")
+    return table
+
+
+#: Mnemonic -> :class:`InstrSpec` for every modelled instruction.
+SPECS: Dict[str, InstrSpec] = _build_specs()
+
+
+def spec_for(mnemonic: str) -> InstrSpec:
+    """Return the spec for ``mnemonic`` (case-insensitive)."""
+    key = mnemonic.lower()
+    if key not in SPECS:
+        raise KeyError(f"unknown mnemonic: {mnemonic!r}")
+    return SPECS[key]
+
+
+def mnemonics() -> Tuple[str, ...]:
+    """All known mnemonics, in a stable order."""
+    return tuple(sorted(SPECS))
+
+
+def mnemonics_of_class(cls: InstrClass) -> Tuple[str, ...]:
+    """All mnemonics belonging to functional class ``cls``, sorted."""
+    return tuple(sorted(m for m, s in SPECS.items() if s.cls is cls))
+
+
+def mnemonics_of_extension(extension: str) -> Tuple[str, ...]:
+    """All mnemonics belonging to ISA ``extension`` ("I", "M", "A", ...)."""
+    return tuple(sorted(m for m, s in SPECS.items() if s.extension == extension))

@@ -1,0 +1,39 @@
+"""RISC-V synchronous exception (trap) causes.
+
+The golden model and the DUT models raise :class:`Trap` internally when an
+instruction faults; the trap is then *architecturally committed* (mcause /
+mepc / mtval updated, pc redirected to mtvec) rather than propagated as a
+Python error, mirroring how a real core behaves.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TrapCause(enum.IntEnum):
+    """Machine-cause register (mcause) exception codes."""
+
+    INSTRUCTION_ADDRESS_MISALIGNED = 0
+    INSTRUCTION_ACCESS_FAULT = 1
+    ILLEGAL_INSTRUCTION = 2
+    BREAKPOINT = 3
+    LOAD_ADDRESS_MISALIGNED = 4
+    LOAD_ACCESS_FAULT = 5
+    STORE_ADDRESS_MISALIGNED = 6
+    STORE_ACCESS_FAULT = 7
+    ECALL_FROM_U = 8
+    ECALL_FROM_S = 9
+    ECALL_FROM_M = 11
+
+
+@dataclass(frozen=True)
+class Trap(Exception):
+    """A synchronous exception raised while executing one instruction."""
+
+    cause: TrapCause
+    tval: int = 0
+
+    def __str__(self) -> str:
+        return f"Trap({self.cause.name}, tval=0x{self.tval:x})"

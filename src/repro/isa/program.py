@@ -1,0 +1,100 @@
+"""Test-program container.
+
+A :class:`TestProgram` is the unit of work of the fuzzers: a finite sequence
+of instructions placed at a base address, together with provenance metadata
+(which seed / arm it descends from and which mutation created it).  Programs
+are immutable; the mutation engine produces new programs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Optional, Sequence, Tuple
+
+from repro.isa.assembler import assemble_program
+from repro.isa.disassembler import disassemble_program
+from repro.isa.instruction import Instruction
+
+#: Default load address of test programs (start of modelled DRAM).  The DRAM
+#: window is placed below 2 GiB so that ``lui``-built addresses stay positive
+#: under RV64 sign extension.
+DEFAULT_BASE_ADDRESS = 0x4000_0000
+
+_id_counter = itertools.count()
+
+
+def next_program_id(prefix: str = "t") -> str:
+    """Return a fresh, process-unique program identifier."""
+    return f"{prefix}{next(_id_counter)}"
+
+
+@dataclass(frozen=True)
+class TestProgram:
+    """An immutable sequence of instructions plus fuzzing provenance.
+
+    Attributes:
+        instructions: the program body, executed in order from ``base_address``.
+        base_address: load address of the first instruction.
+        program_id: unique identifier assigned at creation time.
+        parent_id: id of the program this one was mutated from (seeds: ``None``).
+        seed_id: id of the ancestral seed program.
+        generation: mutation depth (seeds are generation 0).
+        mutation_op: name of the mutation operator that produced this program.
+    """
+
+    instructions: Tuple[Instruction, ...]
+    base_address: int = DEFAULT_BASE_ADDRESS
+    program_id: str = field(default_factory=next_program_id)
+    parent_id: Optional[str] = None
+    seed_id: Optional[str] = None
+    generation: int = 0
+    mutation_op: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "instructions", tuple(self.instructions))
+        if self.seed_id is None:
+            object.__setattr__(self, "seed_id", self.program_id)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def words(self) -> Tuple[int, ...]:
+        """Encode the program into 32-bit instruction words."""
+        return tuple(assemble_program(self.instructions))
+
+    def fingerprint(self) -> str:
+        """Content hash of the encoded program (provenance-independent)."""
+        digest = hashlib.sha256()
+        for word in self.words():
+            digest.update(word.to_bytes(4, "little"))
+        digest.update(self.base_address.to_bytes(8, "little"))
+        return digest.hexdigest()[:16]
+
+    def end_address(self) -> int:
+        """Address of the first byte past the last instruction."""
+        return self.base_address + 4 * len(self.instructions)
+
+    def with_instructions(
+        self,
+        instructions: Sequence[Instruction],
+        mutation_op: Optional[str] = None,
+    ) -> "TestProgram":
+        """Return a child program with ``instructions`` and updated lineage."""
+        return TestProgram(
+            instructions=tuple(instructions),
+            base_address=self.base_address,
+            program_id=next_program_id(),
+            parent_id=self.program_id,
+            seed_id=self.seed_id,
+            generation=self.generation + 1,
+            mutation_op=mutation_op,
+        )
+
+    def listing(self) -> str:
+        """Return a human-readable disassembly listing."""
+        return "\n".join(disassemble_program(self.instructions, self.base_address))

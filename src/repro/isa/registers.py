@@ -1,0 +1,45 @@
+"""Integer register file naming for RV64.
+
+The architectural register file has 32 general-purpose 64-bit registers,
+``x0`` .. ``x31``, where ``x0`` is hard-wired to zero.  ABI names are used
+by the disassembler and in human-readable traces.
+"""
+
+from __future__ import annotations
+
+NUM_REGISTERS = 32
+
+#: ABI register names indexed by register number.
+REG_ABI_NAMES = (
+    "zero", "ra", "sp", "gp", "tp",
+    "t0", "t1", "t2",
+    "s0", "s1",
+    "a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7",
+    "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+    "t3", "t4", "t5", "t6",
+)
+
+_ABI_TO_INDEX = {name: idx for idx, name in enumerate(REG_ABI_NAMES)}
+_ABI_TO_INDEX["fp"] = 8  # fp is an alias for s0
+
+
+def abi_name(index: int) -> str:
+    """Return the ABI name of register ``index`` (``x0`` -> ``zero``)."""
+    if not 0 <= index < NUM_REGISTERS:
+        raise ValueError(f"register index out of range: {index}")
+    return REG_ABI_NAMES[index]
+
+
+def register_index(name: str) -> int:
+    """Resolve a register name (``x7``, ``t2``, ``fp`` ...) to its index."""
+    name = name.strip().lower()
+    if name in _ABI_TO_INDEX:
+        return _ABI_TO_INDEX[name]
+    if name.startswith("x"):
+        try:
+            index = int(name[1:])
+        except ValueError as exc:
+            raise ValueError(f"unknown register name: {name!r}") from exc
+        if 0 <= index < NUM_REGISTERS:
+            return index
+    raise ValueError(f"unknown register name: {name!r}")

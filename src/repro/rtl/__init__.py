@@ -1,0 +1,49 @@
+"""DUT microarchitectural models (the VCS/Chipyard substitute).
+
+Each processor model executes real instructions with the same architectural
+semantics as the golden model, but routes every instruction through modelled
+microarchitectural structures (caches, branch predictor, hazard and issue
+logic, functional-unit corner cases ...) and emits a *branch coverage point*
+for every modelled decision, the way VCS branch coverage instruments RTL.
+
+The three models follow the paper's evaluation targets:
+
+* :class:`~repro.rtl.cva6.CVA6Model` -- application-class core with an FPU
+  whose coverage space is largely unreachable by integer-only fuzzing
+  (hence the lowest coverage percentage, as in the paper).
+* :class:`~repro.rtl.rocket.RocketModel` -- in-order five-stage core.
+* :class:`~repro.rtl.boom.BoomModel` -- superscalar out-of-order core with
+  the largest, mostly easily-reachable coverage space (hence the near-
+  saturated coverage, as in the paper).
+"""
+
+from repro.rtl.harness import DutModel, DutConfig, DutRunResult
+from repro.rtl.bugs import (
+    InjectedBug,
+    BUGS_BY_ID,
+    CVA6_BUG_IDS,
+    ROCKET_BUG_IDS,
+    make_bug,
+    make_bugs,
+)
+from repro.rtl.cva6 import CVA6Model
+from repro.rtl.rocket import RocketModel
+from repro.rtl.boom import BoomModel
+from repro.rtl.registry import available_duts, make_dut
+
+__all__ = [
+    "DutModel",
+    "DutConfig",
+    "DutRunResult",
+    "InjectedBug",
+    "BUGS_BY_ID",
+    "CVA6_BUG_IDS",
+    "ROCKET_BUG_IDS",
+    "make_bug",
+    "make_bugs",
+    "CVA6Model",
+    "RocketModel",
+    "BoomModel",
+    "available_duts",
+    "make_dut",
+]

@@ -1,0 +1,124 @@
+"""CVA6 (Ariane) model.
+
+CVA6 is an application-class, Linux-capable RV64 core with a scoreboard-
+based issue stage and a custom SIMD floating-point unit (Sec. IV-A of the
+paper).  Two properties of the real core matter for the reproduction:
+
+* it hosts vulnerabilities V1-V6, and
+* it has the *lowest* branch-coverage percentage of the three evaluation
+  targets, largely because sizable parts of the design (most prominently
+  the FPU) are hard or impossible to exercise with integer-only fuzzing.
+
+The model therefore includes a large FPU coverage family that integer test
+programs cannot reach, alongside reachable scoreboard / issue / commit-port
+structure.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set, Union
+
+from repro.coverage.points import coverage_point
+from repro.isa.encoding import InstrClass, spec_for
+from repro.isa.instruction import Instruction
+from repro.isa import csr as csrdefs
+from repro.rtl.bugs import CVA6_BUG_IDS, InjectedBug
+from repro.rtl.harness import DutConfig, DutExecutor, DutModel
+from repro.sim.executor import ExecutorConfig
+from repro.sim.trace import CommitRecord
+
+#: Issue-port assignment per instruction class.
+_ISSUE_PORTS = {
+    InstrClass.ARITH: "alu",
+    InstrClass.LOGIC: "alu",
+    InstrClass.SHIFT: "alu",
+    InstrClass.COMPARE: "alu",
+    InstrClass.MUL: "mult",
+    InstrClass.DIV: "mult",
+    InstrClass.LOAD: "lsu",
+    InstrClass.STORE: "lsu",
+    InstrClass.ATOMIC: "lsu",
+    InstrClass.BRANCH: "branch",
+    InstrClass.JUMP: "branch",
+    InstrClass.CSR: "csr",
+    InstrClass.SYSTEM: "csr",
+    InstrClass.FENCE: "csr",
+}
+
+_FPU_OPERATIONS = (
+    "fadd", "fsub", "fmul", "fdiv", "fsqrt", "fmadd", "fmsub", "fnmadd",
+    "fnmsub", "fsgnj", "fminmax", "fcmp", "fclass", "fcvt_i2f", "fcvt_f2i",
+    "fcvt_f2f", "fmv", "dotp", "simd_add", "simd_mul",
+)
+_FPU_FORMATS = ("fp16", "fp32", "fp64", "vec16x4")
+_FPU_LANES = 16
+
+
+class CVA6Model(DutModel):
+    """Application-class CVA6 core model (hosts V1-V6)."""
+
+    default_config = DutConfig(
+        name="cva6",
+        icache_sets=32,
+        dcache_sets=32,
+        cache_ways=4,
+        bpred_entries=64,
+        hazard_window=3,
+    )
+
+    #: number of scoreboard entries in the issue stage.
+    scoreboard_entries = 8
+    #: number of commit ports.
+    commit_ports = 2
+    #: fetch-address interleaving buckets in the frontend.
+    frontend_buckets = 16
+
+    def __init__(self, config: Optional[DutConfig] = None,
+                 bugs: Union[Sequence[Union[str, InjectedBug]], None] = None,
+                 executor_config: Optional[ExecutorConfig] = None) -> None:
+        if bugs is None:
+            bugs = CVA6_BUG_IDS
+        super().__init__(config, bugs, executor_config)
+
+    # ------------------------------------------------------------------- space
+    def structural_space(self) -> Set[str]:
+        points: Set[str] = set()
+        for entry in range(self.scoreboard_entries):
+            points.add(coverage_point("cva6", "scoreboard", f"entry{entry}", "issue"))
+            points.add(coverage_point("cva6", "scoreboard", f"entry{entry}", "writeback"))
+        for port in sorted(set(_ISSUE_PORTS.values())):
+            points.add(coverage_point("cva6", "issue", port))
+        for port in range(self.commit_ports):
+            for cls in InstrClass:
+                points.add(coverage_point("cva6", "commit", f"port{port}", cls.value))
+        for bucket in range(self.frontend_buckets):
+            points.add(coverage_point("cva6", "frontend", f"fetch_bucket{bucket}"))
+        # The SIMD FPU: a large family that integer-only fuzzing cannot reach
+        # (only the CSR-side dirty-state point is reachable).  This is what
+        # keeps CVA6's coverage percentage the lowest of the three cores.
+        for op in _FPU_OPERATIONS:
+            for fmt in _FPU_FORMATS:
+                for lane in range(_FPU_LANES):
+                    points.add(coverage_point("cva6", "fpu", op, fmt, f"lane{lane}"))
+        points.add(coverage_point("cva6", "fpu", "fs_dirty"))
+        return points
+
+    # -------------------------------------------------------------------- emit
+    def structural_points(self, record: CommitRecord, instr: Instruction,
+                          executor: DutExecutor) -> List[str]:
+        points: List[str] = []
+        step = record.step
+        entry = step % self.scoreboard_entries
+        points.append(coverage_point("cva6", "scoreboard", f"entry{entry}", "issue"))
+        if record.rd is not None:
+            points.append(coverage_point("cva6", "scoreboard", f"entry{entry}", "writeback"))
+        bucket = (record.pc >> 2) % self.frontend_buckets
+        points.append(coverage_point("cva6", "frontend", f"fetch_bucket{bucket}"))
+        if not instr.is_illegal:
+            cls = spec_for(instr.mnemonic).cls
+            points.append(coverage_point("cva6", "issue", _ISSUE_PORTS[cls]))
+            port = step % self.commit_ports
+            points.append(coverage_point("cva6", "commit", f"port{port}", cls.value))
+            if record.csr_addr == csrdefs.MSTATUS:
+                points.append(coverage_point("cva6", "fpu", "fs_dirty"))
+        return points

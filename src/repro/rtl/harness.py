@@ -1,0 +1,530 @@
+"""The DUT harness: instrumented executor, run result and model base class.
+
+A :class:`DutModel` runs test programs exactly like the golden model but
+through a :class:`DutExecutor`, which
+
+* routes instructions through the modelled microarchitecture (caches,
+  predictor, hazard tracking, functional units),
+* emits branch coverage points from every modelled decision, and
+* gives the injected vulnerabilities (:mod:`repro.rtl.bugs`) their hook
+  points into decode, memory, CSR, trap and retirement behaviour.
+
+Because the DUT executor inherits the golden executor's functional
+semantics, a DUT with no injected bugs produces a commit trace identical to
+the golden model -- the invariant the differential tester relies on (and
+which the test-suite checks property-style).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.coverage.collector import CoverageCollector
+from repro.coverage.points import coverage_point
+from repro.isa import csr as csrdefs
+from repro.isa.decoder import decode_word
+from repro.isa.encoding import InstrClass, InstrFormat, SPECS, spec_for
+from repro.isa.exceptions import Trap, TrapCause
+from repro.isa.instruction import Instruction
+from repro.isa.program import TestProgram
+from repro.rtl.bugs import InjectedBug, make_bugs
+from repro.rtl.microarch import (
+    BranchPredictor,
+    CacheModel,
+    FunctionalUnitMonitor,
+    HazardTracker,
+)
+from repro.sim.executor import Executor, ExecutorConfig
+from repro.sim.golden import ModelBase
+from repro.sim.memory import Memory
+from repro.sim.state import ArchState
+from repro.sim.trace import CommitRecord, ExecutionResult
+from repro.utils.bits import MASK64, get_bits, to_signed
+
+
+# ======================================================================== config
+@dataclass(frozen=True)
+class DutConfig:
+    """Microarchitectural parameters of a DUT model."""
+
+    name: str = "dut"
+    icache_sets: int = 32
+    dcache_sets: int = 32
+    cache_ways: int = 2
+    bpred_entries: int = 32
+    hazard_window: int = 2
+
+    def __post_init__(self) -> None:
+        for attribute in ("icache_sets", "dcache_sets", "cache_ways",
+                          "bpred_entries", "hazard_window"):
+            if getattr(self, attribute) <= 0:
+                raise ValueError(f"{attribute} must be positive")
+
+
+# ============================================================== coverage families
+# Shared (ISA-level) coverage families.  Each family provides a space
+# enumeration and a runtime emission helper; the two must stay consistent,
+# which the property-based tests check by asserting emitted ⊆ enumerated.
+
+_ALU_CLASSES = (InstrClass.ARITH, InstrClass.LOGIC, InstrClass.SHIFT,
+                InstrClass.COMPARE, InstrClass.MUL, InstrClass.DIV)
+_IMM_FORMATS = (InstrFormat.I, InstrFormat.I_SHIFT, InstrFormat.S,
+                InstrFormat.B, InstrFormat.U, InstrFormat.J)
+_MEM_SIZES = (1, 2, 4, 8)
+
+
+def decode_space() -> Set[str]:
+    points = {coverage_point("decode", m) for m in SPECS}
+    points.update(coverage_point("decode", "illegal", f"op{i}") for i in range(32))
+    return points
+
+
+def decode_points(instr: Instruction, word: int) -> List[str]:
+    if instr.is_illegal:
+        return [coverage_point("decode", "illegal", f"op{get_bits(word, 6, 2)}")]
+    return [coverage_point("decode", instr.mnemonic)]
+
+
+def operand_space() -> Set[str]:
+    points: Set[str] = set()
+    for mnemonic, spec in SPECS.items():
+        if spec.writes_rd:
+            points.add(coverage_point("operand", mnemonic, "rd_zero"))
+            points.add(coverage_point("operand", mnemonic, "rd_nonzero"))
+        if spec.reads_rs1 and spec.reads_rs2:
+            points.add(coverage_point("operand", mnemonic, "rs_equal"))
+        if spec.fmt in _IMM_FORMATS:
+            points.add(coverage_point("operand", mnemonic, "imm_neg"))
+            points.add(coverage_point("operand", mnemonic, "imm_zero"))
+            points.add(coverage_point("operand", mnemonic, "imm_pos"))
+    return points
+
+
+def operand_points(instr: Instruction) -> List[str]:
+    if instr.is_illegal:
+        return []
+    spec = spec_for(instr.mnemonic)
+    points = []
+    if spec.writes_rd:
+        points.append(coverage_point(
+            "operand", instr.mnemonic, "rd_zero" if instr.rd == 0 else "rd_nonzero"))
+    if spec.reads_rs1 and spec.reads_rs2 and instr.rs1 == instr.rs2:
+        points.append(coverage_point("operand", instr.mnemonic, "rs_equal"))
+    if spec.fmt in _IMM_FORMATS:
+        if instr.imm < 0:
+            bucket = "imm_neg"
+        elif instr.imm == 0:
+            bucket = "imm_zero"
+        else:
+            bucket = "imm_pos"
+        points.append(coverage_point("operand", instr.mnemonic, bucket))
+    return points
+
+
+def alu_space() -> Set[str]:
+    points: Set[str] = set()
+    for mnemonic, spec in SPECS.items():
+        if spec.cls in _ALU_CLASSES:
+            for bucket in ("zero", "neg", "pos"):
+                points.add(coverage_point("alu", mnemonic, bucket))
+    return points
+
+
+def alu_points(instr: Instruction, record: CommitRecord) -> List[str]:
+    if instr.is_illegal or record.trap is not None or record.rd_value is None:
+        return []
+    spec = spec_for(instr.mnemonic)
+    if spec.cls not in _ALU_CLASSES:
+        return []
+    signed = to_signed(record.rd_value)
+    bucket = "zero" if signed == 0 else ("neg" if signed < 0 else "pos")
+    return [coverage_point("alu", instr.mnemonic, bucket)]
+
+
+def branch_space() -> Set[str]:
+    points: Set[str] = set()
+    for mnemonic, spec in SPECS.items():
+        if spec.cls is InstrClass.BRANCH:
+            points.add(coverage_point("branch", mnemonic, "taken"))
+            points.add(coverage_point("branch", mnemonic, "nottaken"))
+    points.add(coverage_point("branch", "backward_taken"))
+    points.add(coverage_point("branch", "forward_taken"))
+    return points
+
+
+def branch_points(instr: Instruction, record: CommitRecord) -> List[str]:
+    if instr.is_illegal or record.trap is not None:
+        return []
+    if spec_for(instr.mnemonic).cls is not InstrClass.BRANCH:
+        return []
+    taken = record.next_pc != (record.pc + 4) & MASK64
+    points = [coverage_point("branch", instr.mnemonic, "taken" if taken else "nottaken")]
+    if taken:
+        direction = "backward_taken" if record.next_pc < record.pc else "forward_taken"
+        points.append(coverage_point("branch", direction))
+    return points
+
+
+def mem_space() -> Set[str]:
+    points: Set[str] = set()
+    for kind in ("load", "store"):
+        for size in _MEM_SIZES:
+            points.add(coverage_point("mem", kind, f"size{size}", "aligned"))
+            points.add(coverage_point("mem", kind, f"size{size}", "unaligned"))
+    for region in ("code", "data", "invalid"):
+        points.add(coverage_point("mem", "region", region))
+    return points
+
+
+def mem_points(instr: Instruction, executor: "DutExecutor") -> List[str]:
+    if instr.is_illegal:
+        return []
+    spec = spec_for(instr.mnemonic)
+    if spec.cls not in (InstrClass.LOAD, InstrClass.STORE):
+        return []
+    kind = "load" if spec.cls is InstrClass.LOAD else "store"
+    from repro.sim.executor import _LOAD_SIZES, _STORE_SIZES
+
+    size = (_LOAD_SIZES[instr.mnemonic][0] if kind == "load"
+            else _STORE_SIZES[instr.mnemonic])
+    address = (executor.state.read_reg(instr.rs1) + instr.imm) & MASK64
+    aligned = "aligned" if address % size == 0 else "unaligned"
+    layout = executor.memory.layout
+    if not layout.contains(address, 1):
+        region = "invalid"
+    elif address < layout.data_base:
+        region = "code"
+    else:
+        region = "data"
+    return [
+        coverage_point("mem", kind, f"size{size}", aligned),
+        coverage_point("mem", "region", region),
+    ]
+
+
+def atomic_space() -> Set[str]:
+    points: Set[str] = set()
+    for mnemonic, spec in SPECS.items():
+        if spec.cls is InstrClass.ATOMIC:
+            points.add(coverage_point("atomic", mnemonic))
+    points.add(coverage_point("atomic", "sc", "success"))
+    points.add(coverage_point("atomic", "sc", "fail"))
+    points.add(coverage_point("atomic", "ordered"))
+    return points
+
+
+def atomic_points(instr: Instruction, record: CommitRecord) -> List[str]:
+    if instr.is_illegal or record.trap is not None:
+        return []
+    if spec_for(instr.mnemonic).cls is not InstrClass.ATOMIC:
+        return []
+    points = [coverage_point("atomic", instr.mnemonic)]
+    if instr.mnemonic.startswith("sc."):
+        outcome = "success" if record.rd_value == 0 else "fail"
+        points.append(coverage_point("atomic", "sc", outcome))
+    if instr.aq or instr.rl:
+        points.append(coverage_point("atomic", "ordered"))
+    return points
+
+
+def trap_space() -> Set[str]:
+    points = {coverage_point("trap", cause.name.lower()) for cause in TrapCause}
+    for cause in TrapCause:
+        for cls in InstrClass:
+            points.add(coverage_point("trap", cause.name.lower(), cls.value))
+        points.add(coverage_point("trap", cause.name.lower(), "illegal_word"))
+    return points
+
+
+def trap_points(instr: Instruction, record: CommitRecord) -> List[str]:
+    if record.trap is None:
+        return []
+    cause = record.trap.name.lower()
+    source = ("illegal_word" if instr.is_illegal
+              else spec_for(instr.mnemonic).cls.value)
+    return [coverage_point("trap", cause), coverage_point("trap", cause, source)]
+
+
+def csr_space() -> Set[str]:
+    points: Set[str] = set()
+    for address in csrdefs.IMPLEMENTED_CSRS:
+        name = csrdefs.csr_name(address)
+        points.add(coverage_point("csr", name, "read"))
+        points.add(coverage_point("csr", name, "write"))
+    for address in csrdefs.UNIMPLEMENTED_CSRS:
+        points.add(coverage_point("csr", "unimplemented", f"0x{address:03x}"))
+    points.add(coverage_point("csr", "readonly_write"))
+    return points
+
+
+def system_space() -> Set[str]:
+    points = {coverage_point("sys", m) for m in ("ecall", "ebreak", "mret", "wfi")}
+    points.add(coverage_point("fencepath", "fence"))
+    points.add(coverage_point("fencepath", "fence.i"))
+    return points
+
+
+def system_points(instr: Instruction) -> List[str]:
+    if instr.is_illegal:
+        return []
+    if instr.mnemonic in ("ecall", "ebreak", "mret", "wfi"):
+        return [coverage_point("sys", instr.mnemonic)]
+    if instr.mnemonic in ("fence", "fence.i"):
+        return [coverage_point("fencepath", instr.mnemonic)]
+    return []
+
+
+def common_space() -> Set[str]:
+    """The ISA-level coverage space shared by every DUT."""
+    space: Set[str] = set()
+    space |= decode_space()
+    space |= operand_space()
+    space |= alu_space()
+    space |= branch_space()
+    space |= mem_space()
+    space |= atomic_space()
+    space |= trap_space()
+    space |= csr_space()
+    space |= system_space()
+    return space
+
+
+# =================================================================== run result
+@dataclass(frozen=True)
+class DutRunResult:
+    """Outcome of running one test on a DUT: trace + coverage + bug effects."""
+
+    execution: ExecutionResult
+    coverage: FrozenSet[str]
+    fired_bugs: FrozenSet[str]
+    bug_effect_steps: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def coverage_count(self) -> int:
+        return len(self.coverage)
+
+
+# ==================================================================== executor
+class DutExecutor(Executor):
+    """Golden-semantics executor instrumented with microarchitecture, coverage and bugs."""
+
+    def __init__(self, state: ArchState, memory: Memory, config: ExecutorConfig,
+                 dut: "DutModel") -> None:
+        super().__init__(state, memory, config)
+        self.dut = dut
+        dut_config = dut.config
+        self.collector = CoverageCollector()
+        self.icache = CacheModel("icache", dut_config.icache_sets, dut_config.cache_ways)
+        self.dcache = CacheModel("dcache", dut_config.dcache_sets, dut_config.cache_ways)
+        self.bpred = BranchPredictor("bpred", dut_config.bpred_entries)
+        self.hazards = HazardTracker("hazard", dut_config.hazard_window)
+        self.fu = FunctionalUnitMonitor("fu")
+        self.bugs: List[InjectedBug] = dut.bugs
+        # Bug / run bookkeeping the bug hooks rely on.
+        self.stores_executed = 0
+        self.last_store_step: Optional[int] = None
+        self.last_trap_step: Optional[int] = None
+        self.last_trap_cause: Optional[TrapCause] = None
+        self.bug_effects: Dict[str, List[int]] = {}
+        self._operand_values: Tuple[int, int] = (0, 0)
+        #: free-form per-run scratch space for DUT-specific structural coverage.
+        self.dut_scratch: Dict[str, object] = {}
+
+    # ------------------------------------------------------------ bug plumbing
+    @property
+    def current_step(self) -> int:
+        return self._step_index
+
+    def note_bug_effect(self, bug_id: str) -> None:
+        self.bug_effects.setdefault(bug_id, []).append(self._step_index)
+
+    # ------------------------------------------------------------------ decode
+    def _decode(self, word: int, pc: int) -> Instruction:
+        instr = decode_word(word)
+        for bug in self.bugs:
+            replacement = bug.on_decode(self, instr, word)
+            if replacement is not None:
+                instr = replacement
+        self.collector.hit_many(self.icache.access(pc, is_store=False))
+        self.collector.hit_many(decode_points(instr, word))
+        self.collector.hit_many(operand_points(instr))
+        if not instr.is_illegal:
+            spec = spec_for(instr.mnemonic)
+            rs1 = self.state.read_reg(instr.rs1) if spec.reads_rs1 else 0
+            rs2 = self.state.read_reg(instr.rs2) if spec.reads_rs2 else 0
+            self._operand_values = (rs1, rs2)
+            self.collector.hit_many(mem_points(instr, self))
+            self.collector.hit_many(
+                self.hazards.observe(
+                    instr.rd if spec.writes_rd else None,
+                    instr.rs1 if spec.reads_rs1 else None,
+                    instr.rs2 if spec.reads_rs2 else None,
+                ))
+        return instr
+
+    # ------------------------------------------------------------------ memory
+    def _mem_load(self, address: int, size: int, signed: bool,
+                  instr: Instruction) -> int:
+        value = self.memory.load(address, size, signed)
+        self.collector.hit_many(self.dcache.access(address, is_store=False))
+        for bug in self.bugs:
+            override = bug.on_mem_load(self, address, size, value, instr)
+            if override is not None:
+                value = override
+        return value
+
+    def _mem_store(self, address: int, value: int, size: int,
+                   instr: Instruction) -> None:
+        self.memory.store(address, value, size)
+        self.collector.hit_many(self.dcache.access(address, is_store=True))
+        self.stores_executed += 1
+        self.last_store_step = self._step_index
+
+    # --------------------------------------------------------------------- CSR
+    def _csr_read(self, address: int, instr: Instruction) -> int:
+        for bug in self.bugs:
+            override = bug.on_csr_read(self, address, instr)
+            if override is not None:
+                self.collector.hit(
+                    coverage_point("csr", "unimplemented", f"0x{address:03x}"))
+                return override
+        try:
+            value = self.state.read_csr(address)
+        except Trap:
+            if address in csrdefs.UNIMPLEMENTED_CSRS:
+                self.collector.hit(
+                    coverage_point("csr", "unimplemented", f"0x{address:03x}"))
+            raise
+        self.collector.hit(coverage_point("csr", csrdefs.csr_name(address), "read"))
+        return value
+
+    def _csr_write(self, address: int, value: int, instr: Instruction) -> None:
+        for bug in self.bugs:
+            if bug.on_csr_write(self, address, value, instr):
+                self.collector.hit(
+                    coverage_point("csr", "unimplemented", f"0x{address:03x}"))
+                return
+        try:
+            self.state.write_csr(address, value)
+        except Trap:
+            if csrdefs.is_read_only_csr(address):
+                self.collector.hit(coverage_point("csr", "readonly_write"))
+            elif address in csrdefs.UNIMPLEMENTED_CSRS:
+                self.collector.hit(
+                    coverage_point("csr", "unimplemented", f"0x{address:03x}"))
+            raise
+        self.collector.hit(coverage_point("csr", csrdefs.csr_name(address), "write"))
+
+    # -------------------------------------------------------------------- traps
+    def _trap_cause(self, trap: Trap, instr: Instruction, pc: int) -> Optional[Trap]:
+        current: Optional[Trap] = trap
+        for bug in self.bugs:
+            if current is None:
+                break
+            current = bug.on_trap(self, current, instr, pc)
+        return current
+
+    # --------------------------------------------------------------- retirement
+    def _count_retirement(self, instr: Instruction, trapped: bool) -> None:
+        if not all(bug.should_count_retirement(self, instr) for bug in self.bugs):
+            self.state.csrs[csrdefs.MCYCLE] = (
+                self.state.csrs[csrdefs.MCYCLE] + 1) & MASK64
+            return
+        super()._count_retirement(instr, trapped)
+
+    # ------------------------------------------------------------------ observe
+    def _observe_commit(self, record: CommitRecord, instr: Instruction) -> CommitRecord:
+        collector = self.collector
+        collector.hit_many(alu_points(instr, record))
+        collector.hit_many(branch_points(instr, record))
+        collector.hit_many(atomic_points(instr, record))
+        collector.hit_many(trap_points(instr, record))
+        collector.hit_many(system_points(instr))
+        if (not instr.is_illegal and record.trap is None
+                and spec_for(instr.mnemonic).cls is InstrClass.BRANCH):
+            taken = record.next_pc != (record.pc + 4) & MASK64
+            collector.hit_many(self.bpred.update(record.pc, taken))
+        if not instr.is_illegal and record.rd_value is not None:
+            spec = spec_for(instr.mnemonic)
+            collector.hit_many(self.fu.observe(
+                spec.cls, self._operand_values[0], self._operand_values[1],
+                record.rd_value))
+        collector.hit_many(self.dut.structural_points(record, instr, self))
+        if record.trap is not None:
+            self.last_trap_step = self._step_index
+            self.last_trap_cause = record.trap
+        return record
+
+
+# ======================================================================= model
+class DutModel(ModelBase):
+    """Base class of the three processor models."""
+
+    #: subclasses override with their default configuration.
+    default_config = DutConfig()
+
+    def __init__(self, config: Optional[DutConfig] = None,
+                 bugs: Sequence[Union[str, InjectedBug]] = (),
+                 executor_config: Optional[ExecutorConfig] = None) -> None:
+        super().__init__(executor_config)
+        self.config = config or self.default_config
+        self.bugs = make_bugs(bugs)
+        self._space: Optional[FrozenSet[str]] = None
+        self._last_executor: Optional[DutExecutor] = None
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return self.config.name
+
+    # -------------------------------------------------------------- coverage space
+    def structural_space(self) -> Set[str]:
+        """DUT-specific structural coverage points (overridden by subclasses)."""
+        return set()
+
+    def structural_points(self, record: CommitRecord, instr: Instruction,
+                          executor: DutExecutor) -> List[str]:
+        """DUT-specific structural coverage emission (overridden by subclasses)."""
+        return []
+
+    def coverage_space(self) -> FrozenSet[str]:
+        """The DUT's full branch coverage space (cached)."""
+        if self._space is None:
+            space: Set[str] = set(common_space())
+            config = self.config
+            space |= CacheModel("icache", config.icache_sets, config.cache_ways).space()
+            space |= CacheModel("dcache", config.dcache_sets, config.cache_ways).space()
+            space |= BranchPredictor("bpred", config.bpred_entries).space()
+            space |= HazardTracker("hazard", config.hazard_window).space()
+            space |= FunctionalUnitMonitor("fu").space()
+            space |= self.structural_space()
+            self._space = frozenset(space)
+        return self._space
+
+    @property
+    def total_coverage_points(self) -> int:
+        return len(self.coverage_space())
+
+    # ------------------------------------------------------------------ run hooks
+    def _make_executor(self, state: ArchState, memory: Memory) -> Executor:
+        executor = DutExecutor(state, memory, self.executor_config, dut=self)
+        self._last_executor = executor
+        return executor
+
+    def _prepare_run(self, executor: Executor, program: TestProgram) -> None:
+        for bug in self.bugs:
+            bug.reset()
+
+    # ------------------------------------------------------------------------ run
+    def run(self, program: TestProgram,
+            max_steps: Optional[int] = None) -> DutRunResult:  # type: ignore[override]
+        execution = super().run(program, max_steps)
+        executor = self._last_executor
+        assert executor is not None
+        first_steps = {bug_id: steps[0] for bug_id, steps in executor.bug_effects.items()}
+        return DutRunResult(
+            execution=execution,
+            coverage=executor.collector.hits,
+            fired_bugs=frozenset(executor.bug_effects),
+            bug_effect_steps=first_steps,
+        )

@@ -1,0 +1,233 @@
+"""Reusable microarchitectural components for the DUT models.
+
+Each component exposes two faces that must stay consistent:
+
+* ``space()`` -- the full set of coverage points the component can ever emit
+  (used to enumerate the DUT's coverage space), and
+* runtime access methods returning the list of points hit by one event.
+
+Components model state at the granularity needed for realistic coverage
+structure (set-indexed caches with dirty evictions, a bimodal branch
+predictor, register-hazard tracking, functional-unit corner cases), not at
+cycle accuracy: the fuzzers only consume coverage and architectural state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.coverage.points import coverage_point
+from repro.isa.encoding import InstrClass
+from repro.utils.bits import to_signed
+
+
+class CacheModel:
+    """A set-associative write-back cache emitting per-set hit/miss/evict points."""
+
+    def __init__(self, name: str, num_sets: int = 64, ways: int = 2,
+                 line_bytes: int = 64) -> None:
+        if num_sets <= 0 or ways <= 0 or line_bytes <= 0:
+            raise ValueError("cache parameters must be positive")
+        self.name = name
+        self.num_sets = num_sets
+        self.ways = ways
+        self.line_bytes = line_bytes
+        # Per set: list of (tag, dirty) in LRU order (front = most recent).
+        self._sets: Dict[int, List[Tuple[int, bool]]] = {}
+
+    def reset(self) -> None:
+        self._sets.clear()
+
+    def space(self) -> Set[str]:
+        points = set()
+        for index in range(self.num_sets):
+            points.add(coverage_point(self.name, f"set{index}", "hit"))
+            points.add(coverage_point(self.name, f"set{index}", "miss"))
+            points.add(coverage_point(self.name, f"set{index}", "evict"))
+        points.add(coverage_point(self.name, "writeback", "dirty"))
+        points.add(coverage_point(self.name, "writeback", "clean"))
+        points.add(coverage_point(self.name, "access", "load"))
+        points.add(coverage_point(self.name, "access", "store"))
+        return points
+
+    def access(self, address: int, is_store: bool = False) -> List[str]:
+        """Access ``address``; return the coverage points exercised."""
+        line = address // self.line_bytes
+        index = line % self.num_sets
+        tag = line // self.num_sets
+        points = [coverage_point(self.name, "access", "store" if is_store else "load")]
+        entries = self._sets.setdefault(index, [])
+        for position, (entry_tag, dirty) in enumerate(entries):
+            if entry_tag == tag:
+                points.append(coverage_point(self.name, f"set{index}", "hit"))
+                entries.pop(position)
+                entries.insert(0, (tag, dirty or is_store))
+                return points
+        # Miss path.
+        points.append(coverage_point(self.name, f"set{index}", "miss"))
+        if len(entries) >= self.ways:
+            _victim_tag, victim_dirty = entries.pop()
+            points.append(coverage_point(self.name, f"set{index}", "evict"))
+            points.append(coverage_point(
+                self.name, "writeback", "dirty" if victim_dirty else "clean"))
+        entries.insert(0, (tag, is_store))
+        return points
+
+    def line_is_dirty(self, address: int) -> bool:
+        """Whether the line containing ``address`` is currently dirty."""
+        line = address // self.line_bytes
+        index = line % self.num_sets
+        tag = line // self.num_sets
+        for entry_tag, dirty in self._sets.get(index, ()):
+            if entry_tag == tag:
+                return dirty
+        return False
+
+
+class BranchPredictor:
+    """Bimodal 2-bit predictor with per-entry outcome coverage."""
+
+    def __init__(self, name: str = "bpred", entries: int = 64) -> None:
+        if entries <= 0:
+            raise ValueError("entries must be positive")
+        self.name = name
+        self.entries = entries
+        self._counters: Dict[int, int] = {}
+
+    def reset(self) -> None:
+        self._counters.clear()
+
+    def space(self) -> Set[str]:
+        points = set()
+        for index in range(self.entries):
+            points.add(coverage_point(self.name, f"entry{index}", "taken"))
+            points.add(coverage_point(self.name, f"entry{index}", "nottaken"))
+        points.add(coverage_point(self.name, "predict", "correct"))
+        points.add(coverage_point(self.name, "predict", "mispredict"))
+        return points
+
+    def update(self, pc: int, taken: bool) -> List[str]:
+        """Record the outcome of one branch at ``pc``; return coverage points."""
+        index = (pc >> 2) % self.entries
+        counter = self._counters.get(index, 1)
+        predicted_taken = counter >= 2
+        points = [
+            coverage_point(self.name, f"entry{index}",
+                           "taken" if taken else "nottaken"),
+            coverage_point(self.name, "predict",
+                           "correct" if predicted_taken == taken else "mispredict"),
+        ]
+        if taken:
+            counter = min(counter + 1, 3)
+        else:
+            counter = max(counter - 1, 0)
+        self._counters[index] = counter
+        return points
+
+
+class HazardTracker:
+    """Tracks recent destination registers to expose forwarding/stall paths."""
+
+    def __init__(self, name: str = "hazard", window: int = 3) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.name = name
+        self.window = window
+        self._recent: List[Optional[int]] = []
+
+    def reset(self) -> None:
+        self._recent.clear()
+
+    def space(self) -> Set[str]:
+        points = set()
+        for distance in range(1, self.window + 1):
+            points.add(coverage_point(self.name, f"raw_dist{distance}", "rs1"))
+            points.add(coverage_point(self.name, f"raw_dist{distance}", "rs2"))
+            points.add(coverage_point(self.name, f"waw_dist{distance}"))
+        for reg in range(32):
+            points.add(coverage_point(self.name, "forward_reg", f"x{reg}"))
+        points.add(coverage_point(self.name, "no_hazard"))
+        return points
+
+    def observe(self, rd: Optional[int], rs1: Optional[int],
+                rs2: Optional[int]) -> List[str]:
+        """Record one instruction's register usage; return coverage points."""
+        points = []
+        hazard = False
+        for distance, prior_rd in enumerate(reversed(self._recent), start=1):
+            if prior_rd is None or prior_rd == 0:
+                continue
+            if rs1 is not None and rs1 == prior_rd:
+                points.append(coverage_point(self.name, f"raw_dist{distance}", "rs1"))
+                points.append(coverage_point(self.name, "forward_reg", f"x{prior_rd}"))
+                hazard = True
+            if rs2 is not None and rs2 == prior_rd:
+                points.append(coverage_point(self.name, f"raw_dist{distance}", "rs2"))
+                points.append(coverage_point(self.name, "forward_reg", f"x{prior_rd}"))
+                hazard = True
+            if rd is not None and rd != 0 and rd == prior_rd:
+                points.append(coverage_point(self.name, f"waw_dist{distance}"))
+                hazard = True
+        if not hazard:
+            points.append(coverage_point(self.name, "no_hazard"))
+        self._recent.append(rd)
+        if len(self._recent) > self.window:
+            self._recent.pop(0)
+        return points
+
+
+#: Operand magnitude buckets used by the functional-unit monitor.
+_OPERAND_BUCKETS = ("zero", "one", "neg", "small", "large")
+
+
+def _operand_bucket(value: int) -> str:
+    signed = to_signed(value)
+    if signed == 0:
+        return "zero"
+    if signed == 1:
+        return "one"
+    if signed < 0:
+        return "neg"
+    if signed < 4096:
+        return "small"
+    return "large"
+
+
+class FunctionalUnitMonitor:
+    """Coverage of multiplier/divider corner cases."""
+
+    def __init__(self, name: str = "fu") -> None:
+        self.name = name
+
+    def reset(self) -> None:  # stateless, present for interface symmetry
+        return None
+
+    def space(self) -> Set[str]:
+        points = set()
+        for a in _OPERAND_BUCKETS:
+            for b in _OPERAND_BUCKETS:
+                points.add(coverage_point(self.name, "mul", f"{a}_{b}"))
+                points.add(coverage_point(self.name, "div", f"{a}_{b}"))
+        points.add(coverage_point(self.name, "div", "by_zero"))
+        points.add(coverage_point(self.name, "div", "overflow"))
+        points.add(coverage_point(self.name, "mul", "upper_nonzero"))
+        return points
+
+    def observe(self, cls: InstrClass, rs1_value: int, rs2_value: int,
+                result: int) -> List[str]:
+        """Record one mul/div operation; return coverage points."""
+        if cls not in (InstrClass.MUL, InstrClass.DIV):
+            return []
+        unit = "mul" if cls is InstrClass.MUL else "div"
+        bucket = f"{_operand_bucket(rs1_value)}_{_operand_bucket(rs2_value)}"
+        points = [coverage_point(self.name, unit, bucket)]
+        if cls is InstrClass.DIV:
+            if rs2_value == 0:
+                points.append(coverage_point(self.name, "div", "by_zero"))
+            if to_signed(rs1_value) == -(2**63) and to_signed(rs2_value) == -1:
+                points.append(coverage_point(self.name, "div", "overflow"))
+        else:
+            if result >> 63:
+                points.append(coverage_point(self.name, "mul", "upper_nonzero"))
+        return points

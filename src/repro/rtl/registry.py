@@ -1,0 +1,38 @@
+"""Name-based construction of DUT models."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple, Type, Union
+
+from repro.rtl.bugs import InjectedBug
+from repro.rtl.boom import BoomModel
+from repro.rtl.cva6 import CVA6Model
+from repro.rtl.harness import DutConfig, DutModel
+from repro.rtl.rocket import RocketModel
+from repro.sim.executor import ExecutorConfig
+
+_DUT_CLASSES: Dict[str, Type[DutModel]] = {
+    "cva6": CVA6Model,
+    "rocket": RocketModel,
+    "boom": BoomModel,
+}
+
+
+def available_duts() -> Tuple[str, ...]:
+    """Names of the processor models shipped with the library."""
+    return tuple(sorted(_DUT_CLASSES))
+
+
+def make_dut(name: str,
+             config: Optional[DutConfig] = None,
+             bugs: Union[Sequence[Union[str, InjectedBug]], None] = None,
+             executor_config: Optional[ExecutorConfig] = None) -> DutModel:
+    """Instantiate a processor model by name (``"cva6"``, ``"rocket"``, ``"boom"``).
+
+    ``bugs=None`` selects the paper's default bug set for that processor;
+    pass an explicit (possibly empty) sequence to override.
+    """
+    key = name.lower()
+    if key not in _DUT_CLASSES:
+        raise KeyError(f"unknown DUT {name!r}; available: {available_duts()}")
+    return _DUT_CLASSES[key](config=config, bugs=bugs, executor_config=executor_config)

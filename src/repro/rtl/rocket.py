@@ -1,0 +1,123 @@
+"""Rocket Core model.
+
+Rocket is an in-order, five-stage RV64 core (Sec. IV-A).  It hosts
+vulnerability V7 (EBREAK does not increase the instruction count).  The
+structural coverage families model the classic five-stage pipeline:
+per-stage activity for every instruction, register-file read/write ports,
+bypass paths and the stall/redirect conditions of the control logic.
+Most of this structure is reachable by ordinary integer programs, which is
+why Rocket sits between CVA6 and BOOM in covered points and percentage.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set, Union
+
+from repro.coverage.points import coverage_point
+from repro.isa.encoding import SPECS, InstrClass, spec_for
+from repro.isa.instruction import Instruction
+from repro.rtl.bugs import ROCKET_BUG_IDS, InjectedBug
+from repro.rtl.harness import DutConfig, DutExecutor, DutModel
+from repro.sim.executor import ExecutorConfig
+from repro.sim.trace import CommitRecord
+
+_PIPELINE_STAGES = ("if", "id", "ex", "mem", "wb")
+_STALL_KINDS = ("loaduse", "div", "mul", "csr", "fence", "amo")
+_REDIRECT_KINDS = ("branch", "jump", "trap")
+
+
+class RocketModel(DutModel):
+    """In-order five-stage Rocket Core model (hosts V7)."""
+
+    default_config = DutConfig(
+        name="rocket",
+        icache_sets=8,
+        dcache_sets=16,
+        cache_ways=2,
+        bpred_entries=64,
+        hazard_window=2,
+    )
+
+    def __init__(self, config: Optional[DutConfig] = None,
+                 bugs: Union[Sequence[Union[str, InjectedBug]], None] = None,
+                 executor_config: Optional[ExecutorConfig] = None) -> None:
+        if bugs is None:
+            bugs = ROCKET_BUG_IDS
+        super().__init__(config, bugs, executor_config)
+
+    # ------------------------------------------------------------------- space
+    def structural_space(self) -> Set[str]:
+        points: Set[str] = set()
+        for stage in _PIPELINE_STAGES:
+            for mnemonic in SPECS:
+                points.add(coverage_point("rocket", "pipe", stage, mnemonic))
+            points.add(coverage_point("rocket", "pipe", stage, "bubble"))
+        for reg in range(32):
+            points.add(coverage_point("rocket", "regfile", "write", f"x{reg}"))
+            points.add(coverage_point("rocket", "regfile", "read", f"x{reg}"))
+            points.add(coverage_point("rocket", "bypass", "ex_to_id", f"x{reg}"))
+            points.add(coverage_point("rocket", "bypass", "mem_to_id", f"x{reg}"))
+        for kind in _STALL_KINDS:
+            points.add(coverage_point("rocket", "stall", kind))
+        for kind in _REDIRECT_KINDS:
+            points.add(coverage_point("rocket", "pcgen", "redirect", kind))
+        points.add(coverage_point("rocket", "pcgen", "sequential"))
+        return points
+
+    # -------------------------------------------------------------------- emit
+    def structural_points(self, record: CommitRecord, instr: Instruction,
+                          executor: DutExecutor) -> List[str]:
+        points: List[str] = []
+        if instr.is_illegal:
+            for stage in ("if", "id"):
+                points.append(coverage_point("rocket", "pipe", stage, "bubble"))
+            return points
+
+        spec = spec_for(instr.mnemonic)
+        for stage in _PIPELINE_STAGES:
+            points.append(coverage_point("rocket", "pipe", stage, instr.mnemonic))
+
+        if spec.writes_rd and record.rd is not None:
+            points.append(coverage_point("rocket", "regfile", "write", f"x{record.rd}"))
+        if spec.reads_rs1:
+            points.append(coverage_point("rocket", "regfile", "read", f"x{instr.rs1}"))
+        if spec.reads_rs2:
+            points.append(coverage_point("rocket", "regfile", "read", f"x{instr.rs2}"))
+
+        # Bypass / load-use-stall modelling based on the previous instruction.
+        prev = executor.dut_scratch.get("rocket_prev")
+        if isinstance(prev, dict) and prev.get("rd"):
+            prev_rd = prev["rd"]
+            if spec.reads_rs1 and instr.rs1 == prev_rd:
+                points.append(coverage_point("rocket", "bypass", "ex_to_id", f"x{prev_rd}"))
+                if prev.get("is_load"):
+                    points.append(coverage_point("rocket", "stall", "loaduse"))
+            if spec.reads_rs2 and instr.rs2 == prev_rd:
+                points.append(coverage_point("rocket", "bypass", "mem_to_id", f"x{prev_rd}"))
+
+        cls = spec.cls
+        if cls is InstrClass.DIV:
+            points.append(coverage_point("rocket", "stall", "div"))
+        elif cls is InstrClass.MUL:
+            points.append(coverage_point("rocket", "stall", "mul"))
+        elif cls is InstrClass.CSR:
+            points.append(coverage_point("rocket", "stall", "csr"))
+        elif cls is InstrClass.FENCE:
+            points.append(coverage_point("rocket", "stall", "fence"))
+        elif cls is InstrClass.ATOMIC:
+            points.append(coverage_point("rocket", "stall", "amo"))
+
+        if record.trap is not None:
+            points.append(coverage_point("rocket", "pcgen", "redirect", "trap"))
+        elif cls is InstrClass.JUMP:
+            points.append(coverage_point("rocket", "pcgen", "redirect", "jump"))
+        elif cls is InstrClass.BRANCH and record.next_pc != record.pc + 4:
+            points.append(coverage_point("rocket", "pcgen", "redirect", "branch"))
+        else:
+            points.append(coverage_point("rocket", "pcgen", "sequential"))
+
+        executor.dut_scratch["rocket_prev"] = {
+            "rd": record.rd,
+            "is_load": cls is InstrClass.LOAD,
+        }
+        return points

@@ -1,0 +1,27 @@
+"""Golden reference model (SPIKE substitute).
+
+``repro.sim`` provides a functional RV64IM+Zicsr+A-subset instruction-set
+simulator.  The fuzzers use it as the *reference model* for differential
+testing: each test program is executed on both the golden model and a DUT
+model, and any divergence in the per-instruction architectural commit trace
+is flagged as a potential vulnerability (Sec. II-A of the paper).
+"""
+
+from repro.sim.memory import Memory, MemoryLayout, DEFAULT_LAYOUT
+from repro.sim.state import ArchState
+from repro.sim.trace import CommitRecord, ExecutionResult, HaltReason
+from repro.sim.executor import Executor, ExecutorConfig
+from repro.sim.golden import GoldenModel
+
+__all__ = [
+    "Memory",
+    "MemoryLayout",
+    "DEFAULT_LAYOUT",
+    "ArchState",
+    "CommitRecord",
+    "ExecutionResult",
+    "HaltReason",
+    "Executor",
+    "ExecutorConfig",
+    "GoldenModel",
+]

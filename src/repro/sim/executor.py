@@ -1,0 +1,458 @@
+"""Instruction-set executor: the functional semantics of the modelled ISA.
+
+The :class:`Executor` implements fetch/decode/execute for one hart.  It is
+used directly by the golden model and subclassed by the DUT harness
+(:mod:`repro.rtl.harness`), which overrides the protected hook methods
+(``_decode``, ``_mem_load``, ``_csr_read``, ``_trap_cause``,
+``_count_retirement`` ...) to inject microarchitectural behaviour, coverage
+instrumentation and the paper's vulnerabilities.
+
+Harness conventions (shared by the golden model and all DUTs so that a
+*correct* DUT produces a bit-identical commit trace):
+
+* Traps are recorded architecturally (mcause/mepc/mtval updated) and then
+  execution resumes at the *next* instruction, modelling a bare-metal test
+  harness whose trap handler skips the faulting instruction.
+* ``ecall`` ends the test.
+* Every executed instruction increments ``minstret`` and ``mcycle`` by one.
+* A program halts when the pc leaves the program body, when the step limit
+  is reached, or at ``ecall``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.isa import csr as csrdefs
+from repro.isa.decoder import decode_word
+from repro.isa.encoding import InstrClass, InstrFormat, spec_for
+from repro.isa.exceptions import Trap, TrapCause
+from repro.isa.instruction import Instruction
+from repro.sim.memory import Memory
+from repro.sim.state import ArchState
+from repro.sim.trace import CommitRecord, HaltReason
+from repro.utils.bits import MASK64, sign_extend, to_signed, to_unsigned
+
+
+@dataclass(frozen=True)
+class ExecutorConfig:
+    """Execution-policy knobs shared by golden and DUT models."""
+
+    step_limit: int = 512
+    count_trapped_instructions: bool = True
+
+
+_LOAD_SIZES = {
+    "lb": (1, True), "lh": (2, True), "lw": (4, True), "ld": (8, True),
+    "lbu": (1, False), "lhu": (2, False), "lwu": (4, False),
+}
+_STORE_SIZES = {"sb": 1, "sh": 2, "sw": 4, "sd": 8}
+
+
+class Executor:
+    """Functional executor for one hart over an :class:`ArchState` + :class:`Memory`."""
+
+    def __init__(self, state: ArchState, memory: Memory,
+                 config: Optional[ExecutorConfig] = None) -> None:
+        self.state = state
+        self.memory = memory
+        self.config = config or ExecutorConfig()
+        self.halted = False
+        self.halt_reason: Optional[HaltReason] = None
+        self._step_index = 0
+
+    # =================================================================== hooks
+    # The DUT harness overrides these to model decode defects, cache effects,
+    # coverage emission and the injected vulnerabilities.
+
+    def _decode(self, word: int, pc: int) -> Instruction:
+        return decode_word(word)
+
+    def _mem_load(self, address: int, size: int, signed: bool,
+                  instr: Instruction) -> int:
+        return self.memory.load(address, size, signed)
+
+    def _mem_store(self, address: int, value: int, size: int,
+                   instr: Instruction) -> None:
+        self.memory.store(address, value, size)
+
+    def _csr_read(self, address: int, instr: Instruction) -> int:
+        return self.state.read_csr(address)
+
+    def _csr_write(self, address: int, value: int, instr: Instruction) -> None:
+        self.state.write_csr(address, value)
+
+    def _trap_cause(self, trap: Trap, instr: Instruction, pc: int) -> Optional[Trap]:
+        """Map a raised trap to the trap that is architecturally reported.
+
+        Returning ``None`` suppresses the trap entirely (the instruction then
+        commits as a no-op writing 0 to ``rd`` if it has one) -- this models
+        defects such as V5 where an exception is silently swallowed.
+        """
+        return trap
+
+    def _count_retirement(self, instr: Instruction, trapped: bool) -> None:
+        if trapped and not self.config.count_trapped_instructions:
+            self.state.csrs[csrdefs.MCYCLE] = (
+                self.state.csrs[csrdefs.MCYCLE] + 1) & MASK64
+            return
+        self.state.increment_counters(instret=1, cycles=1)
+
+    def _observe_commit(self, record: CommitRecord, instr: Instruction) -> CommitRecord:
+        """Called after each commit; DUTs use it for coverage and bug effects."""
+        return record
+
+    # =================================================================== fetch
+    def step(self) -> Optional[CommitRecord]:
+        """Execute one instruction; return its commit record (or ``None`` if halted)."""
+        if self.halted:
+            return None
+        pc = self.state.pc
+        try:
+            word = self.memory.fetch_word(pc)
+        except Trap as trap:
+            record = self._commit_trap(pc, 0, Instruction.illegal(0), trap)
+            self.halted = True
+            self.halt_reason = HaltReason.PC_OUT_OF_RANGE
+            return record
+        instr = self._decode(word, pc)
+        try:
+            record = self._execute(instr, pc, word)
+        except Trap as trap:
+            reported = self._trap_cause(trap, instr, pc)
+            if reported is None:
+                record = self._commit_suppressed_trap(pc, word, instr)
+            else:
+                record = self._commit_trap(pc, word, instr, reported)
+        self._count_retirement(instr, trapped=record.trap is not None)
+        record = self._observe_commit(record, instr)
+        self.state.pc = record.next_pc
+        self._step_index += 1
+        if instr.mnemonic == "ecall":
+            self.halted = True
+            self.halt_reason = HaltReason.ECALL
+        return record
+
+    # ============================================================ trap commits
+    def _commit_trap(self, pc: int, word: int, instr: Instruction,
+                     trap: Trap) -> CommitRecord:
+        self.state.csrs[csrdefs.MEPC] = pc
+        self.state.csrs[csrdefs.MCAUSE] = int(trap.cause)
+        self.state.csrs[csrdefs.MTVAL] = trap.tval & MASK64
+        return CommitRecord(
+            step=self._step_index, pc=pc, word=word, mnemonic=instr.mnemonic,
+            trap=trap.cause, next_pc=(pc + 4) & MASK64,
+        )
+
+    def _commit_suppressed_trap(self, pc: int, word: int,
+                                instr: Instruction) -> CommitRecord:
+        """Commit an instruction whose trap was (incorrectly) suppressed."""
+        rd = instr.rd if not instr.is_illegal and spec_for(instr.mnemonic).writes_rd else None
+        rd_value = None
+        if rd is not None:
+            self.state.write_reg(rd, 0)
+            rd_value = 0 if rd != 0 else None
+            rd = rd if rd != 0 else None
+        return CommitRecord(
+            step=self._step_index, pc=pc, word=word, mnemonic=instr.mnemonic,
+            rd=rd, rd_value=rd_value, next_pc=(pc + 4) & MASK64,
+        )
+
+    # ================================================================= execute
+    def _execute(self, instr: Instruction, pc: int, word: int) -> CommitRecord:
+        if instr.is_illegal:
+            raise Trap(TrapCause.ILLEGAL_INSTRUCTION, tval=word)
+        mnemonic = instr.mnemonic
+        spec = spec_for(mnemonic)
+        cls = spec.cls
+
+        if cls in (InstrClass.ARITH, InstrClass.LOGIC, InstrClass.SHIFT,
+                   InstrClass.COMPARE, InstrClass.MUL, InstrClass.DIV):
+            return self._exec_alu(instr, pc, word, spec)
+        if cls is InstrClass.LOAD:
+            return self._exec_load(instr, pc, word)
+        if cls is InstrClass.STORE:
+            return self._exec_store(instr, pc, word)
+        if cls is InstrClass.BRANCH:
+            return self._exec_branch(instr, pc, word)
+        if cls is InstrClass.JUMP:
+            return self._exec_jump(instr, pc, word)
+        if cls is InstrClass.CSR:
+            return self._exec_csr(instr, pc, word, spec)
+        if cls is InstrClass.SYSTEM:
+            return self._exec_system(instr, pc, word)
+        if cls is InstrClass.FENCE:
+            return self._commit_simple(instr, pc, word)
+        if cls is InstrClass.ATOMIC:
+            return self._exec_atomic(instr, pc, word, spec)
+        raise AssertionError(f"unhandled class {cls}")  # pragma: no cover
+
+    # ------------------------------------------------------------------ helpers
+    def _commit_rd(self, instr: Instruction, pc: int, word: int, value: int,
+                   next_pc: Optional[int] = None, mem_addr: Optional[int] = None,
+                   mem_value: Optional[int] = None,
+                   mem_size: Optional[int] = None) -> CommitRecord:
+        value &= MASK64
+        self.state.write_reg(instr.rd, value)
+        rd = instr.rd if instr.rd != 0 else None
+        return CommitRecord(
+            step=self._step_index, pc=pc, word=word, mnemonic=instr.mnemonic,
+            rd=rd, rd_value=value if rd is not None else None,
+            mem_addr=mem_addr, mem_value=mem_value, mem_size=mem_size,
+            next_pc=(pc + 4) & MASK64 if next_pc is None else next_pc & MASK64,
+        )
+
+    def _commit_simple(self, instr: Instruction, pc: int, word: int,
+                       next_pc: Optional[int] = None) -> CommitRecord:
+        return CommitRecord(
+            step=self._step_index, pc=pc, word=word, mnemonic=instr.mnemonic,
+            next_pc=(pc + 4) & MASK64 if next_pc is None else next_pc & MASK64,
+        )
+
+    # ---------------------------------------------------------------------- ALU
+    def _exec_alu(self, instr: Instruction, pc: int, word: int, spec) -> CommitRecord:
+        mnemonic = instr.mnemonic
+        if mnemonic == "lui":
+            return self._commit_rd(instr, pc, word, sign_extend(instr.imm << 12, 32))
+        if mnemonic == "auipc":
+            return self._commit_rd(instr, pc, word, pc + sign_extend(instr.imm << 12, 32))
+
+        rs1 = self.state.read_reg(instr.rs1)
+        if spec.fmt in (InstrFormat.I, InstrFormat.I_SHIFT):
+            rs2 = instr.imm
+            immediate = True
+        else:
+            rs2 = self.state.read_reg(instr.rs2)
+            immediate = False
+        value = self._alu_value(mnemonic, rs1, rs2, immediate)
+        return self._commit_rd(instr, pc, word, value)
+
+    def _alu_value(self, mnemonic: str, rs1: int, rs2: int, immediate: bool) -> int:
+        s1, s2 = to_signed(rs1), to_signed(rs2)
+        u1, u2 = to_unsigned(rs1), to_unsigned(rs2)
+        base = mnemonic.rstrip("i") if immediate and not mnemonic.endswith("iw") else mnemonic
+        if immediate:
+            base = {"addi": "add", "slti": "slt", "sltiu": "sltu", "xori": "xor",
+                    "ori": "or", "andi": "and", "slli": "sll", "srli": "srl",
+                    "srai": "sra", "addiw": "addw", "slliw": "sllw",
+                    "srliw": "srlw", "sraiw": "sraw"}.get(mnemonic, mnemonic)
+        word_op = base.endswith("w") and base not in ("sltu",)
+
+        if word_op:
+            w1 = sign_extend(rs1 & 0xFFFF_FFFF, 32)
+            w2 = sign_extend(rs2 & 0xFFFF_FFFF, 32)
+            shamt = rs2 & 0x1F
+            if base == "addw":
+                result = w1 + w2
+            elif base == "subw":
+                result = w1 - w2
+            elif base == "sllw":
+                result = (rs1 & 0xFFFF_FFFF) << shamt
+            elif base == "srlw":
+                result = (rs1 & 0xFFFF_FFFF) >> shamt
+            elif base == "sraw":
+                result = w1 >> shamt
+            elif base == "mulw":
+                result = w1 * w2
+            elif base == "divw":
+                result = self._div(w1, w2, signed=True, bits=32)
+            elif base == "divuw":
+                result = self._div(rs1 & 0xFFFF_FFFF, rs2 & 0xFFFF_FFFF,
+                                   signed=False, bits=32)
+            elif base == "remw":
+                result = self._rem(w1, w2, signed=True, bits=32)
+            elif base == "remuw":
+                result = self._rem(rs1 & 0xFFFF_FFFF, rs2 & 0xFFFF_FFFF,
+                                   signed=False, bits=32)
+            else:  # pragma: no cover - defensive
+                raise AssertionError(f"unhandled word op {base}")
+            return sign_extend(result & 0xFFFF_FFFF, 32) & MASK64
+
+        shamt = rs2 & 0x3F
+        if base == "add":
+            return (u1 + u2) & MASK64
+        if base == "sub":
+            return (u1 - u2) & MASK64
+        if base == "sll":
+            return (u1 << shamt) & MASK64
+        if base == "slt":
+            return 1 if s1 < s2 else 0
+        if base == "sltu":
+            return 1 if u1 < u2 else 0
+        if base == "xor":
+            return u1 ^ u2
+        if base == "srl":
+            return u1 >> shamt
+        if base == "sra":
+            return (s1 >> shamt) & MASK64
+        if base == "or":
+            return u1 | u2
+        if base == "and":
+            return u1 & u2
+        if base == "mul":
+            return (s1 * s2) & MASK64
+        if base == "mulh":
+            return ((s1 * s2) >> 64) & MASK64
+        if base == "mulhsu":
+            return ((s1 * u2) >> 64) & MASK64
+        if base == "mulhu":
+            return ((u1 * u2) >> 64) & MASK64
+        if base == "div":
+            return self._div(s1, s2, signed=True, bits=64) & MASK64
+        if base == "divu":
+            return self._div(u1, u2, signed=False, bits=64) & MASK64
+        if base == "rem":
+            return self._rem(s1, s2, signed=True, bits=64) & MASK64
+        if base == "remu":
+            return self._rem(u1, u2, signed=False, bits=64) & MASK64
+        raise AssertionError(f"unhandled ALU op {base}")  # pragma: no cover
+
+    @staticmethod
+    def _div(dividend: int, divisor: int, signed: bool, bits: int) -> int:
+        if divisor == 0:
+            return -1 if signed else (1 << bits) - 1
+        if signed and dividend == -(1 << (bits - 1)) and divisor == -1:
+            return dividend
+        quotient = abs(dividend) // abs(divisor)
+        if signed and (dividend < 0) != (divisor < 0):
+            quotient = -quotient
+        return quotient
+
+    @staticmethod
+    def _rem(dividend: int, divisor: int, signed: bool, bits: int) -> int:
+        if divisor == 0:
+            return dividend
+        if signed and dividend == -(1 << (bits - 1)) and divisor == -1:
+            return 0
+        remainder = abs(dividend) % abs(divisor)
+        if signed and dividend < 0:
+            remainder = -remainder
+        return remainder
+
+    # ------------------------------------------------------------------- memory
+    def _exec_load(self, instr: Instruction, pc: int, word: int) -> CommitRecord:
+        size, signed = _LOAD_SIZES[instr.mnemonic]
+        address = (self.state.read_reg(instr.rs1) + instr.imm) & MASK64
+        value = self._mem_load(address, size, signed, instr)
+        return self._commit_rd(instr, pc, word, value)
+
+    def _exec_store(self, instr: Instruction, pc: int, word: int) -> CommitRecord:
+        size = _STORE_SIZES[instr.mnemonic]
+        address = (self.state.read_reg(instr.rs1) + instr.imm) & MASK64
+        value = self.state.read_reg(instr.rs2) & ((1 << (8 * size)) - 1)
+        self._mem_store(address, value, size, instr)
+        return CommitRecord(
+            step=self._step_index, pc=pc, word=word, mnemonic=instr.mnemonic,
+            mem_addr=address, mem_value=value, mem_size=size,
+            next_pc=(pc + 4) & MASK64,
+        )
+
+    # ----------------------------------------------------------------- branches
+    def _exec_branch(self, instr: Instruction, pc: int, word: int) -> CommitRecord:
+        rs1 = self.state.read_reg(instr.rs1)
+        rs2 = self.state.read_reg(instr.rs2)
+        s1, s2 = to_signed(rs1), to_signed(rs2)
+        taken = {
+            "beq": rs1 == rs2,
+            "bne": rs1 != rs2,
+            "blt": s1 < s2,
+            "bge": s1 >= s2,
+            "bltu": rs1 < rs2,
+            "bgeu": rs1 >= rs2,
+        }[instr.mnemonic]
+        target = (pc + instr.imm) & MASK64 if taken else (pc + 4) & MASK64
+        if taken and target % 4 != 0:
+            raise Trap(TrapCause.INSTRUCTION_ADDRESS_MISALIGNED, tval=target)
+        return self._commit_simple(instr, pc, word, next_pc=target)
+
+    def _exec_jump(self, instr: Instruction, pc: int, word: int) -> CommitRecord:
+        if instr.mnemonic == "jal":
+            target = (pc + instr.imm) & MASK64
+        else:  # jalr
+            target = (self.state.read_reg(instr.rs1) + instr.imm) & MASK64 & ~1
+        if target % 4 != 0:
+            raise Trap(TrapCause.INSTRUCTION_ADDRESS_MISALIGNED, tval=target)
+        return self._commit_rd(instr, pc, word, pc + 4, next_pc=target)
+
+    # ---------------------------------------------------------------------- CSR
+    def _exec_csr(self, instr: Instruction, pc: int, word: int, spec) -> CommitRecord:
+        address = instr.csr
+        is_imm = spec.fmt is InstrFormat.CSR_IMM
+        operand = (instr.imm & 0x1F) if is_imm else self.state.read_reg(instr.rs1)
+        writes = True
+        mnemonic = instr.mnemonic
+        if mnemonic in ("csrrs", "csrrc", "csrrsi", "csrrci"):
+            source_is_zero = (instr.imm & 0x1F) == 0 if is_imm else instr.rs1 == 0
+            writes = not source_is_zero
+        old_value = self._csr_read(address, instr)
+        new_value = None
+        if writes:
+            if mnemonic in ("csrrw", "csrrwi"):
+                new_value = operand
+            elif mnemonic in ("csrrs", "csrrsi"):
+                new_value = old_value | operand
+            else:
+                new_value = old_value & ~operand
+            self._csr_write(address, new_value, instr)
+        record = self._commit_rd(instr, pc, word, old_value)
+        if new_value is not None:
+            record = CommitRecord(
+                step=record.step, pc=record.pc, word=record.word,
+                mnemonic=record.mnemonic, rd=record.rd, rd_value=record.rd_value,
+                csr_addr=address, csr_value=new_value & MASK64,
+                next_pc=record.next_pc,
+            )
+        return record
+
+    # ------------------------------------------------------------------- system
+    def _exec_system(self, instr: Instruction, pc: int, word: int) -> CommitRecord:
+        mnemonic = instr.mnemonic
+        if mnemonic == "ecall":
+            raise Trap(TrapCause.ECALL_FROM_M, tval=0)
+        if mnemonic == "ebreak":
+            raise Trap(TrapCause.BREAKPOINT, tval=pc)
+        if mnemonic == "mret":
+            return self._commit_simple(instr, pc, word,
+                                       next_pc=self.state.csrs[csrdefs.MEPC])
+        # wfi behaves as a nop in this harness.
+        return self._commit_simple(instr, pc, word)
+
+    # ------------------------------------------------------------------ atomics
+    def _exec_atomic(self, instr: Instruction, pc: int, word: int, spec) -> CommitRecord:
+        size = 4 if instr.mnemonic.endswith(".w") else 8
+        signed = size == 4
+        address = self.state.read_reg(instr.rs1) & MASK64
+        base = instr.mnemonic.split(".")[0]
+        if base == "lr":
+            value = self._mem_load(address, size, signed, instr)
+            self.state.reservation = address
+            return self._commit_rd(instr, pc, word, value)
+        if base == "sc":
+            if self.state.reservation == address:
+                value = self.state.read_reg(instr.rs2) & ((1 << (8 * size)) - 1)
+                self._mem_store(address, value, size, instr)
+                self.state.reservation = None
+                return self._commit_rd(instr, pc, word, 0, mem_addr=address,
+                                       mem_value=value, mem_size=size)
+            self.state.reservation = None
+            return self._commit_rd(instr, pc, word, 1)
+        # AMO read-modify-write.
+        old = self._mem_load(address, size, signed, instr)
+        rs2 = self.state.read_reg(instr.rs2)
+        if base == "amoswap":
+            new = rs2
+        elif base == "amoadd":
+            new = old + rs2
+        elif base == "amoxor":
+            new = old ^ rs2
+        elif base == "amoand":
+            new = old & rs2
+        elif base == "amoor":
+            new = old | rs2
+        else:  # pragma: no cover - defensive
+            raise AssertionError(f"unhandled AMO {base}")
+        new &= (1 << (8 * size)) - 1
+        self._mem_store(address, new, size, instr)
+        return self._commit_rd(instr, pc, word, old, mem_addr=address,
+                               mem_value=new, mem_size=size)

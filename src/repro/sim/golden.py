@@ -1,0 +1,86 @@
+"""The golden reference model and the shared program-run loop.
+
+:class:`ModelBase` owns the run loop (load program, step until halt, collect
+the commit trace); :class:`GoldenModel` is the reference instantiation using
+the plain :class:`~repro.sim.executor.Executor`.  DUT models
+(:mod:`repro.rtl`) reuse the same run loop with an instrumented executor, so
+that a defect-free DUT is trace-identical to the golden model by
+construction -- exactly the property differential testing relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.isa.program import TestProgram
+from repro.sim.executor import Executor, ExecutorConfig
+from repro.sim.memory import DEFAULT_LAYOUT, Memory, MemoryLayout
+from repro.sim.state import ArchState
+from repro.sim.trace import ExecutionResult, HaltReason
+
+
+class ModelBase:
+    """Shared run loop for golden and DUT models."""
+
+    #: human-readable model name (overridden by DUTs).
+    name = "model"
+
+    def __init__(self, executor_config: Optional[ExecutorConfig] = None,
+                 layout: MemoryLayout = DEFAULT_LAYOUT) -> None:
+        self.executor_config = executor_config or ExecutorConfig()
+        self.layout = layout
+
+    # ------------------------------------------------------------------ factory
+    def _make_executor(self, state: ArchState, memory: Memory) -> Executor:
+        """Build the executor used for one program run (overridden by DUTs)."""
+        return Executor(state, memory, self.executor_config)
+
+    def _prepare_run(self, executor: Executor, program: TestProgram) -> None:
+        """Hook called before stepping begins (DUTs reset microarch state here)."""
+
+    def _finish_run(self, executor: Executor, result: ExecutionResult) -> None:
+        """Hook called after the run completes."""
+
+    # ---------------------------------------------------------------------- run
+    def run(self, program: TestProgram,
+            max_steps: Optional[int] = None) -> ExecutionResult:
+        """Execute ``program`` to completion and return its commit trace."""
+        memory = Memory(self.layout)
+        memory.load_program_words(program.base_address, program.words())
+        state = ArchState(pc=program.base_address)
+        executor = self._make_executor(state, memory)
+        self._prepare_run(executor, program)
+
+        limit = max_steps or self.executor_config.step_limit
+        result = ExecutionResult()
+        end_address = program.end_address()
+        while not executor.halted:
+            pc = state.pc
+            if pc == end_address:
+                result.halt_reason = HaltReason.PROGRAM_END
+                break
+            if not (program.base_address <= pc < end_address):
+                result.halt_reason = HaltReason.PC_OUT_OF_RANGE
+                break
+            if len(result.records) >= limit:
+                result.halt_reason = HaltReason.STEP_LIMIT
+                break
+            record = executor.step()
+            if record is not None:
+                result.records.append(record)
+        else:
+            # Loop exited because the executor halted itself (e.g. ecall).
+            if executor.halt_reason is not None:
+                result.halt_reason = executor.halt_reason
+
+        result.steps = len(result.records)
+        result.final_registers = tuple(state.regs)
+        result.final_csrs = dict(state.csrs)
+        self._finish_run(executor, result)
+        return result
+
+
+class GoldenModel(ModelBase):
+    """SPIKE-substitute: the architecturally correct reference model."""
+
+    name = "golden"

@@ -1,0 +1,106 @@
+"""Sparse byte-addressable memory with a simple address map.
+
+The modelled SoC exposes one valid DRAM window.  Accesses outside it raise
+access-fault traps -- this is the path exercised by vulnerability V5
+("exception not thrown when invalid addresses accessed"), which is why the
+layout is explicit and checkable rather than an unbounded dictionary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.isa.exceptions import Trap, TrapCause
+
+
+@dataclass(frozen=True)
+class MemoryLayout:
+    """Valid address window of the modelled SoC.
+
+    Attributes:
+        dram_base: first valid byte address.
+        dram_size: size of the valid window in bytes.
+        code_size: size of the region (starting at ``dram_base``) reserved
+            for test-program code; the remainder is the data region used by
+            the seed preamble.
+    """
+
+    dram_base: int = 0x4000_0000
+    dram_size: int = 0x0000_8000
+    code_size: int = 0x0000_4000
+
+    @property
+    def dram_end(self) -> int:
+        return self.dram_base + self.dram_size
+
+    @property
+    def data_base(self) -> int:
+        return self.dram_base + self.code_size
+
+    def contains(self, address: int, size: int = 1) -> bool:
+        """Whether ``[address, address+size)`` lies inside the valid window."""
+        return self.dram_base <= address and address + size <= self.dram_end
+
+
+#: Layout shared by the golden model and all DUT models.
+DEFAULT_LAYOUT = MemoryLayout()
+
+
+class Memory:
+    """Sparse little-endian byte memory honouring a :class:`MemoryLayout`."""
+
+    def __init__(self, layout: MemoryLayout = DEFAULT_LAYOUT) -> None:
+        self.layout = layout
+        self._bytes: Dict[int, int] = {}
+
+    def clone(self) -> "Memory":
+        """Return an independent copy of this memory."""
+        copy = Memory(self.layout)
+        copy._bytes = dict(self._bytes)
+        return copy
+
+    # ------------------------------------------------------------------ checks
+    def _check(self, address: int, size: int, store: bool) -> None:
+        if not self.layout.contains(address, size):
+            cause = TrapCause.STORE_ACCESS_FAULT if store else TrapCause.LOAD_ACCESS_FAULT
+            raise Trap(cause, tval=address)
+        if address % size != 0:
+            cause = (TrapCause.STORE_ADDRESS_MISALIGNED if store
+                     else TrapCause.LOAD_ADDRESS_MISALIGNED)
+            raise Trap(cause, tval=address)
+
+    # ------------------------------------------------------------------ access
+    def load(self, address: int, size: int, signed: bool = False) -> int:
+        """Load ``size`` bytes from ``address`` (little-endian)."""
+        self._check(address, size, store=False)
+        value = 0
+        for offset in range(size):
+            value |= self._bytes.get(address + offset, 0) << (8 * offset)
+        if signed and value & (1 << (8 * size - 1)):
+            value -= 1 << (8 * size)
+        return value
+
+    def store(self, address: int, value: int, size: int) -> None:
+        """Store the low ``size`` bytes of ``value`` at ``address``."""
+        self._check(address, size, store=True)
+        value &= (1 << (8 * size)) - 1
+        for offset in range(size):
+            self._bytes[address + offset] = (value >> (8 * offset)) & 0xFF
+
+    def fetch_word(self, address: int) -> int:
+        """Fetch a 32-bit instruction word (instruction access checks)."""
+        if not self.layout.contains(address, 4):
+            raise Trap(TrapCause.INSTRUCTION_ACCESS_FAULT, tval=address)
+        if address % 4 != 0:
+            raise Trap(TrapCause.INSTRUCTION_ADDRESS_MISALIGNED, tval=address)
+        value = 0
+        for offset in range(4):
+            value |= self._bytes.get(address + offset, 0) << (8 * offset)
+        return value
+
+    # ------------------------------------------------------------------ loading
+    def load_program_words(self, base_address: int, words) -> None:
+        """Write 32-bit ``words`` starting at ``base_address``."""
+        for index, word in enumerate(words):
+            self.store(base_address + 4 * index, word, 4)

@@ -1,0 +1,92 @@
+"""Architectural state: register file, program counter and CSR file."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.isa import csr as csrdefs
+from repro.isa.exceptions import Trap, TrapCause
+from repro.utils.bits import MASK64
+
+
+#: Reset values of the implemented CSRs.
+_CSR_RESET_VALUES: Dict[int, int] = {
+    csrdefs.MSTATUS: 0x0000_0000_0000_1800,  # MPP = M
+    csrdefs.MISA: (2 << 62) | 0x0014_1105,   # RV64IMA + others
+    csrdefs.MIE: 0,
+    csrdefs.MTVEC: 0,
+    csrdefs.MCOUNTEREN: 0,
+    csrdefs.MSCRATCH: 0,
+    csrdefs.MEPC: 0,
+    csrdefs.MCAUSE: 0,
+    csrdefs.MTVAL: 0,
+    csrdefs.MIP: 0,
+    csrdefs.MCYCLE: 0,
+    csrdefs.MINSTRET: 0,
+    csrdefs.MVENDORID: 0,
+    csrdefs.MARCHID: 0x5EED,
+    csrdefs.MIMPID: 0x1,
+    csrdefs.MHARTID: 0,
+}
+
+#: User-visible counter CSRs aliased onto their machine-mode counterparts.
+_COUNTER_ALIASES = {
+    csrdefs.CYCLE: csrdefs.MCYCLE,
+    csrdefs.INSTRET: csrdefs.MINSTRET,
+    csrdefs.TIME: csrdefs.MCYCLE,
+}
+
+
+class ArchState:
+    """Mutable architectural state of one hart.
+
+    The state object deliberately contains *only* architecturally visible
+    quantities (x-registers, pc, CSRs, LR/SC reservation); microarchitectural
+    structures live in the DUT models.
+    """
+
+    def __init__(self, pc: int = 0) -> None:
+        self.regs = [0] * 32
+        self.pc = pc
+        self.csrs: Dict[int, int] = dict(_CSR_RESET_VALUES)
+        self.reservation: Optional[int] = None
+
+    # ------------------------------------------------------------------ x-regs
+    def read_reg(self, index: int) -> int:
+        return self.regs[index]
+
+    def write_reg(self, index: int, value: int) -> None:
+        if index != 0:
+            self.regs[index] = value & MASK64
+
+    # ------------------------------------------------------------------ CSRs
+    def read_csr(self, address: int) -> int:
+        """Read a CSR; unimplemented CSRs raise illegal-instruction."""
+        if address in _COUNTER_ALIASES:
+            address = _COUNTER_ALIASES[address]
+        if address not in self.csrs:
+            raise Trap(TrapCause.ILLEGAL_INSTRUCTION, tval=address)
+        return self.csrs[address]
+
+    def write_csr(self, address: int, value: int) -> None:
+        """Write a CSR; unimplemented or read-only CSRs raise illegal-instruction."""
+        if address in _COUNTER_ALIASES or csrdefs.is_read_only_csr(address):
+            raise Trap(TrapCause.ILLEGAL_INSTRUCTION, tval=address)
+        if address not in self.csrs:
+            raise Trap(TrapCause.ILLEGAL_INSTRUCTION, tval=address)
+        self.csrs[address] = value & MASK64
+
+    # ------------------------------------------------------------------ counters
+    def increment_counters(self, instret: int = 1, cycles: int = 1) -> None:
+        self.csrs[csrdefs.MINSTRET] = (self.csrs[csrdefs.MINSTRET] + instret) & MASK64
+        self.csrs[csrdefs.MCYCLE] = (self.csrs[csrdefs.MCYCLE] + cycles) & MASK64
+
+    # ------------------------------------------------------------------ snapshot
+    def snapshot(self) -> Dict[str, int]:
+        """Return a flat, comparable snapshot of the architectural state."""
+        snap = {f"x{i}": v for i, v in enumerate(self.regs)}
+        snap["pc"] = self.pc
+        for address, value in sorted(self.csrs.items()):
+            snap[csrdefs.csr_name(address)] = value
+        return snap

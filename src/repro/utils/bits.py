@@ -1,0 +1,58 @@
+"""Bit-manipulation helpers used by the ISA encoder/decoder and the mutators.
+
+All helpers operate on plain Python integers interpreted as fixed-width
+two's-complement values.  RISC-V registers are 64-bit (XLEN = 64) and
+instruction words are 32-bit.
+"""
+
+from __future__ import annotations
+
+MASK32 = 0xFFFF_FFFF
+MASK64 = 0xFFFF_FFFF_FFFF_FFFF
+
+
+def get_bit(value: int, position: int) -> int:
+    """Return bit ``position`` (0 = LSB) of ``value`` as 0 or 1."""
+    return (value >> position) & 1
+
+
+def get_bits(value: int, high: int, low: int) -> int:
+    """Return bits ``high:low`` (inclusive, high >= low) of ``value``."""
+    if high < low:
+        raise ValueError(f"invalid bit range [{high}:{low}]")
+    width = high - low + 1
+    return (value >> low) & ((1 << width) - 1)
+
+
+def set_bit(value: int, position: int, bit: int) -> int:
+    """Return ``value`` with bit ``position`` set to ``bit`` (0 or 1)."""
+    if bit:
+        return value | (1 << position)
+    return value & ~(1 << position)
+
+
+def set_bits(value: int, high: int, low: int, field: int) -> int:
+    """Return ``value`` with bits ``high:low`` replaced by ``field``."""
+    if high < low:
+        raise ValueError(f"invalid bit range [{high}:{low}]")
+    width = high - low + 1
+    mask = ((1 << width) - 1) << low
+    return (value & ~mask) | ((field << low) & mask)
+
+
+def sign_extend(value: int, bits: int) -> int:
+    """Sign-extend the ``bits``-wide ``value`` to a Python integer."""
+    value &= (1 << bits) - 1
+    if value & (1 << (bits - 1)):
+        return value - (1 << bits)
+    return value
+
+
+def to_signed(value: int, bits: int = 64) -> int:
+    """Interpret the low ``bits`` of ``value`` as a signed integer."""
+    return sign_extend(value, bits)
+
+
+def to_unsigned(value: int, bits: int = 64) -> int:
+    """Interpret ``value`` as an unsigned ``bits``-wide integer."""
+    return value & ((1 << bits) - 1)

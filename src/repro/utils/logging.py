@@ -1,0 +1,30 @@
+"""Library-wide logging configuration.
+
+The library never configures the root logger; applications opt in via
+:func:`enable_logging`.
+"""
+
+from __future__ import annotations
+
+import logging
+
+LOGGER_NAME = "repro"
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """Return a child logger under the ``repro`` namespace."""
+    if name:
+        return logging.getLogger(f"{LOGGER_NAME}.{name}")
+    return logging.getLogger(LOGGER_NAME)
+
+
+def enable_logging(level: int = logging.INFO) -> None:
+    """Attach a stream handler to the library logger (idempotent)."""
+    logger = logging.getLogger(LOGGER_NAME)
+    logger.setLevel(level)
+    if not logger.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+        )
+        logger.addHandler(handler)

@@ -1,0 +1,91 @@
+"""Shared fixtures for the test suite.
+
+The fixtures keep campaign sizes small so the full suite runs in a couple of
+minutes; anything statistically sensitive (e.g. MABFuzz-vs-TheHuzz
+comparisons) lives in the benchmark harness instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.isa.generator import GeneratorConfig, SeedGenerator
+from repro.isa.instruction import Instruction
+from repro.isa.program import TestProgram
+from repro.rtl.cva6 import CVA6Model
+from repro.rtl.harness import DutConfig
+from repro.rtl.rocket import RocketModel
+from repro.sim.golden import GoldenModel
+
+
+@pytest.fixture
+def rng():
+    """A deterministic NumPy generator."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def seed_generator(rng):
+    """A seed generator with the default configuration."""
+    return SeedGenerator(GeneratorConfig(), rng)
+
+
+@pytest.fixture
+def golden_model():
+    return GoldenModel()
+
+
+@pytest.fixture
+def clean_cva6():
+    """A CVA6 model with no injected bugs (must match the golden model)."""
+    return CVA6Model(bugs=[])
+
+
+@pytest.fixture
+def buggy_cva6():
+    """A CVA6 model with the paper's default V1-V6 bug set."""
+    return CVA6Model()
+
+
+@pytest.fixture
+def buggy_rocket():
+    """A Rocket model with the paper's V7 bug."""
+    return RocketModel()
+
+
+@pytest.fixture
+def small_dut_config():
+    """A deliberately tiny DUT configuration for fast structural tests."""
+    return DutConfig(name="tiny", icache_sets=4, dcache_sets=4, cache_ways=1,
+                     bpred_entries=4, hazard_window=2)
+
+
+def make_program(instructions, base=0x4000_0000) -> TestProgram:
+    """Helper used across tests to build a program from instruction list."""
+    return TestProgram(instructions=tuple(instructions), base_address=base)
+
+
+@pytest.fixture
+def straightline_program():
+    """A tiny deterministic program with no memory access or branches."""
+    return make_program([
+        Instruction("addi", rd=5, rs1=0, imm=7),
+        Instruction("addi", rd=6, rs1=5, imm=3),
+        Instruction("add", rd=7, rs1=5, rs2=6),
+        Instruction("sub", rd=28, rs1=7, rs2=5),
+        Instruction("ecall"),
+    ])
+
+
+@pytest.fixture
+def memory_program():
+    """A program exercising valid loads and stores via the data region."""
+    return make_program([
+        Instruction("lui", rd=10, imm=0x40004),
+        Instruction("addi", rd=5, rs1=0, imm=123),
+        Instruction("sd", rs1=10, rs2=5, imm=0),
+        Instruction("ld", rd=6, rs1=10, imm=0),
+        Instruction("lw", rd=7, rs1=10, imm=0),
+        Instruction("ecall"),
+    ])

@@ -1,0 +1,53 @@
+"""Tests for the MABFuzz configuration."""
+
+import pytest
+
+from repro.core.config import MABFuzzConfig
+
+
+class TestDefaults:
+    def test_paper_values(self):
+        """Defaults follow Sec. IV-A of the paper."""
+        config = MABFuzzConfig()
+        assert config.num_arms == 10
+        assert config.alpha == pytest.approx(0.25)
+        assert config.gamma == 3
+        assert config.eta == pytest.approx(0.1)
+
+    def test_frozen(self):
+        config = MABFuzzConfig()
+        with pytest.raises(Exception):
+            config.alpha = 0.5  # type: ignore[misc]
+
+
+class TestValidation:
+    def test_num_arms(self):
+        with pytest.raises(ValueError):
+            MABFuzzConfig(num_arms=0)
+
+    def test_alpha_range(self):
+        with pytest.raises(ValueError):
+            MABFuzzConfig(alpha=1.5)
+        with pytest.raises(ValueError):
+            MABFuzzConfig(alpha=-0.1)
+
+    def test_gamma(self):
+        with pytest.raises(ValueError):
+            MABFuzzConfig(gamma=0)
+        assert MABFuzzConfig(gamma=None).gamma is None
+
+    def test_epsilon_eta(self):
+        with pytest.raises(ValueError):
+            MABFuzzConfig(epsilon=2.0)
+        with pytest.raises(ValueError):
+            MABFuzzConfig(eta=0.0)
+
+    def test_saturation_metric(self):
+        with pytest.raises(ValueError):
+            MABFuzzConfig(saturation_metric="bogus")
+        assert MABFuzzConfig(saturation_metric="local").saturation_metric == "local"
+
+    def test_arm_pool_max(self):
+        with pytest.raises(ValueError):
+            MABFuzzConfig(arm_pool_max=0)
+        assert MABFuzzConfig(arm_pool_max=None).arm_pool_max is None

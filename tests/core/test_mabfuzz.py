@@ -1,0 +1,133 @@
+"""Tests for the MABFuzz fuzzer itself."""
+
+import pytest
+
+from repro.core.bandit.epsilon_greedy import EpsilonGreedyBandit
+from repro.core.config import MABFuzzConfig
+from repro.core.mabfuzz import MABFuzz
+from repro.fuzzing.base import FuzzerConfig
+from repro.rtl.cva6 import CVA6Model
+from repro.rtl.rocket import RocketModel
+
+
+@pytest.fixture
+def small_fuzzer_config():
+    return FuzzerConfig(num_seeds=3, mutants_per_test=2)
+
+
+@pytest.fixture
+def small_mab_config():
+    return MABFuzzConfig(num_arms=4, gamma=2, arm_pool_max=16)
+
+
+class TestConstruction:
+    def test_name_includes_algorithm(self, small_fuzzer_config, small_mab_config):
+        fuzzer = MABFuzz(CVA6Model(bugs=[]), algorithm="ucb",
+                         mab_config=small_mab_config,
+                         config=small_fuzzer_config, rng=0)
+        assert fuzzer.name == "mabfuzz:ucb"
+
+    def test_arm_count_matches_config(self, small_fuzzer_config, small_mab_config):
+        fuzzer = MABFuzz(CVA6Model(bugs=[]), algorithm="exp3",
+                         mab_config=small_mab_config,
+                         config=small_fuzzer_config, rng=0)
+        assert len(fuzzer.arms) == small_mab_config.num_arms
+        assert fuzzer.bandit.num_arms == small_mab_config.num_arms
+
+    def test_exp3_normalizer_is_coverage_space_size(self, small_mab_config):
+        dut = RocketModel(bugs=[])
+        fuzzer = MABFuzz(dut, algorithm="exp3", mab_config=small_mab_config, rng=0)
+        assert fuzzer.bandit.reward_normalizer == dut.total_coverage_points
+
+    def test_custom_bandit_instance(self, small_fuzzer_config):
+        bandit = EpsilonGreedyBandit(5, epsilon=0.5, rng=0)
+        fuzzer = MABFuzz(CVA6Model(bugs=[]), algorithm=bandit,
+                         mab_config=MABFuzzConfig(num_arms=5),
+                         config=small_fuzzer_config, rng=0)
+        assert fuzzer.bandit is bandit
+        assert fuzzer.name == "mabfuzz:egreedy"
+
+    def test_arm_pools_start_with_their_seed(self, small_fuzzer_config, small_mab_config):
+        fuzzer = MABFuzz(CVA6Model(bugs=[]), algorithm="ucb",
+                         mab_config=small_mab_config,
+                         config=small_fuzzer_config, rng=0)
+        for arm in fuzzer.arms:
+            assert len(arm.pool) == 1
+            assert arm.pool.peek() is arm.seed
+
+
+class TestFuzzingLoop:
+    def test_fuzz_one_mutates_into_selected_arm(self, small_fuzzer_config,
+                                                small_mab_config):
+        fuzzer = MABFuzz(CVA6Model(bugs=[]), algorithm="roundrobin",
+                         mab_config=small_mab_config,
+                         config=small_fuzzer_config, rng=0)
+        fuzzer.fuzz_one()
+        # Round-robin picked arm 0; its seed was consumed and replaced by mutants.
+        arm = fuzzer.arms[0]
+        assert len(arm.pool) == small_fuzzer_config.mutants_per_test
+        assert arm.pulls == 1
+        assert arm.local_coverage
+
+    def test_run_produces_result_with_metadata(self, small_fuzzer_config,
+                                               small_mab_config):
+        fuzzer = MABFuzz(CVA6Model(bugs=[]), algorithm="ucb",
+                         mab_config=small_mab_config,
+                         config=small_fuzzer_config, rng=1)
+        result = fuzzer.run(25)
+        assert result.fuzzer_name == "mabfuzz:ucb"
+        assert result.num_tests == 25
+        assert result.coverage_count > 0
+        assert result.metadata["algorithm"] == "ucb"
+        assert result.metadata["num_arms"] == small_mab_config.num_arms
+        assert result.metadata["alpha"] == small_mab_config.alpha
+        assert "total_resets" in result.metadata
+
+    def test_deterministic_given_seed(self, small_fuzzer_config, small_mab_config):
+        runs = []
+        for _ in range(2):
+            fuzzer = MABFuzz(CVA6Model(bugs=[]), algorithm="exp3",
+                             mab_config=small_mab_config,
+                             config=small_fuzzer_config, rng=1234)
+            runs.append(fuzzer.run(20))
+        assert runs[0].coverage_count == runs[1].coverage_count
+        assert [s.covered for s in runs[0].coverage_curve] == \
+            [s.covered for s in runs[1].coverage_curve]
+
+    def test_resets_happen_under_tight_gamma(self, small_fuzzer_config):
+        mab_config = MABFuzzConfig(num_arms=2, gamma=1, arm_pool_max=8)
+        fuzzer = MABFuzz(RocketModel(bugs=[]), algorithm="ucb",
+                         mab_config=mab_config, config=small_fuzzer_config, rng=5)
+        fuzzer.run(60)
+        assert fuzzer.scheduler.total_resets > 0
+
+    def test_no_resets_when_gamma_disabled(self, small_fuzzer_config):
+        mab_config = MABFuzzConfig(num_arms=2, gamma=None, arm_pool_max=8)
+        fuzzer = MABFuzz(RocketModel(bugs=[]), algorithm="ucb",
+                         mab_config=mab_config, config=small_fuzzer_config, rng=5)
+        fuzzer.run(40)
+        assert fuzzer.scheduler.total_resets == 0
+
+    def test_every_algorithm_runs(self, small_fuzzer_config, small_mab_config):
+        for algorithm in ("egreedy", "ucb", "exp3", "uniform", "roundrobin", "greedy"):
+            fuzzer = MABFuzz(CVA6Model(bugs=[]), algorithm=algorithm,
+                             mab_config=small_mab_config,
+                             config=small_fuzzer_config, rng=2)
+            result = fuzzer.run(8)
+            assert result.num_tests == 8
+            assert result.coverage_count > 0
+
+    def test_arm_pool_cap_enforced(self, small_fuzzer_config):
+        mab_config = MABFuzzConfig(num_arms=2, gamma=None, arm_pool_max=4)
+        fuzzer = MABFuzz(CVA6Model(bugs=[]), algorithm="roundrobin",
+                         mab_config=mab_config, config=small_fuzzer_config, rng=3)
+        fuzzer.run(30)
+        for arm in fuzzer.arms:
+            assert len(arm.pool) <= 4
+
+    def test_detects_bug_with_mab_scheduling(self):
+        fuzzer = MABFuzz(CVA6Model(bugs=["V5"]), algorithm="ucb",
+                         mab_config=MABFuzzConfig(num_arms=4),
+                         config=FuzzerConfig(num_seeds=4), rng=11)
+        result = fuzzer.run(80)
+        assert "V5" in result.bug_detections

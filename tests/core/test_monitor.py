@@ -1,0 +1,81 @@
+"""Tests for the γ-window saturation monitor (Sec. III-C)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.monitor import SaturationMonitor
+
+
+class TestSaturationMonitor:
+    def test_invalid_gamma(self):
+        with pytest.raises(ValueError):
+            SaturationMonitor(gamma=0)
+
+    def test_not_saturated_before_window_filled(self):
+        monitor = SaturationMonitor(gamma=3)
+        monitor.record(0, 0)
+        monitor.record(0, 0)
+        assert not monitor.is_saturated(0)
+
+    def test_saturated_after_gamma_zero_pulls(self):
+        monitor = SaturationMonitor(gamma=3)
+        for _ in range(3):
+            monitor.record(0, 0)
+        assert monitor.is_saturated(0)
+
+    def test_any_new_coverage_resets_streak(self):
+        monitor = SaturationMonitor(gamma=3)
+        monitor.record(0, 0)
+        monitor.record(0, 0)
+        monitor.record(0, 4)
+        assert not monitor.is_saturated(0)
+        monitor.record(0, 0)
+        monitor.record(0, 0)
+        assert not monitor.is_saturated(0)  # window is [0, 4, 0] then [4, 0, 0]
+        monitor.record(0, 0)
+        assert monitor.is_saturated(0)
+
+    def test_per_arm_isolation(self):
+        monitor = SaturationMonitor(gamma=2)
+        monitor.record(0, 0)
+        monitor.record(0, 0)
+        monitor.record(1, 5)
+        assert monitor.is_saturated(0)
+        assert not monitor.is_saturated(1)
+
+    def test_clear(self):
+        monitor = SaturationMonitor(gamma=2)
+        monitor.record(0, 0)
+        monitor.record(0, 0)
+        monitor.clear(0)
+        assert not monitor.is_saturated(0)
+        assert monitor.window(0) == []
+
+    def test_window_contents(self):
+        monitor = SaturationMonitor(gamma=3)
+        for count in (5, 0, 2, 1):
+            monitor.record(0, count)
+        assert monitor.window(0) == [0, 2, 1]
+
+    def test_gamma_none_disables_resets(self):
+        monitor = SaturationMonitor(gamma=None)
+        for _ in range(50):
+            monitor.record(0, 0)
+        assert not monitor.is_saturated(0)
+
+    def test_unknown_arm_not_saturated(self):
+        assert not SaturationMonitor(gamma=2).is_saturated(7)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            SaturationMonitor(gamma=2).record(0, -1)
+
+
+@given(counts=st.lists(st.integers(0, 5), min_size=1, max_size=30),
+       gamma=st.integers(1, 5))
+def test_saturation_matches_trailing_window(counts, gamma):
+    monitor = SaturationMonitor(gamma=gamma)
+    for count in counts:
+        monitor.record(3, count)
+    expected = len(counts) >= gamma and all(c == 0 for c in counts[-gamma:])
+    assert monitor.is_saturated(3) == expected

@@ -1,0 +1,86 @@
+"""Tests for the α-weighted local/global reward (Sec. III-B)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.reward import RewardBreakdown, RewardComputer
+
+point_sets = st.sets(st.integers(0, 60).map(lambda i: f"p{i}"), max_size=25)
+
+
+class TestRewardComputer:
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            RewardComputer(alpha=-0.1)
+        with pytest.raises(ValueError):
+            RewardComputer(alpha=1.1)
+
+    def test_paper_example_weighting(self):
+        """With α = 0.25 a globally-new point is worth 3x an arm-only-new point."""
+        computer = RewardComputer(alpha=0.25)
+        only_local = computer.compute(arm_coverage=set(),
+                                      test_coverage={"a"},
+                                      global_new_points=set())
+        also_global = computer.compute(arm_coverage=set(),
+                                       test_coverage={"a"},
+                                       global_new_points={"a"})
+        assert only_local.value == pytest.approx(0.25)
+        assert also_global.value == pytest.approx(1.0)
+        assert also_global.value / only_local.value == pytest.approx(4.0)
+        # relative extra weight of the global component: (1-α)/α = 3.
+        assert (also_global.value - only_local.value) / only_local.value == pytest.approx(3.0)
+
+    def test_no_new_coverage_zero_reward(self):
+        computer = RewardComputer()
+        breakdown = computer.compute({"a", "b"}, {"a", "b"}, set())
+        assert breakdown.value == 0.0
+        assert breakdown.local_count == 0
+        assert breakdown.global_count == 0
+
+    def test_local_excludes_arm_history(self):
+        computer = RewardComputer(alpha=0.5)
+        breakdown = computer.compute({"a"}, {"a", "b", "c"}, {"c"})
+        assert breakdown.local_new == {"b", "c"}
+        assert breakdown.global_new == {"c"}
+        assert breakdown.value == pytest.approx(0.5 * 2 + 0.5 * 1)
+
+    def test_alpha_one_ignores_global(self):
+        computer = RewardComputer(alpha=1.0)
+        breakdown = computer.compute(set(), {"a", "b"}, {"a"})
+        assert breakdown.value == pytest.approx(2.0)
+
+    def test_alpha_zero_counts_only_global(self):
+        computer = RewardComputer(alpha=0.0)
+        breakdown = computer.compute(set(), {"a", "b"}, {"a"})
+        assert breakdown.value == pytest.approx(1.0)
+
+
+class TestRewardBreakdown:
+    def test_counts(self):
+        breakdown = RewardBreakdown(local_new=frozenset({"a", "b"}),
+                                    global_new=frozenset({"a"}), alpha=0.25)
+        assert breakdown.local_count == 2
+        assert breakdown.global_count == 1
+        assert breakdown.value == pytest.approx(0.25 * 2 + 0.75 * 1)
+
+
+# ----------------------------------------------------------------- properties
+@given(arm=point_sets, test=point_sets,
+       alpha=st.floats(min_value=0.0, max_value=1.0))
+def test_reward_invariants(arm, test, alpha):
+    """cov_G ⊆ cov_L ⊆ test coverage, and the reward formula holds."""
+    global_new = test - arm  # arm history is always a subset of global history
+    breakdown = RewardComputer(alpha).compute(arm, test, global_new)
+    assert breakdown.global_new <= breakdown.local_new <= frozenset(test)
+    assert breakdown.value == pytest.approx(
+        alpha * breakdown.local_count + (1 - alpha) * breakdown.global_count)
+    assert breakdown.value >= 0.0
+
+
+@given(arm=point_sets, test=point_sets)
+def test_reward_monotone_in_alpha_when_local_exceeds_global(arm, test):
+    """More α shifts weight toward the (larger) local component."""
+    global_new = set()
+    low = RewardComputer(0.1).compute(arm, test, global_new)
+    high = RewardComputer(0.9).compute(arm, test, global_new)
+    assert high.value >= low.value

@@ -1,0 +1,31 @@
+"""Tests for the per-run coverage collector."""
+
+from repro.coverage.collector import CoverageCollector
+
+
+class TestCollector:
+    def test_hit_and_len(self):
+        collector = CoverageCollector()
+        collector.hit("a")
+        collector.hit("a")
+        collector.hit("b")
+        assert len(collector) == 2
+        assert collector.hits == {"a", "b"}
+
+    def test_hit_many(self):
+        collector = CoverageCollector()
+        collector.hit_many(["a", "b", "c"])
+        assert len(collector) == 3
+
+    def test_reset(self):
+        collector = CoverageCollector()
+        collector.hit("a")
+        collector.reset()
+        assert len(collector) == 0
+
+    def test_hits_is_snapshot(self):
+        collector = CoverageCollector()
+        collector.hit("a")
+        snapshot = collector.hits
+        collector.hit("b")
+        assert snapshot == {"a"}

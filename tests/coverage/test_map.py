@@ -1,0 +1,83 @@
+"""Tests and properties for CoverageMap."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.coverage.map import CoverageMap
+
+points_strategy = st.sets(st.text(alphabet="abcdef.0123456789", min_size=1, max_size=12),
+                          max_size=40)
+
+
+class TestBasics:
+    def test_empty(self):
+        cov = CoverageMap()
+        assert len(cov) == 0
+        assert "x" not in cov
+
+    def test_add_new_and_duplicate(self):
+        cov = CoverageMap()
+        assert cov.add("a.b") is True
+        assert cov.add("a.b") is False
+        assert len(cov) == 1
+
+    def test_update_counts_new(self):
+        cov = CoverageMap({"a"})
+        assert cov.update(["a", "b", "c"]) == 2
+
+    def test_new_points(self):
+        cov = CoverageMap({"a", "b"})
+        assert cov.new_points(["b", "c"]) == {"c"}
+
+    def test_merge(self):
+        merged = CoverageMap({"a"}).merge(CoverageMap({"b"}))
+        assert set(merged) == {"a", "b"}
+
+    def test_iteration_and_contains(self):
+        cov = CoverageMap({"a", "b"})
+        assert sorted(cov) == ["a", "b"]
+        assert "a" in cov
+
+
+class TestSpace:
+    def test_fraction_and_percent(self):
+        space = frozenset({"a", "b", "c", "d"})
+        cov = CoverageMap({"a", "b"}, space=space)
+        assert cov.fraction() == pytest.approx(0.5)
+        assert cov.percent() == pytest.approx(50.0)
+
+    def test_outside_space_rejected_on_init(self):
+        with pytest.raises(ValueError):
+            CoverageMap({"zzz"}, space=frozenset({"a"}))
+
+    def test_outside_space_rejected_on_add(self):
+        cov = CoverageMap(space=frozenset({"a"}))
+        with pytest.raises(ValueError):
+            cov.add("b")
+
+    def test_fraction_requires_space(self):
+        with pytest.raises(ValueError):
+            CoverageMap({"a"}).fraction()
+
+
+# ----------------------------------------------------------------- properties
+@given(points_strategy, points_strategy)
+def test_update_is_union(first, second):
+    cov = CoverageMap(first)
+    new = cov.update(second)
+    assert set(cov.points) == first | second
+    assert new == len(second - first)
+
+
+@given(points_strategy, points_strategy)
+def test_merge_commutative(first, second):
+    a = CoverageMap(first).merge(CoverageMap(second))
+    b = CoverageMap(second).merge(CoverageMap(first))
+    assert a.points == b.points
+
+
+@given(points_strategy)
+def test_idempotent_update(points):
+    cov = CoverageMap(points)
+    assert cov.update(points) == 0
+    assert set(cov.points) == points

@@ -1,0 +1,31 @@
+"""Tests for coverage-point naming."""
+
+import pytest
+
+from repro.coverage.points import coverage_point, parse_point, point_module
+
+
+class TestCoveragePoint:
+    def test_simple(self):
+        assert coverage_point("decode", "addi") == "decode.addi"
+
+    def test_mixed_types(self):
+        assert coverage_point("dcache", "set7", "miss") == "dcache.set7.miss"
+        assert coverage_point("rob", 3, "alloc") == "rob.3.alloc"
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            coverage_point()
+
+
+class TestParsePoint:
+    def test_roundtrip(self):
+        point = coverage_point("a", "b", "c")
+        assert parse_point(point) == ("a", "b", "c")
+
+    def test_module(self):
+        assert point_module("decode.addi.rd_zero") == "decode"
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            parse_point("")

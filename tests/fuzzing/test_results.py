@@ -1,0 +1,77 @@
+"""Tests for campaign result records."""
+
+import pytest
+
+from repro.coverage.database import CoverageSample
+from repro.fuzzing.results import BugDetection, FuzzCampaignResult, TestOutcome
+from repro.isa.instruction import Instruction
+from repro.isa.program import TestProgram
+from repro.sim.trace import HaltReason
+
+
+def _outcome(new_points=frozenset()):
+    return TestOutcome(
+        test_index=0,
+        program=TestProgram(instructions=(Instruction("ecall"),)),
+        coverage=frozenset({"a"}),
+        new_points=frozenset(new_points),
+        mismatch=None,
+        detected_bugs=frozenset(),
+        halt_reason=HaltReason.ECALL,
+    )
+
+
+class TestTestOutcome:
+    def test_interesting_iff_new_points(self):
+        assert _outcome({"x"}).is_interesting
+        assert not _outcome().is_interesting
+
+
+class TestBugDetection:
+    def test_tests_to_detection(self):
+        detection = BugDetection(bug_id="V1", test_index=9, program_id="t3")
+        assert detection.tests_to_detection == 10
+
+
+class TestFuzzCampaignResult:
+    def _result(self):
+        return FuzzCampaignResult(
+            fuzzer_name="thehuzz",
+            dut_name="cva6",
+            num_tests=10,
+            coverage_curve=[CoverageSample(0, 5), CoverageSample(4, 9),
+                            CoverageSample(9, 12)],
+            coverage_count=12,
+            total_points=100,
+            bug_detections={"V5": BugDetection("V5", 2, "t9")},
+        )
+
+    def test_coverage_percent(self):
+        assert self._result().coverage_percent == pytest.approx(12.0)
+
+    def test_percent_with_zero_total(self):
+        result = FuzzCampaignResult("f", "d", 1)
+        assert result.coverage_percent == 0.0
+
+    def test_detection_tests(self):
+        result = self._result()
+        assert result.detection_tests("V5") == 3
+        assert result.detection_tests("V1") is None
+
+    def test_coverage_at(self):
+        result = self._result()
+        assert result.coverage_at(0) == 5
+        assert result.coverage_at(3) == 5
+        assert result.coverage_at(4) == 9
+        assert result.coverage_at(100) == 12
+
+    def test_tests_to_reach_coverage(self):
+        result = self._result()
+        assert result.tests_to_reach_coverage(5) == 1
+        assert result.tests_to_reach_coverage(9) == 5
+        assert result.tests_to_reach_coverage(12) == 10
+        assert result.tests_to_reach_coverage(13) is None
+
+    def test_summary_mentions_key_facts(self):
+        text = self._result().summary()
+        assert "thehuzz" in text and "cva6" in text and "V5@3" in text

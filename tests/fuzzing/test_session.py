@@ -1,0 +1,74 @@
+"""Tests for the shared fuzzing session plumbing."""
+
+import pytest
+
+from repro.fuzzing.session import FuzzSession
+from repro.isa import csr as csrdefs
+from repro.isa.instruction import Instruction
+from repro.isa.program import TestProgram
+from repro.rtl.cva6 import CVA6Model
+from repro.rtl.rocket import RocketModel
+
+
+def _program(*instructions):
+    return TestProgram(instructions=tuple(instructions))
+
+
+@pytest.fixture
+def session():
+    return FuzzSession(CVA6Model(bugs=["V6"]))
+
+
+class TestRunTest:
+    def test_first_test_is_interesting(self, session, straightline_program):
+        outcome = session.run_test(straightline_program)
+        assert outcome.test_index == 0
+        assert outcome.is_interesting
+        assert outcome.coverage
+        assert session.tests_executed == 1
+        assert session.interesting_tests == 1
+
+    def test_repeated_test_not_interesting(self, session, straightline_program):
+        session.run_test(straightline_program)
+        outcome = session.run_test(straightline_program)
+        assert not outcome.is_interesting
+        assert outcome.new_points == frozenset()
+
+    def test_coverage_accumulates(self, session, straightline_program, memory_program):
+        first = session.run_test(straightline_program)
+        before = session.coverage_count
+        session.run_test(memory_program)
+        assert session.coverage_count >= before
+        assert session.coverage_count >= len(first.new_points)
+
+    def test_bug_detection_recorded_once(self, session):
+        trigger = _program(
+            Instruction("csrrs", rd=5, rs1=0, csr=0x7B0),
+            Instruction("ecall"),
+        )
+        first = session.run_test(trigger)
+        assert first.detected_bugs == {"V6"}
+        assert session.bug_detections["V6"].test_index == 0
+        session.run_test(trigger)
+        # The first detection is kept, not overwritten.
+        assert session.bug_detections["V6"].test_index == 0
+        assert session.mismatching_tests == 2
+
+    def test_clean_program_no_mismatch(self, session, straightline_program):
+        outcome = session.run_test(straightline_program)
+        assert outcome.mismatch is None
+        assert outcome.detected_bugs == frozenset()
+
+    def test_undetected_bugs(self):
+        session = FuzzSession(RocketModel())
+        assert session.undetected_bugs() == ["V7"]
+        trigger = _program(
+            Instruction("ebreak"),
+            Instruction("csrrs", rd=5, rs1=0, csr=csrdefs.MINSTRET),
+            Instruction("ecall"),
+        )
+        session.run_test(trigger)
+        assert session.undetected_bugs() == []
+
+    def test_total_points_matches_dut_space(self, session):
+        assert session.total_points == session.dut.total_coverage_points

@@ -1,0 +1,69 @@
+"""Tests for the FIFO test pool."""
+
+import pytest
+
+from repro.fuzzing.testpool import TestPool
+from repro.isa.instruction import Instruction
+from repro.isa.program import TestProgram
+
+
+def _program(tag: int) -> TestProgram:
+    return TestProgram(instructions=(Instruction("addi", rd=1, rs1=0, imm=tag),))
+
+
+class TestFifoOrder:
+    def test_push_pop_order(self):
+        pool = TestPool()
+        programs = [_program(i) for i in range(5)]
+        pool.push_many(programs)
+        assert [pool.pop() for _ in range(5)] == programs
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            TestPool().pop()
+
+    def test_peek(self):
+        pool = TestPool()
+        assert pool.peek() is None
+        first = _program(1)
+        pool.push(first)
+        pool.push(_program(2))
+        assert pool.peek() is first
+        assert len(pool) == 2  # peek does not remove
+
+    def test_bool_and_len(self):
+        pool = TestPool()
+        assert not pool
+        pool.push(_program(0))
+        assert pool and len(pool) == 1
+
+    def test_clear(self):
+        pool = TestPool([_program(i) for i in range(3)])
+        pool.clear()
+        assert len(pool) == 0
+
+
+class TestCapacity:
+    def test_max_size_drops_overflow(self):
+        pool = TestPool(max_size=2)
+        accepted = pool.push_many([_program(i) for i in range(5)])
+        assert accepted == 2
+        assert len(pool) == 2
+        assert pool.total_dropped == 3
+
+    def test_invalid_max_size(self):
+        with pytest.raises(ValueError):
+            TestPool(max_size=0)
+
+    def test_statistics(self):
+        pool = TestPool()
+        pool.push_many([_program(i) for i in range(4)])
+        pool.pop()
+        assert pool.total_pushed == 4
+        assert pool.total_popped == 1
+
+    def test_snapshot_preserves_order(self):
+        programs = [_program(i) for i in range(3)]
+        pool = TestPool(programs)
+        assert pool.snapshot() == programs
+        assert len(pool) == 3

@@ -1,0 +1,65 @@
+"""Tests for campaign specs and trial running."""
+
+import pytest
+
+from repro.fuzzing.base import FuzzerConfig
+from repro.harness.campaign import CampaignSpec, TrialSet, run_campaign, run_trials
+
+
+SMALL = dict(num_tests=12, trials=2, seed=3,
+             fuzzer_config=FuzzerConfig(num_seeds=3, mutants_per_test=2))
+
+
+class TestCampaignSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CampaignSpec(processor="cva6", fuzzer="thehuzz", num_tests=0)
+        with pytest.raises(ValueError):
+            CampaignSpec(processor="cva6", fuzzer="thehuzz", trials=0)
+
+    def test_defaults(self):
+        spec = CampaignSpec(processor="cva6", fuzzer="thehuzz")
+        assert spec.trials == 3
+        assert spec.bugs is None
+
+
+class TestRunCampaign:
+    def test_single_trial(self):
+        spec = CampaignSpec(processor="rocket", fuzzer="thehuzz", bugs=[], **SMALL)
+        result = run_campaign(spec, trial_index=0)
+        assert result.num_tests == 12
+        assert result.dut_name == "rocket"
+        assert result.metadata["trial"] == 0
+
+    def test_trial_index_changes_seed(self):
+        spec = CampaignSpec(processor="rocket", fuzzer="thehuzz", bugs=[], **SMALL)
+        first = run_campaign(spec, trial_index=0)
+        second = run_campaign(spec, trial_index=1)
+        assert first.metadata["seed"] != second.metadata["seed"]
+
+    def test_same_trial_reproducible(self):
+        spec = CampaignSpec(processor="cva6", fuzzer="mabfuzz:ucb", bugs=[], **SMALL)
+        first = run_campaign(spec, trial_index=0)
+        second = run_campaign(spec, trial_index=0)
+        assert first.coverage_count == second.coverage_count
+
+
+class TestRunTrials:
+    def test_trialset_contents(self):
+        spec = CampaignSpec(processor="rocket", fuzzer="thehuzz", bugs=[], **SMALL)
+        trialset = run_trials(spec)
+        assert isinstance(trialset, TrialSet)
+        assert trialset.num_trials == 2
+        assert trialset.processor == "rocket"
+        assert trialset.fuzzer_name == "thehuzz"
+        assert trialset.mean_coverage_count() > 0
+        assert 0 < trialset.mean_coverage_percent() < 100
+
+    def test_detection_tests_list(self):
+        spec = CampaignSpec(processor="cva6", fuzzer="thehuzz", bugs=["V5"],
+                            num_tests=40, trials=2, seed=1,
+                            fuzzer_config=FuzzerConfig(num_seeds=4))
+        trialset = run_trials(spec)
+        detections = trialset.detection_tests("V5")
+        assert len(detections) == 2
+        assert any(d is not None for d in detections)

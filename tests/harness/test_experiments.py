@@ -1,0 +1,110 @@
+"""Small-scale tests of the paper-experiment drivers.
+
+These run tiny campaigns (tens of tests, one or two trials) purely to check
+the experiment plumbing; the benchmark harness is what produces the
+paper-shaped numbers.
+"""
+
+import pytest
+
+from repro.core.config import MABFuzzConfig
+from repro.fuzzing.base import FuzzerConfig
+from repro.harness.experiments import (
+    ExperimentConfig,
+    figure3_series,
+    figure4_summary,
+    run_alpha_ablation,
+    run_arm_count_ablation,
+    run_coverage_study,
+    run_gamma_ablation,
+    run_mutation_bandit_comparison,
+    run_table1,
+)
+
+TINY = ExperimentConfig(
+    num_tests=15,
+    trials=1,
+    seed=2,
+    algorithms=("ucb",),
+    processors=("rocket",),
+    fuzzer_config=FuzzerConfig(num_seeds=3, mutants_per_test=2),
+    mab_config=MABFuzzConfig(num_arms=3, arm_pool_max=16),
+)
+
+
+class TestExperimentConfig:
+    def test_mab_fuzzer_names(self):
+        config = ExperimentConfig(algorithms=("egreedy", "ucb", "exp3"))
+        assert config.mab_fuzzer_names() == (
+            "mabfuzz:egreedy", "mabfuzz:ucb", "mabfuzz:exp3")
+
+    def test_spec_overrides(self):
+        spec = TINY.spec("cva6", "thehuzz", num_tests=99)
+        assert spec.processor == "cva6"
+        assert spec.num_tests == 99
+        assert spec.trials == TINY.trials
+
+
+class TestTable1:
+    def test_structure(self):
+        result = run_table1(TINY)
+        # CVA6 rows V1..V6 plus Rocket's V7.
+        assert [row.bug_id for row in result.rows] == [
+            "V1", "V2", "V3", "V4", "V5", "V6", "V7"]
+        processors = {row.bug_id: row.processor for row in result.rows}
+        assert processors["V7"] == "rocket"
+        assert processors["V1"] == "cva6"
+        for row in result.rows:
+            assert set(row.speedups) == {"ucb"}
+        assert ("cva6", "thehuzz") in result.trialsets
+        assert ("rocket", "mabfuzz:ucb") in result.trialsets
+
+    def test_row_lookup(self):
+        result = run_table1(TINY)
+        assert result.row("V5").cwe == 1252
+        with pytest.raises(KeyError):
+            result.row("V99")
+        # best_speedup is None or positive, depending on what the tiny run saw.
+        best = result.best_speedup("V5")
+        assert best is None or best > 0
+
+
+class TestCoverageStudy:
+    def test_study_and_figures(self):
+        study = run_coverage_study(TINY)
+        assert set(study.trialsets) == {("rocket", "thehuzz"), ("rocket", "mabfuzz:ucb")}
+
+        series = figure3_series(study, num_samples=5)
+        assert set(series) == {"rocket"}
+        assert set(series["rocket"]) == {"thehuzz", "mabfuzz:ucb"}
+        for samples in series["rocket"].values():
+            assert len(samples) == 5
+            covered = [s.covered for s in samples]
+            assert covered == sorted(covered)
+
+        summary = figure4_summary(study)
+        metrics = summary["rocket"]["ucb"]
+        assert metrics["speedup"] > 0
+        assert "increment_percent" in metrics
+        assert metrics["baseline_coverage"] > 0
+
+
+class TestAblations:
+    def test_alpha_ablation(self):
+        results = run_alpha_ablation(TINY, alphas=(0.0, 1.0), processor="rocket")
+        assert set(results) == {0.0, 1.0}
+        for trialset in results.values():
+            assert trialset.mean_coverage_count() > 0
+
+    def test_gamma_ablation_includes_disabled(self):
+        results = run_gamma_ablation(TINY, gammas=(1, None), processor="rocket")
+        assert set(results) == {1, None}
+
+    def test_arm_count_ablation(self):
+        results = run_arm_count_ablation(TINY, arm_counts=(2, 4), processor="rocket")
+        assert set(results) == {2, 4}
+        assert results[2].results[0].metadata["num_arms"] == 2
+
+    def test_mutation_bandit_comparison(self):
+        comparison = run_mutation_bandit_comparison(TINY, processor="rocket")
+        assert set(comparison) == {"thehuzz", "mutation-bandit:exp3"}

@@ -1,0 +1,124 @@
+"""Tests for the evaluation metrics (detection speedups, coverage speedups)."""
+
+import pytest
+
+from repro.coverage.database import CoverageSample
+from repro.fuzzing.results import BugDetection, FuzzCampaignResult
+from repro.harness.metrics import (
+    coverage_increment_percent,
+    coverage_speedup,
+    detection_speedup,
+    mean_coverage_curve,
+    mean_detection_tests,
+)
+
+
+def _result(num_tests=100, curve=(), detections=None, coverage=0):
+    return FuzzCampaignResult(
+        fuzzer_name="f", dut_name="d", num_tests=num_tests,
+        coverage_curve=[CoverageSample(i, c) for i, c in curve],
+        coverage_count=coverage,
+        total_points=1000,
+        bug_detections={bug: BugDetection(bug, idx, "t0")
+                        for bug, idx in (detections or {}).items()},
+    )
+
+
+class TestMeanDetectionTests:
+    def test_simple_mean(self):
+        results = [_result(detections={"V1": 9}), _result(detections={"V1": 19})]
+        assert mean_detection_tests(results, "V1") == pytest.approx(15.0)
+
+    def test_censoring(self):
+        results = [_result(num_tests=100, detections={"V1": 9}), _result(num_tests=100)]
+        assert mean_detection_tests(results, "V1") == pytest.approx((10 + 100) / 2)
+
+    def test_none_when_never_detected(self):
+        assert mean_detection_tests([_result(), _result()], "V1") is None
+
+
+class TestDetectionSpeedup:
+    def test_faster_candidate(self):
+        baseline = [_result(detections={"V1": 99})]
+        candidate = [_result(detections={"V1": 9})]
+        assert detection_speedup(baseline, candidate, "V1") == pytest.approx(10.0)
+
+    def test_slower_candidate(self):
+        baseline = [_result(detections={"V1": 9})]
+        candidate = [_result(detections={"V1": 99})]
+        assert detection_speedup(baseline, candidate, "V1") == pytest.approx(0.1)
+
+    def test_baseline_missed_gives_lower_bound(self):
+        baseline = [_result(num_tests=100)]
+        candidate = [_result(num_tests=100, detections={"V1": 4})]
+        assert detection_speedup(baseline, candidate, "V1") == pytest.approx(20.0)
+        assert detection_speedup(baseline, candidate, "V1",
+                                 censor_baseline=False) is None
+
+    def test_none_when_neither_detected(self):
+        assert detection_speedup([_result()], [_result()], "V1") is None
+
+    def test_candidate_missed_censored(self):
+        baseline = [_result(detections={"V1": 49})]
+        candidate = [_result(num_tests=100)]
+        speedup = detection_speedup(baseline, candidate, "V1")
+        assert speedup == pytest.approx(0.5)
+
+
+class TestCoverageCurves:
+    def test_mean_curve(self):
+        a = _result(num_tests=10, curve=[(i, 10 * (i + 1)) for i in range(10)])
+        b = _result(num_tests=10, curve=[(i, 20 * (i + 1)) for i in range(10)])
+        curve = mean_coverage_curve([a, b], num_samples=5)
+        assert len(curve) == 5
+        assert curve[-1].test_index == 9
+        assert curve[-1].covered == pytest.approx((100 + 200) / 2)
+
+    def test_monotone(self):
+        a = _result(num_tests=20, curve=[(i, 5 * (i + 1)) for i in range(20)])
+        curve = mean_coverage_curve([a], num_samples=10)
+        values = [s.covered for s in curve]
+        assert values == sorted(values)
+
+    def test_empty(self):
+        assert mean_coverage_curve([]) == []
+
+
+class TestCoverageSpeedup:
+    def _linear(self, num_tests, rate):
+        return _result(num_tests=num_tests,
+                       curve=[(i, rate * (i + 1)) for i in range(num_tests)],
+                       coverage=rate * num_tests)
+
+    def test_faster_candidate(self):
+        baseline = [self._linear(100, 1)]     # reaches 100 points at test 100
+        candidate = [self._linear(100, 4)]    # reaches 100 points at test 25
+        assert coverage_speedup(baseline, candidate) == pytest.approx(4.0)
+
+    def test_equal_fuzzers(self):
+        baseline = [self._linear(50, 2)]
+        candidate = [self._linear(50, 2)]
+        assert coverage_speedup(baseline, candidate) == pytest.approx(1.0)
+
+    def test_slower_candidate_below_one(self):
+        baseline = [self._linear(100, 4)]
+        candidate = [self._linear(100, 1)]
+        assert coverage_speedup(baseline, candidate) < 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            coverage_speedup([], [self._linear(10, 1)])
+
+    def test_increment_percent(self):
+        baseline = [_result(coverage=200)]
+        candidate = [_result(coverage=210)]
+        assert coverage_increment_percent(baseline, candidate) == pytest.approx(5.0)
+
+    def test_increment_negative(self):
+        baseline = [_result(coverage=200)]
+        candidate = [_result(coverage=190)]
+        assert coverage_increment_percent(baseline, candidate) == pytest.approx(-5.0)
+
+    def test_increment_zero_baseline(self):
+        assert coverage_increment_percent([_result(coverage=0)],
+                                          [_result(coverage=10)]) == 0.0

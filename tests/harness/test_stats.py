@@ -1,0 +1,77 @@
+"""Tests for the trial-aggregation statistics helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.harness.stats import censored_mean, geometric_mean, median, summarize
+
+
+class TestSummarize:
+    def test_basic(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary.count == 3
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.std == pytest.approx(1.0)
+        assert summary.minimum == 1.0 and summary.maximum == 3.0
+        assert summary.ci_low < 2.0 < summary.ci_high
+
+    def test_single_value(self):
+        summary = summarize([5.0])
+        assert summary.std == 0.0
+        assert summary.ci_low == summary.ci_high == 5.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_unsupported_confidence(self):
+        with pytest.raises(ValueError):
+            summarize([1, 2], confidence=0.5)
+
+    def test_format(self):
+        text = summarize([2.0, 2.0, 2.0]).format("tests")
+        assert "2.00" in text and "tests" in text and "n=3" in text
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_median(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+        with pytest.raises(ValueError):
+            median([])
+
+
+class TestCensoredMean:
+    def test_mixed(self):
+        assert censored_mean([10.0, None], censor_at=100.0) == pytest.approx(55.0)
+
+    def test_all_none(self):
+        assert censored_mean([None, None], censor_at=100.0) is None
+
+    def test_empty(self):
+        assert censored_mean([], censor_at=10.0) is None
+
+
+@given(st.lists(st.floats(min_value=0.1, max_value=1e6), min_size=1, max_size=30))
+def test_summary_bounds_property(values):
+    summary = summarize(values)
+    assert summary.minimum <= summary.mean <= summary.maximum
+    assert summary.ci_low <= summary.mean <= summary.ci_high
+
+
+@given(st.lists(st.floats(min_value=0.1, max_value=1e3), min_size=1, max_size=20))
+def test_geometric_mean_between_min_and_max(values):
+    gm = geometric_mean(values)
+    assert min(values) - 1e-9 <= gm <= max(values) + 1e-9
+    arithmetic = sum(values) / len(values)
+    assert gm <= arithmetic + 1e-9

@@ -1,0 +1,110 @@
+"""Tests for the table/figure renderers and the report builder."""
+
+from repro.coverage.database import CoverageSample
+from repro.fuzzing.results import FuzzCampaignResult
+from repro.harness.campaign import CampaignSpec, TrialSet
+from repro.harness.experiments import ExperimentConfig, Table1Result, Table1Row
+from repro.harness.figures import figure3_csv, figure4_csv, render_figure3
+from repro.harness.report import build_experiments_report
+from repro.harness.tables import render_ablation_table, render_figure4_table, render_table1
+
+
+def _table1():
+    config = ExperimentConfig(algorithms=("egreedy", "ucb", "exp3"))
+    rows = [
+        Table1Row(bug_id="V5", cwe=1252, description="Exception not thrown",
+                  processor="cva6", baseline_tests=2.5,
+                  speedups={"egreedy": 0.35, "ucb": 0.13, "exp3": 0.63}),
+        Table1Row(bug_id="V7", cwe=1201, description="EBREAK instret",
+                  processor="rocket", baseline_tests=927.0,
+                  speedups={"egreedy": 308.89, "ucb": 185.34, "exp3": None}),
+    ]
+    return Table1Result(config=config, rows=rows)
+
+
+def _series():
+    return {
+        "cva6": {
+            "thehuzz": [CoverageSample(9, 100), CoverageSample(19, 150)],
+            "mabfuzz:ucb": [CoverageSample(9, 130), CoverageSample(19, 180)],
+        }
+    }
+
+
+def _summary():
+    return {
+        "cva6": {
+            "ucb": {"speedup": 5.38, "increment_percent": 0.9,
+                    "final_coverage": 180.0, "baseline_coverage": 150.0},
+        }
+    }
+
+
+class TestRenderTable1:
+    def test_contains_rows_and_speedups(self):
+        text = render_table1(_table1())
+        assert "V5" in text and "V7" in text
+        assert "308.89x" in text
+        assert "0.13x" in text
+        assert "n/a" in text  # the missing exp3 speedup
+        assert "TheHuzz #tests" in text
+
+    def test_header_names_algorithms(self):
+        text = render_table1(_table1())
+        for algo in ("egreedy", "ucb", "exp3"):
+            assert f"{algo} speedup" in text
+
+
+class TestRenderFigure4:
+    def test_contains_metrics(self):
+        text = render_figure4_table(_summary())
+        assert "cva6" in text
+        assert "5.38x" in text
+        assert "+0.90%" in text
+
+
+class TestRenderAblation:
+    def test_table(self):
+        spec = CampaignSpec(processor="cva6", fuzzer="mabfuzz:ucb", num_tests=10,
+                            trials=1)
+        result = FuzzCampaignResult(fuzzer_name="mabfuzz:ucb", dut_name="cva6",
+                                    num_tests=10, coverage_count=50, total_points=200)
+        trialset = TrialSet(spec=spec, results=[result])
+        text = render_ablation_table({0.25: trialset}, parameter_name="alpha")
+        assert "alpha" in text and "0.25" in text and "25.0%" in text
+
+
+class TestFigureRenderers:
+    def test_figure3_csv(self):
+        csv = figure3_csv(_series())
+        lines = csv.splitlines()
+        assert lines[0] == "processor,fuzzer,tests,covered_points"
+        assert "cva6,thehuzz,10,100" in lines
+        assert "cva6,mabfuzz:ucb,20,180" in lines
+
+    def test_figure4_csv(self):
+        csv = figure4_csv(_summary())
+        assert csv.splitlines()[0] == \
+            "processor,algorithm,coverage_speedup,coverage_increment_percent"
+        assert "cva6,ucb,5.380,0.900" in csv
+
+    def test_render_figure3_ascii(self):
+        text = render_figure3(_series())
+        assert "[cva6]" in text
+        assert "final=150" in text and "final=180" in text
+
+
+class TestReport:
+    def test_full_report(self):
+        from repro.harness.experiments import CoverageStudy
+
+        # A report built only from Table I still renders.
+        report = build_experiments_report(table1=_table1(), notes="scaled runs")
+        assert report.startswith("# MABFuzz reproduction")
+        assert "scaled runs" in report
+        assert "Table I" in report
+        assert "Figure 3" not in report
+
+    def test_empty_report(self):
+        report = build_experiments_report()
+        assert "MABFuzz reproduction" in report

@@ -1,0 +1,191 @@
+"""Encode/decode round-trip tests, including property-based coverage."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.assembler import assemble_program, encode_instruction
+from repro.isa.decoder import decode_word, is_legal_word
+from repro.isa.encoding import (
+    OPCODE_OP_IMM_32,
+    InstrFormat,
+    SPECS,
+    spec_for,
+)
+from repro.isa.instruction import Instruction
+
+
+# ----------------------------------------------------------- reference encodings
+class TestKnownEncodings:
+    """Spot-check against encodings produced by standard RISC-V toolchains."""
+
+    def test_addi(self):
+        # addi x1, x2, 3
+        assert encode_instruction(Instruction("addi", rd=1, rs1=2, imm=3)) == 0x00310093
+
+    def test_add(self):
+        # add x3, x4, x5
+        assert encode_instruction(Instruction("add", rd=3, rs1=4, rs2=5)) == 0x005201B3
+
+    def test_sub(self):
+        # sub x3, x4, x5
+        assert encode_instruction(Instruction("sub", rd=3, rs1=4, rs2=5)) == 0x405201B3
+
+    def test_lw(self):
+        # lw x6, 8(x7)
+        assert encode_instruction(Instruction("lw", rd=6, rs1=7, imm=8)) == 0x0083A303
+
+    def test_sw(self):
+        # sw x6, 12(x7)
+        assert encode_instruction(Instruction("sw", rs1=7, rs2=6, imm=12)) == 0x0063A623
+
+    def test_beq(self):
+        # beq x1, x2, +16
+        assert encode_instruction(Instruction("beq", rs1=1, rs2=2, imm=16)) == 0x00208863
+
+    def test_jal(self):
+        # jal x1, +2048
+        assert encode_instruction(Instruction("jal", rd=1, imm=2048)) == 0x001000EF
+
+    def test_lui(self):
+        # lui x5, 0x12345
+        assert encode_instruction(Instruction("lui", rd=5, imm=0x12345)) == 0x123452B7
+
+    def test_ecall_ebreak(self):
+        assert encode_instruction(Instruction("ecall")) == 0x00000073
+        assert encode_instruction(Instruction("ebreak")) == 0x00100073
+
+    def test_csrrw(self):
+        # csrrw x5, mstatus(0x300), x6
+        assert encode_instruction(
+            Instruction("csrrw", rd=5, rs1=6, csr=0x300)) == 0x300312F3
+
+    def test_fence_i(self):
+        assert encode_instruction(Instruction("fence.i")) == 0x0000100F
+
+    def test_srai_shamt(self):
+        # srai x1, x1, 40 (RV64 6-bit shamt)
+        assert encode_instruction(Instruction("srai", rd=1, rs1=1, imm=40)) == 0x4280D093
+
+
+# ---------------------------------------------------------------- decode basics
+class TestDecode:
+    def test_decode_add(self):
+        instr = decode_word(0x005201B3)
+        assert instr.mnemonic == "add"
+        assert (instr.rd, instr.rs1, instr.rs2) == (3, 4, 5)
+
+    def test_decode_negative_immediate(self):
+        word = encode_instruction(Instruction("addi", rd=1, rs1=1, imm=-5))
+        assert decode_word(word).imm == -5
+
+    def test_decode_branch_negative_offset(self):
+        word = encode_instruction(Instruction("bne", rs1=3, rs2=4, imm=-8))
+        assert decode_word(word).imm == -8
+
+    def test_unknown_word_is_illegal(self):
+        instr = decode_word(0xFFFFFFFF)
+        assert instr.is_illegal
+        assert instr.raw == 0xFFFFFFFF
+
+    def test_zero_word_is_illegal(self):
+        assert decode_word(0).is_illegal
+
+    def test_reserved_system_encoding_is_illegal(self):
+        # ecall with rd != 0 is a reserved encoding.
+        word = 0x00000073 | (1 << 7)
+        assert decode_word(word).is_illegal
+
+    def test_is_legal_word(self):
+        assert is_legal_word(0x005201B3)
+        assert not is_legal_word(0x0)
+
+    def test_illegal_reencodes_to_same_word(self):
+        word = 0x0000007F  # opcode 0x7F is not allocated
+        instr = decode_word(word)
+        assert instr.is_illegal
+        assert encode_instruction(instr) == word
+
+
+# ------------------------------------------------------------------- round trips
+def _operand_strategy(mnemonic):
+    """Build a hypothesis strategy producing valid operand values for a mnemonic."""
+    spec = spec_for(mnemonic)
+    reg = st.integers(0, 31)
+    fmt = spec.fmt
+    if fmt is InstrFormat.I_SHIFT:
+        limit = 31 if spec.opcode == OPCODE_OP_IMM_32 else 63
+        imm = st.integers(0, limit)
+    elif fmt is InstrFormat.B:
+        imm = st.integers(-2048, 2047).map(lambda v: v * 2)
+    elif fmt is InstrFormat.J:
+        imm = st.integers(-(2**19) + 1, 2**19 - 1).map(lambda v: v * 2)
+    elif fmt is InstrFormat.U:
+        imm = st.integers(0, (1 << 20) - 1)
+    elif fmt is InstrFormat.CSR_IMM:
+        imm = st.integers(0, 31)
+    elif fmt is InstrFormat.FENCE:
+        imm = st.integers(0, 255) if mnemonic == "fence" else st.just(0)
+    else:
+        imm = st.integers(-2048, 2047)
+    return st.builds(
+        Instruction,
+        mnemonic=st.just(mnemonic),
+        rd=reg if spec.writes_rd else st.just(0),
+        rs1=reg if (spec.reads_rs1 and fmt is not InstrFormat.SYSTEM) else st.just(0),
+        rs2=reg if spec.reads_rs2 else st.just(0),
+        imm=imm,
+        csr=st.integers(0, 0xFFF) if fmt in (InstrFormat.CSR, InstrFormat.CSR_IMM)
+        else st.just(0),
+        aq=st.integers(0, 1) if fmt is InstrFormat.AMO else st.just(0),
+        rl=st.integers(0, 1) if fmt is InstrFormat.AMO else st.just(0),
+    )
+
+
+_ROUNDTRIP_EXCLUDED = {"fence.i", "ecall", "ebreak", "mret", "wfi"}
+_all_instructions = st.sampled_from(
+    sorted(set(SPECS) - _ROUNDTRIP_EXCLUDED)).flatmap(_operand_strategy)
+
+
+@given(_all_instructions)
+@settings(max_examples=300, deadline=None)
+def test_encode_decode_roundtrip(instr):
+    """Every legally constructed instruction must round-trip exactly."""
+    word = encode_instruction(instr)
+    decoded = decode_word(word)
+    assert decoded.mnemonic == instr.mnemonic
+    spec = spec_for(instr.mnemonic)
+    if spec.writes_rd:
+        assert decoded.rd == instr.rd
+    if spec.reads_rs1 and spec.fmt not in (InstrFormat.CSR_IMM, InstrFormat.SYSTEM,
+                                           InstrFormat.FENCE):
+        assert decoded.rs1 == instr.rs1
+    if spec.reads_rs2:
+        assert decoded.rs2 == instr.rs2
+    if spec.fmt in (InstrFormat.I, InstrFormat.I_SHIFT, InstrFormat.S, InstrFormat.B,
+                    InstrFormat.U, InstrFormat.J, InstrFormat.CSR_IMM):
+        assert decoded.imm == instr.imm
+    if spec.fmt in (InstrFormat.CSR, InstrFormat.CSR_IMM):
+        assert decoded.csr == instr.csr
+    if spec.fmt is InstrFormat.AMO:
+        assert (decoded.aq, decoded.rl) == (instr.aq, instr.rl)
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=300, deadline=None)
+def test_decode_encode_is_stable(word):
+    """decode(word) either re-encodes to the same word, or is illegal carrying it."""
+    instr = decode_word(word)
+    if instr.is_illegal:
+        assert encode_instruction(instr) == word
+    else:
+        # A legal decode re-encodes to a word that decodes identically
+        # (canonical re-encoding may normalise ignored bits, e.g. fence).
+        reencoded = encode_instruction(instr)
+        assert decode_word(reencoded) == instr
+
+
+class TestAssembleProgram:
+    def test_length(self):
+        words = assemble_program([Instruction("addi", rd=1, rs1=0, imm=1),
+                                  Instruction("ecall")])
+        assert words == [0x00100093, 0x00000073]

@@ -1,0 +1,41 @@
+"""Tests for the CSR address-space model."""
+
+from repro.isa import csr as csrdefs
+
+
+class TestCsrSets:
+    def test_implemented_and_unimplemented_disjoint(self):
+        assert not (csrdefs.IMPLEMENTED_CSRS & csrdefs.UNIMPLEMENTED_CSRS)
+
+    def test_read_only_subset_of_implemented(self):
+        assert csrdefs.READ_ONLY_CSRS <= csrdefs.IMPLEMENTED_CSRS
+
+    def test_generatable_covers_both(self):
+        generatable = set(csrdefs.GENERATABLE_CSRS)
+        assert csrdefs.IMPLEMENTED_CSRS <= generatable
+        assert csrdefs.UNIMPLEMENTED_CSRS <= generatable
+
+    def test_counters_are_read_only(self):
+        assert csrdefs.CYCLE in csrdefs.READ_ONLY_CSRS
+        assert csrdefs.INSTRET in csrdefs.READ_ONLY_CSRS
+
+    def test_machine_csrs_writable(self):
+        assert not csrdefs.is_read_only_csr(csrdefs.MSCRATCH)
+        assert not csrdefs.is_read_only_csr(csrdefs.MTVEC)
+
+
+class TestCsrQueries:
+    def test_names(self):
+        assert csrdefs.csr_name(csrdefs.MSTATUS) == "mstatus"
+        assert csrdefs.csr_name(csrdefs.MINSTRET) == "minstret"
+
+    def test_unknown_name_format(self):
+        assert csrdefs.csr_name(0x123) == "csr_0x123"
+
+    def test_is_implemented(self):
+        assert csrdefs.is_implemented_csr(csrdefs.MEPC)
+        assert not csrdefs.is_implemented_csr(0x7B0)
+
+    def test_debug_csrs_unimplemented(self):
+        for address in (0x7A0, 0x7B0, 0x7B1):
+            assert address in csrdefs.UNIMPLEMENTED_CSRS

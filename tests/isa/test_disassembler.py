@@ -1,0 +1,58 @@
+"""Tests for the disassembler (format sanity, not exact toolchain syntax)."""
+
+from repro.isa.disassembler import disassemble, disassemble_program
+from repro.isa.encoding import SPECS
+from repro.isa.generator import InstructionGenerator
+from repro.isa.instruction import Instruction
+
+
+class TestDisassemble:
+    def test_r_type(self):
+        assert disassemble(Instruction("add", rd=3, rs1=4, rs2=5)) == "add gp, tp, t0"
+
+    def test_load_uses_offset_syntax(self):
+        text = disassemble(Instruction("lw", rd=6, rs1=7, imm=8))
+        assert text == "lw t1, 8(t2)"
+
+    def test_store(self):
+        assert disassemble(Instruction("sd", rs1=2, rs2=8, imm=-16)) == "sd s0, -16(sp)"
+
+    def test_branch(self):
+        assert disassemble(Instruction("beq", rs1=1, rs2=2, imm=32)) == "beq ra, sp, 32"
+
+    def test_csr_uses_name(self):
+        text = disassemble(Instruction("csrrw", rd=5, rs1=6, csr=0x300))
+        assert "mstatus" in text
+
+    def test_illegal(self):
+        text = disassemble(Instruction.illegal(0x1234))
+        assert "0x00001234" in text and "illegal" in text
+
+    def test_system_instructions_bare(self):
+        assert disassemble(Instruction("ecall")) == "ecall"
+        assert disassemble(Instruction("fence.i")) == "fence.i"
+
+    def test_amo_with_ordering_bits(self):
+        text = disassemble(Instruction("amoadd.w", rd=5, rs1=6, rs2=7, aq=1, rl=1))
+        assert text.startswith("amoadd.w.aq.rl")
+
+    def test_every_known_mnemonic_disassembles(self):
+        for mnemonic in SPECS:
+            text = disassemble(Instruction(mnemonic, rd=1, rs1=2, rs2=3, imm=4, csr=0x300))
+            assert mnemonic.split(".")[0] in text
+
+    def test_random_instructions_disassemble(self):
+        generator = InstructionGenerator(rng=5)
+        for _ in range(200):
+            text = disassemble(generator.random_instruction())
+            assert isinstance(text, str) and text
+
+
+class TestDisassembleProgram:
+    def test_addresses(self):
+        lines = disassemble_program(
+            [Instruction("addi", rd=1, rs1=0, imm=1), Instruction("ecall")],
+            base_address=0x4000_0000)
+        assert lines[0].startswith("0x40000000:")
+        assert lines[1].startswith("0x40000004:")
+        assert len(lines) == 2

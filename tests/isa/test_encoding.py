@@ -1,0 +1,87 @@
+"""Tests for the instruction-spec table."""
+
+import pytest
+
+from repro.isa.encoding import (
+    InstrClass,
+    InstrFormat,
+    SPECS,
+    mnemonics,
+    mnemonics_of_class,
+    mnemonics_of_extension,
+    spec_for,
+)
+
+
+class TestSpecTable:
+    def test_contains_core_instructions(self):
+        for mnemonic in ("add", "addi", "lw", "sd", "beq", "jal", "jalr",
+                         "lui", "auipc", "ecall", "ebreak", "fence.i",
+                         "csrrw", "mul", "div", "lr.w", "sc.d", "amoadd.w"):
+            assert mnemonic in SPECS
+
+    def test_reasonable_size(self):
+        # RV64IM + Zicsr + Zifencei + the AMO subset.
+        assert 80 <= len(SPECS) <= 120
+
+    def test_unique_encodings(self):
+        seen = set()
+        for spec in SPECS.values():
+            key = (spec.opcode, spec.funct3, spec.funct7, spec.funct12, spec.funct5,
+                   spec.fmt)
+            assert key not in seen, f"duplicate encoding for {spec.mnemonic}"
+            seen.add(key)
+
+    def test_spec_for_case_insensitive(self):
+        assert spec_for("ADD") is SPECS["add"]
+
+    def test_spec_for_unknown_raises(self):
+        with pytest.raises(KeyError):
+            spec_for("bogus")
+
+    def test_mnemonics_sorted_and_complete(self):
+        names = mnemonics()
+        assert list(names) == sorted(names)
+        assert set(names) == set(SPECS)
+
+
+class TestSpecAttributes:
+    def test_branch_class(self):
+        assert spec_for("beq").cls is InstrClass.BRANCH
+        assert set(mnemonics_of_class(InstrClass.BRANCH)) == {
+            "beq", "bne", "blt", "bge", "bltu", "bgeu"}
+
+    def test_load_store_formats(self):
+        assert spec_for("lw").fmt is InstrFormat.I
+        assert spec_for("sd").fmt is InstrFormat.S
+
+    def test_m_extension(self):
+        m_instrs = set(mnemonics_of_extension("M"))
+        assert {"mul", "div", "rem", "mulw", "divuw"} <= m_instrs
+        assert all(SPECS[m].funct7 == 0x01 for m in m_instrs)
+
+    def test_reads_writes_flags(self):
+        assert spec_for("add").writes_rd
+        assert spec_for("add").reads_rs1 and spec_for("add").reads_rs2
+        assert not spec_for("sd").writes_rd
+        assert spec_for("sd").reads_rs2
+        assert not spec_for("lui").reads_rs1
+        assert not spec_for("jal").reads_rs1
+
+    def test_shift_format(self):
+        assert spec_for("slli").fmt is InstrFormat.I_SHIFT
+        assert spec_for("sraiw").fmt is InstrFormat.I_SHIFT
+
+    def test_csr_formats(self):
+        assert spec_for("csrrw").fmt is InstrFormat.CSR
+        assert spec_for("csrrwi").fmt is InstrFormat.CSR_IMM
+
+    def test_amo_funct5(self):
+        assert spec_for("lr.w").funct5 == 0x02
+        assert spec_for("sc.w").funct5 == 0x03
+        assert spec_for("amoswap.d").funct5 == 0x01
+
+    def test_system_funct12(self):
+        assert spec_for("ecall").funct12 == 0x000
+        assert spec_for("ebreak").funct12 == 0x001
+        assert spec_for("mret").funct12 == 0x302

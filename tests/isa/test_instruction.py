@@ -1,0 +1,52 @@
+"""Tests for the Instruction value type."""
+
+import dataclasses
+
+import pytest
+
+from repro.isa.instruction import ILLEGAL_MNEMONIC, Instruction
+
+
+class TestConstruction:
+    def test_defaults(self):
+        instr = Instruction("add")
+        assert (instr.rd, instr.rs1, instr.rs2, instr.imm, instr.csr) == (0, 0, 0, 0, 0)
+
+    def test_frozen(self):
+        instr = Instruction("add", rd=1)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            instr.rd = 2  # type: ignore[misc]
+
+    def test_equality_and_hash(self):
+        a = Instruction("addi", rd=1, rs1=2, imm=3)
+        b = Instruction("addi", rd=1, rs1=2, imm=3)
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestIllegal:
+    def test_factory(self):
+        instr = Instruction.illegal(0xDEADBEEF)
+        assert instr.is_illegal
+        assert instr.mnemonic == ILLEGAL_MNEMONIC
+        assert instr.raw == 0xDEADBEEF
+
+    def test_factory_masks_to_32_bits(self):
+        instr = Instruction.illegal(0x1_0000_0001)
+        assert instr.raw == 1
+
+    def test_regular_not_illegal(self):
+        assert not Instruction("add").is_illegal
+
+
+class TestWithFields:
+    def test_changes_one_field(self):
+        base = Instruction("addi", rd=1, rs1=2, imm=3)
+        changed = base.with_fields(imm=-7)
+        assert changed.imm == -7
+        assert changed.rd == base.rd
+        assert base.imm == 3  # original untouched
+
+    def test_returns_new_object(self):
+        base = Instruction("add", rd=1)
+        assert base.with_fields(rd=2) is not base

@@ -1,0 +1,77 @@
+"""Tests for the TestProgram container."""
+
+from repro.isa.instruction import Instruction
+from repro.isa.program import DEFAULT_BASE_ADDRESS, TestProgram, next_program_id
+
+
+def _program(n=3):
+    return TestProgram(
+        instructions=tuple(Instruction("addi", rd=1, rs1=1, imm=i) for i in range(n)))
+
+
+class TestBasics:
+    def test_length_and_iteration(self):
+        program = _program(4)
+        assert len(program) == 4
+        assert all(isinstance(i, Instruction) for i in program)
+
+    def test_default_base_address(self):
+        assert _program().base_address == DEFAULT_BASE_ADDRESS
+
+    def test_end_address(self):
+        program = _program(3)
+        assert program.end_address() == program.base_address + 12
+
+    def test_words_length(self):
+        assert len(_program(5).words()) == 5
+
+    def test_unique_ids(self):
+        assert _program().program_id != _program().program_id
+
+    def test_next_program_id_prefix(self):
+        assert next_program_id("seed").startswith("seed")
+
+    def test_seed_id_defaults_to_own_id(self):
+        program = _program()
+        assert program.seed_id == program.program_id
+
+
+class TestLineage:
+    def test_with_instructions_child(self):
+        parent = _program(3)
+        child = parent.with_instructions(
+            list(parent.instructions) + [Instruction("ecall")],
+            mutation_op="instr_insert")
+        assert child.parent_id == parent.program_id
+        assert child.seed_id == parent.seed_id
+        assert child.generation == parent.generation + 1
+        assert child.mutation_op == "instr_insert"
+        assert len(child) == 4
+        assert len(parent) == 3  # parent untouched
+
+    def test_grandchild_keeps_seed(self):
+        seed = _program()
+        child = seed.with_instructions(seed.instructions)
+        grandchild = child.with_instructions(child.instructions)
+        assert grandchild.seed_id == seed.program_id
+        assert grandchild.generation == 2
+
+
+class TestFingerprint:
+    def test_same_content_same_fingerprint(self):
+        a = _program(3)
+        b = _program(3)
+        assert a.program_id != b.program_id
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_different_content_differs(self):
+        a = _program(3)
+        b = _program(4)
+        assert a.fingerprint() != b.fingerprint()
+
+
+class TestListing:
+    def test_listing_lines(self):
+        listing = _program(2).listing()
+        assert len(listing.splitlines()) == 2
+        assert "addi" in listing

@@ -1,0 +1,46 @@
+"""Tests for register naming."""
+
+import pytest
+
+from repro.isa.registers import NUM_REGISTERS, REG_ABI_NAMES, abi_name, register_index
+
+
+class TestAbiName:
+    def test_zero(self):
+        assert abi_name(0) == "zero"
+
+    def test_return_address(self):
+        assert abi_name(1) == "ra"
+
+    def test_temporaries(self):
+        assert abi_name(5) == "t0"
+        assert abi_name(31) == "t6"
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            abi_name(32)
+        with pytest.raises(ValueError):
+            abi_name(-1)
+
+
+class TestRegisterIndex:
+    def test_x_names(self):
+        assert register_index("x0") == 0
+        assert register_index("x31") == 31
+
+    def test_abi_names_roundtrip(self):
+        for index in range(NUM_REGISTERS):
+            assert register_index(REG_ABI_NAMES[index]) == index
+
+    def test_fp_alias(self):
+        assert register_index("fp") == 8
+        assert register_index("s0") == 8
+
+    def test_case_insensitive(self):
+        assert register_index("A0") == 10
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            register_index("y3")
+        with pytest.raises(ValueError):
+            register_index("x99")

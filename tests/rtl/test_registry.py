@@ -1,0 +1,37 @@
+"""Tests for DUT registry construction."""
+
+import pytest
+
+from repro.rtl.boom import BoomModel
+from repro.rtl.cva6 import CVA6Model
+from repro.rtl.registry import available_duts, make_dut
+from repro.rtl.rocket import RocketModel
+
+
+class TestRegistry:
+    def test_available(self):
+        assert available_duts() == ("boom", "cva6", "rocket")
+
+    def test_make_each(self):
+        assert isinstance(make_dut("cva6"), CVA6Model)
+        assert isinstance(make_dut("rocket"), RocketModel)
+        assert isinstance(make_dut("boom"), BoomModel)
+
+    def test_case_insensitive(self):
+        assert isinstance(make_dut("CVA6"), CVA6Model)
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            make_dut("xyz123")
+
+    def test_bug_override(self):
+        dut = make_dut("cva6", bugs=["V5"])
+        assert [b.bug_id for b in dut.bugs] == ["V5"]
+
+    def test_empty_bugs(self):
+        assert make_dut("cva6", bugs=[]).bugs == []
+
+    def test_default_bugs(self):
+        assert len(make_dut("cva6").bugs) == 6
+        assert len(make_dut("rocket").bugs) == 1
+        assert len(make_dut("boom").bugs) == 0

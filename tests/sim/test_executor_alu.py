@@ -1,0 +1,207 @@
+"""ALU semantics tests: fixed cases plus property tests against a Python oracle."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.instruction import Instruction
+from repro.utils.bits import MASK64, sign_extend, to_signed, to_unsigned
+from tests.sim.helpers import execute_one
+
+u64 = st.integers(min_value=0, max_value=MASK64)
+
+
+def _alu(instr, rs1=0, rs2=0):
+    record, state, _ = execute_one(instr, regs={1: rs1, 2: rs2})
+    return record.rd_value
+
+
+class TestBasicArithmetic:
+    def test_addi(self):
+        assert _alu(Instruction("addi", rd=3, rs1=1, imm=5), rs1=10) == 15
+
+    def test_addi_negative_result_wraps(self):
+        assert _alu(Instruction("addi", rd=3, rs1=1, imm=-11), rs1=10) == MASK64
+
+    def test_add_overflow_wraps(self):
+        assert _alu(Instruction("add", rd=3, rs1=1, rs2=2),
+                    rs1=MASK64, rs2=1) == 0
+
+    def test_sub(self):
+        assert _alu(Instruction("sub", rd=3, rs1=1, rs2=2), rs1=7, rs2=10) == \
+            to_unsigned(-3)
+
+    def test_lui(self):
+        record, _, _ = execute_one(Instruction("lui", rd=3, imm=0x12345))
+        assert record.rd_value == 0x12345000
+
+    def test_lui_sign_extends(self):
+        record, _, _ = execute_one(Instruction("lui", rd=3, imm=0x80000))
+        assert record.rd_value == 0xFFFF_FFFF_8000_0000
+
+    def test_auipc(self):
+        record, _, _ = execute_one(Instruction("auipc", rd=3, imm=1))
+        assert record.rd_value == 0x4000_0000 + 0x1000
+
+    def test_writes_to_x0_discarded(self):
+        record, state, _ = execute_one(Instruction("addi", rd=0, rs1=1, imm=5),
+                                       regs={1: 10})
+        assert state.read_reg(0) == 0
+        assert record.rd is None and record.rd_value is None
+
+
+class TestLogicShift:
+    def test_and_or_xor(self):
+        assert _alu(Instruction("and", rd=3, rs1=1, rs2=2), 0b1100, 0b1010) == 0b1000
+        assert _alu(Instruction("or", rd=3, rs1=1, rs2=2), 0b1100, 0b1010) == 0b1110
+        assert _alu(Instruction("xor", rd=3, rs1=1, rs2=2), 0b1100, 0b1010) == 0b0110
+
+    def test_sll_srl(self):
+        assert _alu(Instruction("sll", rd=3, rs1=1, rs2=2), 1, 63) == 1 << 63
+        assert _alu(Instruction("srl", rd=3, rs1=1, rs2=2), 1 << 63, 63) == 1
+
+    def test_sra_negative(self):
+        assert _alu(Instruction("sra", rd=3, rs1=1, rs2=2),
+                    to_unsigned(-8), 2) == to_unsigned(-2)
+
+    def test_srai(self):
+        assert _alu(Instruction("srai", rd=3, rs1=1, imm=4),
+                    rs1=to_unsigned(-256)) == to_unsigned(-16)
+
+    def test_shift_uses_low_6_bits_of_rs2(self):
+        assert _alu(Instruction("sll", rd=3, rs1=1, rs2=2), 1, 64 + 3) == 8
+
+    def test_slt_sltu(self):
+        assert _alu(Instruction("slt", rd=3, rs1=1, rs2=2), to_unsigned(-1), 1) == 1
+        assert _alu(Instruction("sltu", rd=3, rs1=1, rs2=2), to_unsigned(-1), 1) == 0
+        assert _alu(Instruction("sltiu", rd=3, rs1=1, imm=-1), rs1=5) == 1
+
+
+class TestWordOps:
+    def test_addw_truncates_and_sign_extends(self):
+        assert _alu(Instruction("addw", rd=3, rs1=1, rs2=2),
+                    0x7FFF_FFFF, 1) == 0xFFFF_FFFF_8000_0000
+
+    def test_addiw(self):
+        assert _alu(Instruction("addiw", rd=3, rs1=1, imm=-1), rs1=0) == MASK64
+
+    def test_subw(self):
+        assert _alu(Instruction("subw", rd=3, rs1=1, rs2=2), 0, 1) == MASK64
+
+    def test_sllw_ignores_upper_bits(self):
+        assert _alu(Instruction("sllw", rd=3, rs1=1, rs2=2),
+                    0x1_0000_0001, 4) == 0x10
+
+    def test_sraw(self):
+        assert _alu(Instruction("sraw", rd=3, rs1=1, rs2=2),
+                    0x8000_0000, 31) == MASK64
+
+    def test_srliw(self):
+        assert _alu(Instruction("srliw", rd=3, rs1=1, imm=4),
+                    rs1=0xF000_0000) == 0x0F00_0000
+
+
+class TestMulDiv:
+    def test_mul(self):
+        assert _alu(Instruction("mul", rd=3, rs1=1, rs2=2), 7, 6) == 42
+
+    def test_mulh_signed(self):
+        assert _alu(Instruction("mulh", rd=3, rs1=1, rs2=2),
+                    to_unsigned(-1), to_unsigned(-1)) == 0
+
+    def test_mulhu(self):
+        assert _alu(Instruction("mulhu", rd=3, rs1=1, rs2=2),
+                    MASK64, MASK64) == MASK64 - 1
+
+    def test_div(self):
+        assert _alu(Instruction("div", rd=3, rs1=1, rs2=2),
+                    to_unsigned(-7), 2) == to_unsigned(-3)
+
+    def test_div_by_zero(self):
+        assert _alu(Instruction("div", rd=3, rs1=1, rs2=2), 5, 0) == MASK64
+        assert _alu(Instruction("divu", rd=3, rs1=1, rs2=2), 5, 0) == MASK64
+
+    def test_div_overflow(self):
+        most_negative = 1 << 63
+        assert _alu(Instruction("div", rd=3, rs1=1, rs2=2),
+                    most_negative, to_unsigned(-1)) == most_negative
+
+    def test_rem(self):
+        assert _alu(Instruction("rem", rd=3, rs1=1, rs2=2),
+                    to_unsigned(-7), 2) == to_unsigned(-1)
+
+    def test_rem_by_zero_returns_dividend(self):
+        assert _alu(Instruction("rem", rd=3, rs1=1, rs2=2), 5, 0) == 5
+
+    def test_remw(self):
+        assert _alu(Instruction("remw", rd=3, rs1=1, rs2=2), 10, 3) == 1
+
+    def test_divuw(self):
+        assert _alu(Instruction("divuw", rd=3, rs1=1, rs2=2),
+                    0xFFFF_FFFF, 2) == 0x7FFF_FFFF
+
+
+# ------------------------------------------------------------------ properties
+@given(a=u64, b=u64)
+@settings(max_examples=120, deadline=None)
+def test_add_matches_oracle(a, b):
+    assert _alu(Instruction("add", rd=3, rs1=1, rs2=2), a, b) == (a + b) & MASK64
+
+
+@given(a=u64, b=u64)
+@settings(max_examples=120, deadline=None)
+def test_sub_xor_and_or_match_oracle(a, b):
+    assert _alu(Instruction("sub", rd=3, rs1=1, rs2=2), a, b) == (a - b) & MASK64
+    assert _alu(Instruction("xor", rd=3, rs1=1, rs2=2), a, b) == a ^ b
+    assert _alu(Instruction("and", rd=3, rs1=1, rs2=2), a, b) == a & b
+    assert _alu(Instruction("or", rd=3, rs1=1, rs2=2), a, b) == a | b
+
+
+@given(a=u64, b=u64)
+@settings(max_examples=100, deadline=None)
+def test_mul_matches_oracle(a, b):
+    expected = (to_signed(a) * to_signed(b)) & MASK64
+    assert _alu(Instruction("mul", rd=3, rs1=1, rs2=2), a, b) == expected
+
+
+@given(a=u64, b=u64)
+@settings(max_examples=100, deadline=None)
+def test_mulhu_matches_oracle(a, b):
+    assert _alu(Instruction("mulhu", rd=3, rs1=1, rs2=2), a, b) == (a * b) >> 64
+
+
+@given(a=u64, b=u64)
+@settings(max_examples=100, deadline=None)
+def test_divu_remu_invariant(a, b):
+    """For non-zero divisors: dividend == divisor * quotient + remainder."""
+    quotient = _alu(Instruction("divu", rd=3, rs1=1, rs2=2), a, b)
+    remainder = _alu(Instruction("remu", rd=3, rs1=1, rs2=2), a, b)
+    if b == 0:
+        assert quotient == MASK64 and remainder == a
+    else:
+        assert quotient == a // b
+        assert remainder == a % b
+        assert (quotient * b + remainder) & MASK64 == a
+
+
+@given(a=u64, shamt=st.integers(0, 63))
+@settings(max_examples=100, deadline=None)
+def test_shift_immediates_match_oracle(a, shamt):
+    assert _alu(Instruction("slli", rd=3, rs1=1, imm=shamt), rs1=a) == (a << shamt) & MASK64
+    assert _alu(Instruction("srli", rd=3, rs1=1, imm=shamt), rs1=a) == a >> shamt
+    assert _alu(Instruction("srai", rd=3, rs1=1, imm=shamt), rs1=a) == \
+        (to_signed(a) >> shamt) & MASK64
+
+
+@given(a=u64, b=u64)
+@settings(max_examples=100, deadline=None)
+def test_addw_matches_oracle(a, b):
+    expected = to_unsigned(sign_extend((a + b) & 0xFFFF_FFFF, 32))
+    assert _alu(Instruction("addw", rd=3, rs1=1, rs2=2), a, b) == expected
+
+
+@given(a=u64, b=u64)
+@settings(max_examples=100, deadline=None)
+def test_slt_matches_oracle(a, b):
+    assert _alu(Instruction("slt", rd=3, rs1=1, rs2=2), a, b) == \
+        int(to_signed(a) < to_signed(b))
+    assert _alu(Instruction("sltu", rd=3, rs1=1, rs2=2), a, b) == int(a < b)

@@ -1,0 +1,116 @@
+"""Tests for the golden model's program run loop."""
+
+import pytest
+
+from repro.isa import csr as csrdefs
+from repro.isa.exceptions import TrapCause
+from repro.isa.generator import SeedGenerator
+from repro.isa.instruction import Instruction
+from repro.isa.program import TestProgram
+from repro.sim.golden import GoldenModel
+from repro.sim.trace import HaltReason
+from tests.sim.helpers import BASE, run_program
+
+
+class TestRunLoop:
+    def test_program_end(self):
+        result = run_program([Instruction("addi", rd=1, rs1=0, imm=1),
+                              Instruction("addi", rd=2, rs1=1, imm=1)])
+        assert result.halt_reason is HaltReason.PROGRAM_END
+        assert result.instret == 2
+        assert result.final_registers[1] == 1
+        assert result.final_registers[2] == 2
+
+    def test_ecall_halts(self):
+        result = run_program([Instruction("ecall"),
+                              Instruction("addi", rd=1, rs1=0, imm=1)])
+        assert result.halt_reason is HaltReason.ECALL
+        assert result.instret == 1
+        assert result.final_registers[1] == 0
+
+    def test_jump_out_of_range(self):
+        result = run_program([Instruction("jal", rd=0, imm=-4096)])
+        assert result.halt_reason is HaltReason.PC_OUT_OF_RANGE
+        assert result.instret == 1
+
+    def test_step_limit(self):
+        # An infinite loop: jal back to itself.
+        result = run_program([Instruction("jal", rd=0, imm=0)], max_steps=25)
+        assert result.halt_reason is HaltReason.STEP_LIMIT
+        assert result.instret == 25
+
+    def test_branch_skips_instruction(self):
+        result = run_program([
+            Instruction("beq", rs1=0, rs2=0, imm=8),       # always taken, skip next
+            Instruction("addi", rd=1, rs1=0, imm=99),      # skipped
+            Instruction("addi", rd=2, rs1=0, imm=7),
+        ])
+        assert result.final_registers[1] == 0
+        assert result.final_registers[2] == 7
+        assert result.instret == 2
+
+    def test_trap_resumes_at_next_instruction(self):
+        result = run_program([
+            Instruction("ld", rd=1, rs1=0, imm=0),          # access fault (addr 0)
+            Instruction("addi", rd=2, rs1=0, imm=5),
+        ])
+        assert result.records[0].trap is TrapCause.LOAD_ACCESS_FAULT
+        assert result.final_registers[2] == 5
+        assert result.final_csrs[csrdefs.MCAUSE] == int(TrapCause.LOAD_ACCESS_FAULT)
+
+    def test_minstret_counts_every_instruction(self):
+        result = run_program([
+            Instruction("addi", rd=1, rs1=0, imm=1),
+            Instruction("ebreak"),
+            Instruction("addi", rd=2, rs1=0, imm=2),
+        ])
+        assert result.final_csrs[csrdefs.MINSTRET] == 3
+
+    def test_commit_records_have_sequential_pcs_when_straightline(self):
+        result = run_program([Instruction("addi", rd=1, rs1=0, imm=i)
+                              for i in range(5)])
+        pcs = [record.pc for record in result.records]
+        assert pcs == [BASE + 4 * i for i in range(5)]
+
+
+class TestDeterminism:
+    def test_same_program_same_trace(self):
+        seed = SeedGenerator(rng=77).generate()
+        golden = GoldenModel()
+        first = golden.run(seed)
+        second = golden.run(seed)
+        assert [r.arch_key() for r in first.records] == \
+            [r.arch_key() for r in second.records]
+        assert first.final_registers == second.final_registers
+
+    def test_runs_are_isolated(self):
+        """State must not leak from one run into the next."""
+        golden = GoldenModel()
+        writer = TestProgram(instructions=(
+            Instruction("addi", rd=5, rs1=0, imm=42),
+            Instruction("csrrw", rd=0, rs1=5, csr=csrdefs.MSCRATCH),
+        ))
+        reader = TestProgram(instructions=(
+            Instruction("csrrs", rd=6, rs1=0, csr=csrdefs.MSCRATCH),
+        ))
+        golden.run(writer)
+        result = golden.run(reader)
+        assert result.final_registers[6] == 0
+
+    def test_random_seeds_execute_without_python_errors(self):
+        generator = SeedGenerator(rng=5)
+        golden = GoldenModel()
+        for _ in range(30):
+            result = golden.run(generator.generate())
+            assert result.instret >= 1
+
+
+class TestExecutionResult:
+    def test_trapped_steps(self):
+        result = run_program([
+            Instruction("ld", rd=1, rs1=0, imm=0),
+            Instruction("addi", rd=2, rs1=0, imm=5),
+        ])
+        trapped = result.trapped_steps()
+        assert len(trapped) == 1
+        assert trapped[0].trap is TrapCause.LOAD_ACCESS_FAULT

@@ -1,0 +1,130 @@
+"""Tests for the sparse memory model and its address map."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.exceptions import Trap, TrapCause
+from repro.sim.memory import DEFAULT_LAYOUT, Memory, MemoryLayout
+
+
+class TestLayout:
+    def test_defaults(self):
+        assert DEFAULT_LAYOUT.dram_base == 0x4000_0000
+        assert DEFAULT_LAYOUT.dram_end == DEFAULT_LAYOUT.dram_base + DEFAULT_LAYOUT.dram_size
+        assert DEFAULT_LAYOUT.data_base == DEFAULT_LAYOUT.dram_base + DEFAULT_LAYOUT.code_size
+
+    def test_contains(self):
+        layout = MemoryLayout(dram_base=0x1000, dram_size=0x100)
+        assert layout.contains(0x1000)
+        assert layout.contains(0x10F8, 8)
+        assert not layout.contains(0xFFF)
+        assert not layout.contains(0x10FC, 8)
+
+
+class TestLoadStore:
+    def test_store_load_roundtrip(self):
+        memory = Memory()
+        base = DEFAULT_LAYOUT.data_base
+        memory.store(base, 0x1122334455667788, 8)
+        assert memory.load(base, 8) == 0x1122334455667788
+
+    def test_little_endian(self):
+        memory = Memory()
+        base = DEFAULT_LAYOUT.data_base
+        memory.store(base, 0x0A0B0C0D, 4)
+        assert memory.load(base, 1) == 0x0D
+        assert memory.load(base + 3, 1) == 0x0A
+
+    def test_unwritten_memory_reads_zero(self):
+        assert Memory().load(DEFAULT_LAYOUT.data_base, 8) == 0
+
+    def test_signed_load(self):
+        memory = Memory()
+        base = DEFAULT_LAYOUT.data_base
+        memory.store(base, 0xFF, 1)
+        assert memory.load(base, 1, signed=True) == -1
+        assert memory.load(base, 1, signed=False) == 0xFF
+
+    def test_store_truncates_to_size(self):
+        memory = Memory()
+        base = DEFAULT_LAYOUT.data_base
+        memory.store(base, 0x1_FF, 1)
+        assert memory.load(base, 1) == 0xFF
+
+
+class TestFaults:
+    def test_load_access_fault(self):
+        with pytest.raises(Trap) as excinfo:
+            Memory().load(0x1000, 4)
+        assert excinfo.value.cause is TrapCause.LOAD_ACCESS_FAULT
+        assert excinfo.value.tval == 0x1000
+
+    def test_store_access_fault(self):
+        with pytest.raises(Trap) as excinfo:
+            Memory().store(0xFFFF_FFFF_0000_0000, 1, 1)
+        assert excinfo.value.cause is TrapCause.STORE_ACCESS_FAULT
+
+    def test_load_misaligned(self):
+        with pytest.raises(Trap) as excinfo:
+            Memory().load(DEFAULT_LAYOUT.data_base + 1, 4)
+        assert excinfo.value.cause is TrapCause.LOAD_ADDRESS_MISALIGNED
+
+    def test_store_misaligned(self):
+        with pytest.raises(Trap) as excinfo:
+            Memory().store(DEFAULT_LAYOUT.data_base + 2, 0, 8)
+        assert excinfo.value.cause is TrapCause.STORE_ADDRESS_MISALIGNED
+
+    def test_fetch_out_of_range(self):
+        with pytest.raises(Trap) as excinfo:
+            Memory().fetch_word(0)
+        assert excinfo.value.cause is TrapCause.INSTRUCTION_ACCESS_FAULT
+
+    def test_fetch_misaligned(self):
+        with pytest.raises(Trap) as excinfo:
+            Memory().fetch_word(DEFAULT_LAYOUT.dram_base + 2)
+        assert excinfo.value.cause is TrapCause.INSTRUCTION_ADDRESS_MISALIGNED
+
+
+class TestProgramLoading:
+    def test_load_and_fetch(self):
+        memory = Memory()
+        memory.load_program_words(DEFAULT_LAYOUT.dram_base, [0x00100093, 0x00000073])
+        assert memory.fetch_word(DEFAULT_LAYOUT.dram_base) == 0x00100093
+        assert memory.fetch_word(DEFAULT_LAYOUT.dram_base + 4) == 0x00000073
+
+    def test_clone_is_independent(self):
+        memory = Memory()
+        memory.store(DEFAULT_LAYOUT.data_base, 7, 8)
+        copy = memory.clone()
+        copy.store(DEFAULT_LAYOUT.data_base, 9, 8)
+        assert memory.load(DEFAULT_LAYOUT.data_base, 8) == 7
+        assert copy.load(DEFAULT_LAYOUT.data_base, 8) == 9
+
+
+# ----------------------------------------------------------------- properties
+_sizes = st.sampled_from([1, 2, 4, 8])
+
+
+@given(offset=st.integers(0, 0x3F0), size=_sizes,
+       value=st.integers(min_value=0, max_value=2**64 - 1))
+@settings(max_examples=200, deadline=None)
+def test_store_load_roundtrip_property(offset, size, value):
+    memory = Memory()
+    address = DEFAULT_LAYOUT.data_base + (offset // size) * size
+    memory.store(address, value, size)
+    assert memory.load(address, size) == value & ((1 << (8 * size)) - 1)
+
+
+@given(offset=st.integers(0, 0x100), size=_sizes,
+       value=st.integers(min_value=0, max_value=2**64 - 1))
+@settings(max_examples=100, deadline=None)
+def test_adjacent_stores_do_not_interfere(offset, size, value):
+    memory = Memory()
+    address = DEFAULT_LAYOUT.data_base + 0x800 + (offset // size) * size
+    sentinel_low = address - size
+    sentinel_high = address + size
+    memory.store(sentinel_low, 0xAA, 1)
+    memory.store(sentinel_high, 0x55, 1)
+    memory.store(address, value, size)
+    assert memory.load(sentinel_low, 1) == 0xAA
+    assert memory.load(sentinel_high, 1) == 0x55

@@ -1,0 +1,81 @@
+"""Tests for the architectural state (registers + CSR file)."""
+
+import pytest
+
+from repro.isa import csr as csrdefs
+from repro.isa.exceptions import Trap, TrapCause
+from repro.sim.state import ArchState
+from repro.utils.bits import MASK64
+
+
+class TestRegisters:
+    def test_reset_state(self):
+        state = ArchState(pc=0x4000_0000)
+        assert state.pc == 0x4000_0000
+        assert all(value == 0 for value in state.regs)
+
+    def test_write_read(self):
+        state = ArchState()
+        state.write_reg(5, 123)
+        assert state.read_reg(5) == 123
+
+    def test_x0_hardwired_to_zero(self):
+        state = ArchState()
+        state.write_reg(0, 999)
+        assert state.read_reg(0) == 0
+
+    def test_write_wraps_to_64_bits(self):
+        state = ArchState()
+        state.write_reg(1, -1)
+        assert state.read_reg(1) == MASK64
+
+
+class TestCsrs:
+    def test_read_reset_values(self):
+        state = ArchState()
+        assert state.read_csr(csrdefs.MHARTID) == 0
+        assert state.read_csr(csrdefs.MCAUSE) == 0
+
+    def test_write_and_read(self):
+        state = ArchState()
+        state.write_csr(csrdefs.MSCRATCH, 0xABCD)
+        assert state.read_csr(csrdefs.MSCRATCH) == 0xABCD
+
+    def test_counter_aliases(self):
+        state = ArchState()
+        state.increment_counters(instret=3, cycles=5)
+        assert state.read_csr(csrdefs.INSTRET) == 3
+        assert state.read_csr(csrdefs.CYCLE) == 5
+        assert state.read_csr(csrdefs.MINSTRET) == 3
+
+    def test_unimplemented_read_traps(self):
+        with pytest.raises(Trap) as excinfo:
+            ArchState().read_csr(0x7B0)
+        assert excinfo.value.cause is TrapCause.ILLEGAL_INSTRUCTION
+
+    def test_unimplemented_write_traps(self):
+        with pytest.raises(Trap):
+            ArchState().write_csr(0x7B0, 1)
+
+    def test_read_only_write_traps(self):
+        with pytest.raises(Trap):
+            ArchState().write_csr(csrdefs.MHARTID, 1)
+        with pytest.raises(Trap):
+            ArchState().write_csr(csrdefs.CYCLE, 1)
+
+    def test_counter_wraparound(self):
+        state = ArchState()
+        state.csrs[csrdefs.MINSTRET] = MASK64
+        state.increment_counters()
+        assert state.read_csr(csrdefs.MINSTRET) == 0
+
+
+class TestSnapshot:
+    def test_contains_registers_pc_and_csrs(self):
+        state = ArchState(pc=0x4000_0000)
+        state.write_reg(3, 42)
+        snapshot = state.snapshot()
+        assert snapshot["x3"] == 42
+        assert snapshot["pc"] == 0x4000_0000
+        assert "mstatus" in snapshot
+        assert "minstret" in snapshot

@@ -1,0 +1,59 @@
+"""Tests for the top-level convenience API."""
+
+import pytest
+
+import repro
+from repro.api import available_fuzzers, available_processors, make_fuzzer, make_processor
+from repro.core.mabfuzz import MABFuzz
+from repro.core.mutation_bandit import MutationBanditFuzzer
+from repro.fuzzing.base import FuzzerConfig
+from repro.fuzzing.random_fuzzer import RandomFuzzer
+from repro.fuzzing.thehuzz import TheHuzzFuzzer
+
+
+class TestDiscovery:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_processors(self):
+        assert set(available_processors()) == {"cva6", "rocket", "boom"}
+
+    def test_fuzzers_include_paper_algorithms(self):
+        fuzzers = available_fuzzers()
+        assert "thehuzz" in fuzzers
+        for algo in ("egreedy", "ucb", "exp3"):
+            assert f"mabfuzz:{algo}" in fuzzers
+
+
+class TestMakeFuzzer:
+    def test_each_kind(self):
+        dut = make_processor("cva6", bugs=[])
+        assert isinstance(make_fuzzer("thehuzz", dut), TheHuzzFuzzer)
+        assert isinstance(make_fuzzer("random", dut), RandomFuzzer)
+        assert isinstance(make_fuzzer("mabfuzz:ucb", dut), MABFuzz)
+        assert isinstance(make_fuzzer("mutation-bandit:exp3", dut), MutationBanditFuzzer)
+
+    def test_unknown_raises(self):
+        dut = make_processor("cva6", bugs=[])
+        with pytest.raises(KeyError):
+            make_fuzzer("afl", dut)
+
+    def test_make_processor_bug_override(self):
+        assert [b.bug_id for b in make_processor("rocket", bugs=[]).bugs] == []
+
+
+class TestQuickCampaign:
+    def test_runs_end_to_end(self):
+        result = repro.quick_campaign(
+            processor="rocket", fuzzer="mabfuzz:exp3", num_tests=10, seed=0,
+            bugs=[], fuzzer_config=FuzzerConfig(num_seeds=3, mutants_per_test=2))
+        assert result.num_tests == 10
+        assert result.dut_name == "rocket"
+        assert result.fuzzer_name == "mabfuzz:exp3"
+        assert result.coverage_count > 0
+
+    def test_reproducible(self):
+        kwargs = dict(processor="cva6", fuzzer="thehuzz", num_tests=8, seed=5,
+                      bugs=[], fuzzer_config=FuzzerConfig(num_seeds=2))
+        assert repro.quick_campaign(**kwargs).coverage_count == \
+            repro.quick_campaign(**kwargs).coverage_count

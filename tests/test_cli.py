@@ -1,0 +1,48 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fuzz_defaults(self):
+        args = build_parser().parse_args(["fuzz"])
+        assert args.processor == "cva6"
+        assert args.fuzzer == "mabfuzz:ucb"
+        assert args.tests == 400
+
+    def test_ablation_choices(self):
+        args = build_parser().parse_args(["ablation", "gamma", "--tests", "50"])
+        assert args.which == "gamma"
+        assert args.tests == 50
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ablation", "nonsense"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "cva6" in output
+        assert "mabfuzz:exp3" in output
+        assert "CWE-1281" in output
+
+    def test_fuzz_small_campaign(self, capsys, tmp_path):
+        output_file = tmp_path / "fuzz.txt"
+        code = main(["fuzz", "--processor", "rocket", "--fuzzer", "thehuzz",
+                     "--tests", "8", "--seeds", "2", "--output", str(output_file)])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "thehuzz on rocket" in printed
+        assert output_file.read_text().strip() in printed
+
+    def test_ablation_small(self, capsys):
+        code = main(["ablation", "arms", "--tests", "6", "--trials", "1",
+                     "--seeds", "2", "--mutants", "2"])
+        assert code == 0
+        assert "num_arms" in capsys.readouterr().out

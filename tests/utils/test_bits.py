@@ -1,0 +1,122 @@
+"""Unit and property tests for the bit-manipulation helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.bits import (
+    MASK32,
+    MASK64,
+    get_bit,
+    get_bits,
+    set_bit,
+    set_bits,
+    sign_extend,
+    to_signed,
+    to_unsigned,
+)
+
+
+class TestGetBit:
+    def test_lsb(self):
+        assert get_bit(0b1011, 0) == 1
+
+    def test_zero_bit(self):
+        assert get_bit(0b1011, 2) == 0
+
+    def test_high_bit(self):
+        assert get_bit(1 << 63, 63) == 1
+
+
+class TestGetBits:
+    def test_low_nibble(self):
+        assert get_bits(0xABCD, 3, 0) == 0xD
+
+    def test_middle_field(self):
+        assert get_bits(0xABCD, 11, 4) == 0xBC
+
+    def test_single_bit_range(self):
+        assert get_bits(0b100, 2, 2) == 1
+
+    def test_invalid_range_raises(self):
+        with pytest.raises(ValueError):
+            get_bits(0, 0, 1)
+
+
+class TestSetBit:
+    def test_set(self):
+        assert set_bit(0, 3, 1) == 0b1000
+
+    def test_clear(self):
+        assert set_bit(0b1111, 1, 0) == 0b1101
+
+
+class TestSetBits:
+    def test_replace_field(self):
+        assert set_bits(0xFF00, 7, 0, 0xAB) == 0xFFAB
+
+    def test_field_truncated_to_width(self):
+        assert set_bits(0, 3, 0, 0x1FF) == 0xF
+
+    def test_invalid_range_raises(self):
+        with pytest.raises(ValueError):
+            set_bits(0, 2, 5, 1)
+
+
+class TestSignExtend:
+    def test_positive_unchanged(self):
+        assert sign_extend(0x7F, 8) == 0x7F
+
+    def test_negative(self):
+        assert sign_extend(0xFF, 8) == -1
+
+    def test_minimum(self):
+        assert sign_extend(0x80, 8) == -128
+
+    def test_12_bit_immediate(self):
+        assert sign_extend(0xFFF, 12) == -1
+        assert sign_extend(0x800, 12) == -2048
+
+
+class TestConversions:
+    def test_to_signed_negative(self):
+        assert to_signed(MASK64) == -1
+
+    def test_to_signed_positive(self):
+        assert to_signed(5) == 5
+
+    def test_to_unsigned_wraps(self):
+        assert to_unsigned(-1) == MASK64
+
+    def test_to_unsigned_32(self):
+        assert to_unsigned(-1, 32) == MASK32
+
+
+# ----------------------------------------------------------------- properties
+@given(st.integers(min_value=0, max_value=MASK64), st.integers(0, 63))
+def test_get_set_bit_roundtrip(value, position):
+    bit = get_bit(value, position)
+    assert set_bit(value, position, bit) == value
+
+
+@given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+def test_signed_unsigned_roundtrip(value):
+    assert to_signed(to_unsigned(value)) == value
+
+
+@given(st.integers(min_value=0, max_value=MASK64), st.integers(1, 64))
+def test_sign_extend_preserves_low_bits(value, bits):
+    extended = sign_extend(value, bits)
+    assert to_unsigned(extended, bits) == value & ((1 << bits) - 1)
+
+
+@given(st.integers(min_value=0, max_value=MASK64),
+       st.integers(0, 63), st.integers(0, 63),
+       st.integers(min_value=0, max_value=MASK64))
+def test_set_bits_only_changes_field(value, a, b, field):
+    high, low = max(a, b), min(a, b)
+    updated = set_bits(value, high, low, field)
+    width = high - low + 1
+    assert get_bits(updated, high, low) == field & ((1 << width) - 1)
+    # Bits outside the field are untouched.
+    mask = ((1 << width) - 1) << low
+    assert updated & ~mask == value & ~mask

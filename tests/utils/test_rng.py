@@ -1,0 +1,54 @@
+"""Tests for deterministic RNG management."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import derive_rng, make_rng, split_rng
+
+
+class TestMakeRng:
+    def test_from_int_is_deterministic(self):
+        a = make_rng(42).integers(0, 1000, size=5)
+        b = make_rng(42).integers(0, 1000, size=5)
+        assert list(a) == list(b)
+
+    def test_passthrough_generator(self):
+        generator = np.random.default_rng(7)
+        assert make_rng(generator) is generator
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestDeriveRng:
+    def test_same_tag_same_parent_state(self):
+        a = derive_rng(make_rng(1), "mutation").integers(0, 10**6)
+        b = derive_rng(make_rng(1), "mutation").integers(0, 10**6)
+        assert a == b
+
+    def test_different_tags_differ(self):
+        parent = make_rng(1)
+        a = derive_rng(parent, "a")
+        b = derive_rng(parent, "b")
+        assert list(a.integers(0, 10**6, 8)) != list(b.integers(0, 10**6, 8))
+
+
+class TestSplitRng:
+    def test_count(self):
+        children = split_rng(make_rng(3), 4)
+        assert len(children) == 4
+
+    def test_children_independent_streams(self):
+        children = split_rng(make_rng(3), 2)
+        a = list(children[0].integers(0, 10**6, 8))
+        b = list(children[1].integers(0, 10**6, 8))
+        assert a != b
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            split_rng(make_rng(0), -1)
+
+    def test_deterministic_given_parent_seed(self):
+        first = [g.integers(0, 10**6) for g in split_rng(make_rng(9), 3)]
+        second = [g.integers(0, 10**6) for g in split_rng(make_rng(9), 3)]
+        assert first == second
