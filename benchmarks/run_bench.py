@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Run the substrate throughput benchmarks and record a perf trajectory.
+
+Runs ``benchmarks/test_bench_throughput.py`` under pytest-benchmark and
+writes a compact ``BENCH_throughput.json`` (median/mean ns per op and ops/s
+for every benchmark) so successive PRs can compare hot-path performance on
+the same machine::
+
+    PYTHONPATH=src python benchmarks/run_bench.py
+    PYTHONPATH=src python benchmarks/run_bench.py --output my_bench.json
+    PYTHONPATH=src python benchmarks/run_bench.py -k golden_model
+
+The output file intentionally contains only machine-comparable medians --
+see docs/performance.md for how to interpret it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_FILE = Path(__file__).resolve().parent / "test_bench_throughput.py"
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_throughput.json"
+
+
+def run_benchmarks(select: str | None = None) -> dict:
+    """Run the throughput benchmarks; return pytest-benchmark's JSON payload."""
+    with tempfile.TemporaryDirectory() as tmp:
+        raw_path = Path(tmp) / "bench.json"
+        command = [
+            sys.executable, "-m", "pytest", str(BENCH_FILE), "-q",
+            f"--benchmark-json={raw_path}",
+        ]
+        if select:
+            command.extend(["-k", select])
+        completed = subprocess.run(command, cwd=REPO_ROOT)
+        if completed.returncode != 0:
+            raise SystemExit(f"benchmark run failed (exit {completed.returncode})")
+        return json.loads(raw_path.read_text())
+
+
+def summarize(raw: dict) -> dict:
+    """Reduce pytest-benchmark output to per-benchmark medians in ns/op."""
+    benchmarks = {}
+    for bench in raw.get("benchmarks", []):
+        stats = bench["stats"]
+        benchmarks[bench["name"]] = {
+            "median_ns": round(stats["median"] * 1e9),
+            "mean_ns": round(stats["mean"] * 1e9),
+            "stddev_ns": round(stats["stddev"] * 1e9),
+            "ops_per_second": round(stats["ops"], 3),
+            "rounds": stats["rounds"],
+        }
+    return {
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "benchmarks": benchmarks,
+    }
+
+
+def main(argv: list | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help=f"where to write the summary (default: {DEFAULT_OUTPUT})")
+    parser.add_argument("-k", dest="select", default=None,
+                        help="pytest -k expression to select a benchmark subset")
+    args = parser.parse_args(argv)
+
+    summary = summarize(run_benchmarks(args.select))
+    if not summary["benchmarks"]:
+        raise SystemExit("no benchmarks ran (bad -k expression?)")
+    args.output.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {len(summary['benchmarks'])} benchmark medians -> {args.output}")
+    for name, stats in sorted(summary["benchmarks"].items()):
+        print(f"  {name}: median {stats['median_ns'] / 1e6:.3f} ms/op")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

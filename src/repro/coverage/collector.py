@@ -2,31 +2,44 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Set
+from typing import Set
 
 
 class CoverageCollector:
-    """Accumulates the coverage points hit during a single program run."""
+    """Accumulates the coverage points hit during a single program run.
+
+    The DUT executor records several points per committed instruction, so
+    ``hit``/``hit_many`` are pre-bound to the underlying set's ``add``/
+    ``update`` in ``__init__`` -- one attribute load instead of a method
+    call per emission.  ``hits`` memoises its frozen view and only
+    re-freezes when points were added since the last read (sets only grow
+    between resets, so a length check is an exact dirtiness test).
+    """
+
+    __slots__ = ("_hits", "hit", "hit_many", "_frozen", "_frozen_len")
 
     def __init__(self) -> None:
         self._hits: Set[str] = set()
-
-    def hit(self, point: str) -> None:
-        """Record that ``point`` was exercised."""
-        self._hits.add(point)
-
-    def hit_many(self, points: Iterable[str]) -> None:
-        """Record several points at once."""
-        self._hits.update(points)
+        #: bound fast paths: ``hit(point)`` records one point,
+        #: ``hit_many(points)`` records several at once.
+        self.hit = self._hits.add
+        self.hit_many = self._hits.update
+        self._frozen: frozenset = frozenset()
+        self._frozen_len = 0
 
     def reset(self) -> None:
         """Clear all recorded hits (called at the start of each run)."""
         self._hits.clear()
+        self._frozen = frozenset()
+        self._frozen_len = 0
 
     @property
     def hits(self) -> frozenset:
         """The set of points hit so far in this run."""
-        return frozenset(self._hits)
+        if len(self._hits) != self._frozen_len:
+            self._frozen = frozenset(self._hits)
+            self._frozen_len = len(self._frozen)
+        return self._frozen
 
     def __len__(self) -> int:
         return len(self._hits)

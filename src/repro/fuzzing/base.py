@@ -121,4 +121,6 @@ class Fuzzer(abc.ABC):
     def _result_metadata(self) -> Dict[str, object]:
         """Fuzzer-specific metadata attached to campaign results."""
         return {"num_seeds": self.config.num_seeds,
-                "mutants_per_test": self.config.mutants_per_test}
+                "mutants_per_test": self.config.mutants_per_test,
+                "golden_cache_hits": self.session.golden_cache_hits,
+                "golden_cache_misses": self.session.golden_cache_misses}

@@ -17,15 +17,23 @@ from repro.fuzzing.differential import DifferentialTester
 from repro.fuzzing.results import BugDetection, TestOutcome
 from repro.isa.program import TestProgram
 from repro.rtl.harness import DutModel
-from repro.sim.golden import GoldenModel
+from repro.sim.golden import GoldenModel, GoldenTraceCache
 
 
 class FuzzSession:
-    """Executes tests against one DUT with differential testing and coverage tracking."""
+    """Executes tests against one DUT with differential testing and coverage tracking.
 
-    def __init__(self, dut: DutModel, golden: Optional[GoldenModel] = None) -> None:
+    Golden-model runs are served through a :class:`GoldenTraceCache`:
+    duplicate or unmutated programs (MABFuzz arms replay their seeds) never
+    re-run the reference model within a campaign.  Cache hit/miss counters
+    are part of :meth:`stats`.
+    """
+
+    def __init__(self, dut: DutModel, golden: Optional[GoldenModel] = None,
+                 golden_cache: Optional[GoldenTraceCache] = None) -> None:
         self.dut = dut
         self.golden = golden or GoldenModel(dut.executor_config)
+        self.golden_cache = golden_cache or GoldenTraceCache()
         self.coverage_db = CoverageDatabase(space=dut.coverage_space())
         self.differential = DifferentialTester()
         self.bug_detections: Dict[str, BugDetection] = {}
@@ -37,7 +45,7 @@ class FuzzSession:
     def run_test(self, program: TestProgram) -> TestOutcome:
         """Run one test on golden + DUT, update coverage and bug bookkeeping."""
         test_index = self.tests_executed
-        golden_result = self.golden.run(program)
+        golden_result = self.golden_cache.get_or_run(self.golden, program)
         dut_run = self.dut.run(program)
         report = self.differential.check(golden_result, dut_run)
         new_points = self.coverage_db.record(test_index, dut_run.coverage)
@@ -74,6 +82,25 @@ class FuzzSession:
     @property
     def total_points(self) -> int:
         return len(self.coverage_db.space or ())
+
+    @property
+    def golden_cache_hits(self) -> int:
+        return self.golden_cache.hits
+
+    @property
+    def golden_cache_misses(self) -> int:
+        return self.golden_cache.misses
+
+    def stats(self) -> Dict[str, int]:
+        """Campaign-level session counters (incl. golden-trace cache traffic)."""
+        return {
+            "tests_executed": self.tests_executed,
+            "interesting_tests": self.interesting_tests,
+            "mismatching_tests": self.mismatching_tests,
+            "coverage_count": self.coverage_count,
+            "golden_cache_hits": self.golden_cache.hits,
+            "golden_cache_misses": self.golden_cache.misses,
+        }
 
     def undetected_bugs(self) -> List[str]:
         """Bug ids injected into the DUT that have not been detected yet."""

@@ -40,7 +40,11 @@ def summarize(values: Iterable[float], confidence: float = 0.95) -> Summary:
     data = np.asarray(list(values), dtype=float)
     if data.size == 0:
         raise ValueError("cannot summarise an empty sequence")
-    mean = float(data.mean())
+    minimum = float(data.min())
+    maximum = float(data.max())
+    # Pairwise summation can push the mean a few ulps outside [min, max]
+    # (e.g. three identical values); clamp so the bounds invariant holds.
+    mean = min(max(float(data.mean()), minimum), maximum)
     std = float(data.std(ddof=1)) if data.size > 1 else 0.0
     z = _z_score(confidence)
     half_width = z * std / math.sqrt(data.size) if data.size > 1 else 0.0
@@ -48,8 +52,8 @@ def summarize(values: Iterable[float], confidence: float = 0.95) -> Summary:
         count=int(data.size),
         mean=mean,
         std=std,
-        minimum=float(data.min()),
-        maximum=float(data.max()),
+        minimum=minimum,
+        maximum=maximum,
         ci_low=mean - half_width,
         ci_high=mean + half_width,
     )

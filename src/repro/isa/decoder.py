@@ -5,14 +5,28 @@ instruction round-trips exactly.  Words that do not match any known
 instruction decode to ``Instruction.illegal(word)`` -- they remain first-class
 citizens of the fuzzing loop (they execute by raising an illegal-instruction
 trap), which matters because bit-level mutation frequently produces them.
+
+Decoding is on the hottest path of the differential fuzzing loop (every
+fetched word of every golden *and* DUT run goes through it), so it is
+table-driven rather than a linear spec scan:
+
+* dense lookup tables keyed on ``(opcode, funct3, funct7/funct5/funct12)``
+  are built once from :data:`~repro.isa.encoding.SPECS` at import time, and
+* a bounded module-level cache maps raw words to shared, immutable
+  :class:`Instruction` values so repeated fetches of the same word (the
+  common case in looping or mutated programs) skip decoding entirely.
+  Illegal words are cached too -- bit-level mutation re-executes them often.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.isa.encoding import (
+    OPCODE_AMO,
+    OPCODE_MISC_MEM,
     OPCODE_OP_IMM_32,
+    OPCODE_SYSTEM,
     SPECS,
     InstrFormat,
     InstrSpec,
@@ -21,14 +35,61 @@ from repro.isa.instruction import Instruction
 from repro.utils.bits import get_bit, get_bits, sign_extend
 
 
-def _index_specs() -> Dict[int, List[InstrSpec]]:
-    index: Dict[int, List[InstrSpec]] = {}
+def _build_tables() -> Tuple[Dict, Dict, Dict, Dict, Dict, Dict, Optional[InstrSpec]]:
+    """Build the dense decode tables from SPECS (once, at import time).
+
+    Every spec lands in exactly one table chosen by its format:
+
+    ==============  ========================================================
+    table            key
+    ==============  ========================================================
+    opcode-only      ``opcode``                      (U/J: lui, auipc, jal)
+    simple           ``(opcode, funct3)``            (I, S, B, CSR, fence)
+    R                ``(opcode, funct3, funct7)``    (+ OP-IMM-32 shifts)
+    shift-64         ``(opcode, funct3, funct7>>1)`` (6-bit shamt encodings)
+    system           ``funct12``                     (+ rd = rs1 = 0 check)
+    amo              ``(funct3, funct5)``
+    ==============  ========================================================
+
+    OP-IMM-32 shift immediates constrain the full 7-bit funct7 exactly like
+    R-type encodings do, so they share the R table (their opcodes are
+    disjoint from the R-type opcodes).
+    """
+    opcode_only: Dict[int, InstrSpec] = {}
+    simple: Dict[Tuple[int, int], InstrSpec] = {}
+    r_table: Dict[Tuple[int, int, int], InstrSpec] = {}
+    shift64: Dict[Tuple[int, int, int], InstrSpec] = {}
+    system_f12: Dict[int, InstrSpec] = {}
+    amo: Dict[Tuple[int, int], InstrSpec] = {}
+    fence_i: Optional[InstrSpec] = None
+
     for spec in SPECS.values():
-        index.setdefault(spec.opcode, []).append(spec)
-    return index
+        fmt = spec.fmt
+        if spec.funct3 is None:
+            opcode_only[spec.opcode] = spec
+        elif fmt is InstrFormat.R:
+            r_table[(spec.opcode, spec.funct3, spec.funct7)] = spec
+        elif fmt is InstrFormat.I_SHIFT:
+            if spec.opcode == OPCODE_OP_IMM_32:
+                r_table[(spec.opcode, spec.funct3, spec.funct7)] = spec
+            else:
+                shift64[(spec.opcode, spec.funct3, spec.funct7 >> 1)] = spec
+        elif fmt is InstrFormat.SYSTEM:
+            system_f12[spec.funct12] = spec
+        elif fmt is InstrFormat.AMO:
+            amo[(spec.funct3, spec.funct5)] = spec
+        elif fmt is InstrFormat.FENCE and spec.mnemonic == "fence.i":
+            fence_i = spec
+        else:
+            key = (spec.opcode, spec.funct3)
+            if key in simple:  # pragma: no cover - spec-table invariant
+                raise RuntimeError(f"ambiguous decode key {key}")
+            simple[key] = spec
+    return opcode_only, simple, r_table, shift64, system_f12, amo, fence_i
 
 
-_SPECS_BY_OPCODE = _index_specs()
+(_OPCODE_ONLY, _SIMPLE, _R_TABLE, _SHIFT64,
+ _SYSTEM_F12, _AMO, _FENCE_I) = _build_tables()
 
 
 def _decode_fields(word: int) -> Tuple[int, int, int, int, int, int]:
@@ -75,42 +136,39 @@ def _imm_j(word: int) -> int:
 
 
 def _match_spec(word: int) -> Optional[InstrSpec]:
-    opcode, rd, funct3, rs1, rs2, funct7 = _decode_fields(word)
-    for spec in _SPECS_BY_OPCODE.get(opcode, ()):
-        if spec.funct3 is not None and spec.funct3 != funct3:
-            continue
-        if spec.fmt is InstrFormat.R and spec.funct7 != funct7:
-            continue
-        if spec.fmt is InstrFormat.I_SHIFT:
-            if spec.opcode == OPCODE_OP_IMM_32:
-                if spec.funct7 != funct7:
-                    continue
-            else:
-                if (spec.funct7 >> 1) != get_bits(word, 31, 26):
-                    continue
-        if spec.fmt is InstrFormat.SYSTEM:
-            if spec.funct12 != get_bits(word, 31, 20):
-                continue
-            if rd != 0 or rs1 != 0:
-                # Reserved encodings of ECALL/EBREAK/MRET/WFI.
-                continue
-        if spec.fmt is InstrFormat.AMO and spec.funct5 != get_bits(word, 31, 27):
-            continue
-        if spec.fmt is InstrFormat.FENCE and spec.mnemonic == "fence.i":
-            # FENCE.I requires rd = rs1 = 0 in the base encoding.
-            if rd != 0 or rs1 != 0:
-                continue
+    opcode = word & 0x7F
+    spec = _OPCODE_ONLY.get(opcode)
+    if spec is not None:
         return spec
+    funct3 = (word >> 12) & 0x7
+    spec = _SIMPLE.get((opcode, funct3))
+    if spec is not None:
+        return spec
+    spec = _R_TABLE.get((opcode, funct3, (word >> 25) & 0x7F))
+    if spec is not None:
+        return spec
+    spec = _SHIFT64.get((opcode, funct3, (word >> 26) & 0x3F))
+    if spec is not None:
+        return spec
+    if opcode == OPCODE_SYSTEM:
+        spec = _SYSTEM_F12.get((word >> 20) & 0xFFF)
+        if spec is not None and spec.funct3 == funct3:
+            # Reserved encodings of ECALL/EBREAK/MRET/WFI require rd = rs1 = 0.
+            if (word >> 7) & 0x1F == 0 and (word >> 15) & 0x1F == 0:
+                return spec
+        return None
+    if opcode == OPCODE_AMO:
+        return _AMO.get((funct3, (word >> 27) & 0x1F))
+    if opcode == OPCODE_MISC_MEM and _FENCE_I is not None \
+            and funct3 == _FENCE_I.funct3:
+        # FENCE.I requires rd = rs1 = 0 in the base encoding.
+        if (word >> 7) & 0x1F == 0 and (word >> 15) & 0x1F == 0:
+            return _FENCE_I
+        return None
     return None
 
 
-def decode_word(word: int) -> Instruction:
-    """Decode a 32-bit ``word`` into an :class:`Instruction`.
-
-    Unknown or reserved encodings decode to an ``illegal`` placeholder that
-    preserves the raw word.
-    """
-    word &= 0xFFFF_FFFF
+def _decode_uncached(word: int) -> Instruction:
     spec = _match_spec(word)
     if spec is None:
         return Instruction.illegal(word)
@@ -150,6 +208,42 @@ def decode_word(word: int) -> Instruction:
             rl=get_bit(word, 25),
         )
     raise AssertionError(f"unhandled format {fmt}")  # pragma: no cover
+
+
+#: Bounded word -> Instruction cache.  Instructions are frozen (and shared
+#: between the golden model, all DUTs and the mutation engine), so returning
+#: the same object for the same word is safe.  The bound comfortably covers a
+#: campaign's working set; on overflow the cache is simply cleared -- cheaper
+#: and just as effective as LRU bookkeeping at this size.
+_DECODE_CACHE: Dict[int, Instruction] = {}
+_DECODE_CACHE_MAX = 1 << 16
+
+
+def decode_word(word: int) -> Instruction:
+    """Decode a 32-bit ``word`` into an :class:`Instruction`.
+
+    Unknown or reserved encodings decode to an ``illegal`` placeholder that
+    preserves the raw word.  Results are cached and shared: callers must not
+    mutate them (they cannot -- :class:`Instruction` is frozen).
+    """
+    word &= 0xFFFF_FFFF
+    instr = _DECODE_CACHE.get(word)
+    if instr is None:
+        instr = _decode_uncached(word)
+        if len(_DECODE_CACHE) >= _DECODE_CACHE_MAX:
+            _DECODE_CACHE.clear()
+        _DECODE_CACHE[word] = instr
+    return instr
+
+
+def clear_decode_cache() -> None:
+    """Drop all cached decodes (useful for benchmarks and memory pressure)."""
+    _DECODE_CACHE.clear()
+
+
+def decode_cache_info() -> Dict[str, int]:
+    """Current size and capacity of the decode cache."""
+    return {"size": len(_DECODE_CACHE), "max_size": _DECODE_CACHE_MAX}
 
 
 def decode_instruction(word: int) -> Instruction:

@@ -85,6 +85,12 @@ class InstrSpec:
         cls: coarse functional class.
         extension: ISA extension the instruction belongs to ("I", "M", "A",
             "Zicsr", "Zifencei").
+        alu_op: canonical ALU operation name ("add", "sraw", ...) resolved at
+            spec-build time for ALU-class instructions (``None`` otherwise).
+            Immediate forms map onto their register form (``addi`` -> ``add``)
+            so the executor never does per-step string surgery.
+        alu_src_imm: whether the second ALU operand comes from the immediate
+            field rather than ``rs2``.
     """
 
     mnemonic: str
@@ -96,6 +102,8 @@ class InstrSpec:
     funct5: Optional[int] = None
     cls: InstrClass = InstrClass.ARITH
     extension: str = "I"
+    alu_op: Optional[str] = None
+    alu_src_imm: bool = False
 
     @property
     def writes_rd(self) -> bool:
@@ -128,6 +136,29 @@ class InstrSpec:
         return self.fmt in (InstrFormat.R, InstrFormat.S, InstrFormat.B, InstrFormat.AMO)
 
 
+#: ALU-class instruction classes (everything dispatched through an ALU op).
+ALU_CLASSES = (InstrClass.ARITH, InstrClass.LOGIC, InstrClass.SHIFT,
+               InstrClass.COMPARE, InstrClass.MUL, InstrClass.DIV)
+
+#: Immediate ALU mnemonics -> their canonical register-form operation.
+_IMM_ALU_CANONICAL = {
+    "addi": "add", "slti": "slt", "sltiu": "sltu", "xori": "xor",
+    "ori": "or", "andi": "and", "slli": "sll", "srli": "srl",
+    "srai": "sra", "addiw": "addw", "slliw": "sllw",
+    "srliw": "srlw", "sraiw": "sraw",
+}
+
+
+def _resolve_alu_op(mnemonic: str, fmt: InstrFormat,
+                    cls: InstrClass) -> Tuple[Optional[str], bool]:
+    """Resolve the canonical ALU op and operand source once, at build time."""
+    if cls not in ALU_CLASSES or mnemonic in ("lui", "auipc"):
+        return None, False
+    if fmt in (InstrFormat.I, InstrFormat.I_SHIFT):
+        return _IMM_ALU_CANONICAL.get(mnemonic, mnemonic), True
+    return mnemonic, False
+
+
 def _spec(
     mnemonic: str,
     fmt: InstrFormat,
@@ -139,6 +170,7 @@ def _spec(
     funct12: Optional[int] = None,
     funct5: Optional[int] = None,
 ) -> InstrSpec:
+    alu_op, alu_src_imm = _resolve_alu_op(mnemonic, fmt, cls)
     return InstrSpec(
         mnemonic=mnemonic,
         fmt=fmt,
@@ -149,6 +181,8 @@ def _spec(
         funct5=funct5,
         cls=cls,
         extension=extension,
+        alu_op=alu_op,
+        alu_src_imm=alu_src_imm,
     )
 
 

@@ -3,7 +3,10 @@
 An :class:`Instruction` is a *decoded* view of one 32-bit instruction word:
 a mnemonic plus operand fields.  It is intentionally a plain dataclass so
 that mutation operators can copy-and-modify instructions cheaply and tests
-can construct them literally.
+can construct them literally.  It is frozen *and* slotted: decode results
+are cached and shared between the golden model, the DUT models and the
+mutation engine, so instances must be immutable, and the slots keep
+per-instruction allocation small on the fuzzing hot path.
 
 A special mnemonic ``"illegal"`` represents an instruction word that does
 not decode to any known instruction (the natural product of bit-level
@@ -19,7 +22,7 @@ from typing import Optional
 ILLEGAL_MNEMONIC = "illegal"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Instruction:
     """A single decoded RISC-V instruction.
 

@@ -64,16 +64,29 @@ class TestProgram:
         return iter(self.instructions)
 
     def words(self) -> Tuple[int, ...]:
-        """Encode the program into 32-bit instruction words."""
-        return tuple(assemble_program(self.instructions))
+        """Encode the program into 32-bit instruction words.
+
+        The encoding is memoised: programs are immutable and every run
+        (golden *and* DUT) needs the words, so assembling once per program
+        keeps the assembler off the fuzzing hot path.
+        """
+        cached = self.__dict__.get("_words")
+        if cached is None:
+            cached = tuple(assemble_program(self.instructions))
+            object.__setattr__(self, "_words", cached)
+        return cached
 
     def fingerprint(self) -> str:
         """Content hash of the encoded program (provenance-independent)."""
-        digest = hashlib.sha256()
-        for word in self.words():
-            digest.update(word.to_bytes(4, "little"))
-        digest.update(self.base_address.to_bytes(8, "little"))
-        return digest.hexdigest()[:16]
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            digest = hashlib.sha256()
+            for word in self.words():
+                digest.update(word.to_bytes(4, "little"))
+            digest.update(self.base_address.to_bytes(8, "little"))
+            cached = digest.hexdigest()[:16]
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
 
     def end_address(self) -> int:
         """Address of the first byte past the last instruction."""

@@ -7,6 +7,14 @@ used directly by the golden model and subclassed by the DUT harness
 ``_count_retirement`` ...) to inject microarchitectural behaviour, coverage
 instrumentation and the paper's vulnerabilities.
 
+Execution is table-dispatched: every mnemonic's handler -- including its
+canonical ALU operation, operand signedness and load/store width -- is
+resolved **once** from the instruction-spec table when this module is
+imported, not per step.  Handlers are closures that reach all overridable
+behaviour (memory, CSRs, traps, retirement) through the ``self`` hook
+methods, so a single shared dispatch table serves the golden executor and
+every DUT subclass without changing their semantics.
+
 Harness conventions (shared by the golden model and all DUTs so that a
 *correct* DUT produces a bit-identical commit trace):
 
@@ -22,11 +30,11 @@ Harness conventions (shared by the golden model and all DUTs so that a
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Dict, Optional
 
 from repro.isa import csr as csrdefs
 from repro.isa.decoder import decode_word
-from repro.isa.encoding import InstrClass, InstrFormat, spec_for
+from repro.isa.encoding import InstrClass, InstrFormat, SPECS, spec_for
 from repro.isa.exceptions import Trap, TrapCause
 from repro.isa.instruction import Instruction
 from repro.sim.memory import Memory
@@ -48,6 +56,93 @@ _LOAD_SIZES = {
     "lbu": (1, False), "lhu": (2, False), "lwu": (4, False),
 }
 _STORE_SIZES = {"sb": 1, "sh": 2, "sw": 4, "sd": 8}
+
+
+def _div(dividend: int, divisor: int, signed: bool, bits: int) -> int:
+    if divisor == 0:
+        return -1 if signed else (1 << bits) - 1
+    if signed and dividend == -(1 << (bits - 1)) and divisor == -1:
+        return dividend
+    quotient = abs(dividend) // abs(divisor)
+    if signed and (dividend < 0) != (divisor < 0):
+        quotient = -quotient
+    return quotient
+
+
+def _rem(dividend: int, divisor: int, signed: bool, bits: int) -> int:
+    if divisor == 0:
+        return dividend
+    if signed and dividend == -(1 << (bits - 1)) and divisor == -1:
+        return 0
+    remainder = abs(dividend) % abs(divisor)
+    if signed and dividend < 0:
+        remainder = -remainder
+    return remainder
+
+
+def _word_result(result: int) -> int:
+    """32-bit result, sign-extended into the 64-bit register domain."""
+    return sign_extend(result & 0xFFFF_FFFF, 32) & MASK64
+
+
+def _w(value: int) -> int:
+    """Low 32 bits of ``value`` as a signed Python integer."""
+    return sign_extend(value & 0xFFFF_FFFF, 32)
+
+
+# Canonical ALU operation -> value function.  Each takes the raw operand
+# values (register reads are unsigned 64-bit; immediates may be negative
+# Python ints) and returns the masked 64-bit result -- exactly the values the
+# original per-step string-dispatched implementation produced.
+_ALU_OPS: Dict[str, Callable[[int, int], int]] = {
+    "add": lambda a, b: (to_unsigned(a) + to_unsigned(b)) & MASK64,
+    "sub": lambda a, b: (to_unsigned(a) - to_unsigned(b)) & MASK64,
+    "sll": lambda a, b: (to_unsigned(a) << (b & 0x3F)) & MASK64,
+    "slt": lambda a, b: 1 if to_signed(a) < to_signed(b) else 0,
+    "sltu": lambda a, b: 1 if to_unsigned(a) < to_unsigned(b) else 0,
+    "xor": lambda a, b: to_unsigned(a) ^ to_unsigned(b),
+    "srl": lambda a, b: to_unsigned(a) >> (b & 0x3F),
+    "sra": lambda a, b: (to_signed(a) >> (b & 0x3F)) & MASK64,
+    "or": lambda a, b: to_unsigned(a) | to_unsigned(b),
+    "and": lambda a, b: to_unsigned(a) & to_unsigned(b),
+    "mul": lambda a, b: (to_signed(a) * to_signed(b)) & MASK64,
+    "mulh": lambda a, b: ((to_signed(a) * to_signed(b)) >> 64) & MASK64,
+    "mulhsu": lambda a, b: ((to_signed(a) * to_unsigned(b)) >> 64) & MASK64,
+    "mulhu": lambda a, b: ((to_unsigned(a) * to_unsigned(b)) >> 64) & MASK64,
+    "div": lambda a, b: _div(to_signed(a), to_signed(b), True, 64) & MASK64,
+    "divu": lambda a, b: _div(to_unsigned(a), to_unsigned(b), False, 64) & MASK64,
+    "rem": lambda a, b: _rem(to_signed(a), to_signed(b), True, 64) & MASK64,
+    "remu": lambda a, b: _rem(to_unsigned(a), to_unsigned(b), False, 64) & MASK64,
+    "addw": lambda a, b: _word_result(_w(a) + _w(b)),
+    "subw": lambda a, b: _word_result(_w(a) - _w(b)),
+    "sllw": lambda a, b: _word_result((a & 0xFFFF_FFFF) << (b & 0x1F)),
+    "srlw": lambda a, b: _word_result((a & 0xFFFF_FFFF) >> (b & 0x1F)),
+    "sraw": lambda a, b: _word_result(_w(a) >> (b & 0x1F)),
+    "mulw": lambda a, b: _word_result(_w(a) * _w(b)),
+    "divw": lambda a, b: _word_result(_div(_w(a), _w(b), True, 32)),
+    "divuw": lambda a, b: _word_result(
+        _div(a & 0xFFFF_FFFF, b & 0xFFFF_FFFF, False, 32)),
+    "remw": lambda a, b: _word_result(_rem(_w(a), _w(b), True, 32)),
+    "remuw": lambda a, b: _word_result(
+        _rem(a & 0xFFFF_FFFF, b & 0xFFFF_FFFF, False, 32)),
+}
+
+_BRANCH_OPS: Dict[str, Callable[[int, int], bool]] = {
+    "beq": lambda a, b: a == b,
+    "bne": lambda a, b: a != b,
+    "blt": lambda a, b: to_signed(a) < to_signed(b),
+    "bge": lambda a, b: to_signed(a) >= to_signed(b),
+    "bltu": lambda a, b: a < b,
+    "bgeu": lambda a, b: a >= b,
+}
+
+_AMO_OPS: Dict[str, Callable[[int, int], int]] = {
+    "amoswap": lambda old, rs2: rs2,
+    "amoadd": lambda old, rs2: old + rs2,
+    "amoxor": lambda old, rs2: old ^ rs2,
+    "amoand": lambda old, rs2: old & rs2,
+    "amoor": lambda old, rs2: old | rs2,
+}
 
 
 class Executor:
@@ -161,32 +256,12 @@ class Executor:
 
     # ================================================================= execute
     def _execute(self, instr: Instruction, pc: int, word: int) -> CommitRecord:
-        if instr.is_illegal:
-            raise Trap(TrapCause.ILLEGAL_INSTRUCTION, tval=word)
-        mnemonic = instr.mnemonic
-        spec = spec_for(mnemonic)
-        cls = spec.cls
-
-        if cls in (InstrClass.ARITH, InstrClass.LOGIC, InstrClass.SHIFT,
-                   InstrClass.COMPARE, InstrClass.MUL, InstrClass.DIV):
-            return self._exec_alu(instr, pc, word, spec)
-        if cls is InstrClass.LOAD:
-            return self._exec_load(instr, pc, word)
-        if cls is InstrClass.STORE:
-            return self._exec_store(instr, pc, word)
-        if cls is InstrClass.BRANCH:
-            return self._exec_branch(instr, pc, word)
-        if cls is InstrClass.JUMP:
-            return self._exec_jump(instr, pc, word)
-        if cls is InstrClass.CSR:
-            return self._exec_csr(instr, pc, word, spec)
-        if cls is InstrClass.SYSTEM:
-            return self._exec_system(instr, pc, word)
-        if cls is InstrClass.FENCE:
-            return self._commit_simple(instr, pc, word)
-        if cls is InstrClass.ATOMIC:
-            return self._exec_atomic(instr, pc, word, spec)
-        raise AssertionError(f"unhandled class {cls}")  # pragma: no cover
+        handler = _HANDLERS.get(instr.mnemonic)
+        if handler is None:
+            if instr.is_illegal:
+                raise Trap(TrapCause.ILLEGAL_INSTRUCTION, tval=word)
+            raise KeyError(f"unknown mnemonic: {instr.mnemonic!r}")
+        return handler(self, instr, pc, word)
 
     # ------------------------------------------------------------------ helpers
     def _commit_rd(self, instr: Instruction, pc: int, word: int, value: int,
@@ -210,187 +285,120 @@ class Executor:
             next_pc=(pc + 4) & MASK64 if next_pc is None else next_pc & MASK64,
         )
 
-    # ---------------------------------------------------------------------- ALU
-    def _exec_alu(self, instr: Instruction, pc: int, word: int, spec) -> CommitRecord:
-        mnemonic = instr.mnemonic
-        if mnemonic == "lui":
-            return self._commit_rd(instr, pc, word, sign_extend(instr.imm << 12, 32))
-        if mnemonic == "auipc":
-            return self._commit_rd(instr, pc, word, pc + sign_extend(instr.imm << 12, 32))
-
-        rs1 = self.state.read_reg(instr.rs1)
-        if spec.fmt in (InstrFormat.I, InstrFormat.I_SHIFT):
-            rs2 = instr.imm
-            immediate = True
-        else:
-            rs2 = self.state.read_reg(instr.rs2)
-            immediate = False
-        value = self._alu_value(mnemonic, rs1, rs2, immediate)
-        return self._commit_rd(instr, pc, word, value)
-
+    # --------------------------------------------------------- compatibility
     def _alu_value(self, mnemonic: str, rs1: int, rs2: int, immediate: bool) -> int:
-        s1, s2 = to_signed(rs1), to_signed(rs2)
-        u1, u2 = to_unsigned(rs1), to_unsigned(rs2)
-        base = mnemonic.rstrip("i") if immediate and not mnemonic.endswith("iw") else mnemonic
-        if immediate:
-            base = {"addi": "add", "slti": "slt", "sltiu": "sltu", "xori": "xor",
-                    "ori": "or", "andi": "and", "slli": "sll", "srli": "srl",
-                    "srai": "sra", "addiw": "addw", "slliw": "sllw",
-                    "srliw": "srlw", "sraiw": "sraw"}.get(mnemonic, mnemonic)
-        word_op = base.endswith("w") and base not in ("sltu",)
-
-        if word_op:
-            w1 = sign_extend(rs1 & 0xFFFF_FFFF, 32)
-            w2 = sign_extend(rs2 & 0xFFFF_FFFF, 32)
-            shamt = rs2 & 0x1F
-            if base == "addw":
-                result = w1 + w2
-            elif base == "subw":
-                result = w1 - w2
-            elif base == "sllw":
-                result = (rs1 & 0xFFFF_FFFF) << shamt
-            elif base == "srlw":
-                result = (rs1 & 0xFFFF_FFFF) >> shamt
-            elif base == "sraw":
-                result = w1 >> shamt
-            elif base == "mulw":
-                result = w1 * w2
-            elif base == "divw":
-                result = self._div(w1, w2, signed=True, bits=32)
-            elif base == "divuw":
-                result = self._div(rs1 & 0xFFFF_FFFF, rs2 & 0xFFFF_FFFF,
-                                   signed=False, bits=32)
-            elif base == "remw":
-                result = self._rem(w1, w2, signed=True, bits=32)
-            elif base == "remuw":
-                result = self._rem(rs1 & 0xFFFF_FFFF, rs2 & 0xFFFF_FFFF,
-                                   signed=False, bits=32)
-            else:  # pragma: no cover - defensive
-                raise AssertionError(f"unhandled word op {base}")
-            return sign_extend(result & 0xFFFF_FFFF, 32) & MASK64
-
-        shamt = rs2 & 0x3F
-        if base == "add":
-            return (u1 + u2) & MASK64
-        if base == "sub":
-            return (u1 - u2) & MASK64
-        if base == "sll":
-            return (u1 << shamt) & MASK64
-        if base == "slt":
-            return 1 if s1 < s2 else 0
-        if base == "sltu":
-            return 1 if u1 < u2 else 0
-        if base == "xor":
-            return u1 ^ u2
-        if base == "srl":
-            return u1 >> shamt
-        if base == "sra":
-            return (s1 >> shamt) & MASK64
-        if base == "or":
-            return u1 | u2
-        if base == "and":
-            return u1 & u2
-        if base == "mul":
-            return (s1 * s2) & MASK64
-        if base == "mulh":
-            return ((s1 * s2) >> 64) & MASK64
-        if base == "mulhsu":
-            return ((s1 * u2) >> 64) & MASK64
-        if base == "mulhu":
-            return ((u1 * u2) >> 64) & MASK64
-        if base == "div":
-            return self._div(s1, s2, signed=True, bits=64) & MASK64
-        if base == "divu":
-            return self._div(u1, u2, signed=False, bits=64) & MASK64
-        if base == "rem":
-            return self._rem(s1, s2, signed=True, bits=64) & MASK64
-        if base == "remu":
-            return self._rem(u1, u2, signed=False, bits=64) & MASK64
-        raise AssertionError(f"unhandled ALU op {base}")  # pragma: no cover
+        """Value of one ALU operation (kept for tests/tools; not on the hot path)."""
+        spec = spec_for(mnemonic)
+        alu_op = spec.alu_op if spec.alu_op is not None else mnemonic
+        return _ALU_OPS[alu_op](rs1, rs2)
 
     @staticmethod
     def _div(dividend: int, divisor: int, signed: bool, bits: int) -> int:
-        if divisor == 0:
-            return -1 if signed else (1 << bits) - 1
-        if signed and dividend == -(1 << (bits - 1)) and divisor == -1:
-            return dividend
-        quotient = abs(dividend) // abs(divisor)
-        if signed and (dividend < 0) != (divisor < 0):
-            quotient = -quotient
-        return quotient
+        return _div(dividend, divisor, signed, bits)
 
     @staticmethod
     def _rem(dividend: int, divisor: int, signed: bool, bits: int) -> int:
-        if divisor == 0:
-            return dividend
-        if signed and dividend == -(1 << (bits - 1)) and divisor == -1:
-            return 0
-        remainder = abs(dividend) % abs(divisor)
-        if signed and dividend < 0:
-            remainder = -remainder
-        return remainder
+        return _rem(dividend, divisor, signed, bits)
 
-    # ------------------------------------------------------------------- memory
-    def _exec_load(self, instr: Instruction, pc: int, word: int) -> CommitRecord:
-        size, signed = _LOAD_SIZES[instr.mnemonic]
-        address = (self.state.read_reg(instr.rs1) + instr.imm) & MASK64
+
+# ============================================================ handler factory
+# One handler closure per mnemonic, specialised at import time with
+# everything that is static per instruction (ALU op, operand source,
+# load/store width, branch comparator, AMO op, CSR flavour).  Handlers call
+# all overridable behaviour through ``self`` hook methods, so the table is
+# shared by the golden Executor and every DUT subclass.
+
+def _make_lui_handler():
+    def execute(self: Executor, instr: Instruction, pc: int, word: int) -> CommitRecord:
+        return self._commit_rd(instr, pc, word, sign_extend(instr.imm << 12, 32))
+    return execute
+
+
+def _make_auipc_handler():
+    def execute(self: Executor, instr: Instruction, pc: int, word: int) -> CommitRecord:
+        return self._commit_rd(instr, pc, word, pc + sign_extend(instr.imm << 12, 32))
+    return execute
+
+
+def _make_alu_handler(alu_op: str, src_imm: bool):
+    value_of = _ALU_OPS[alu_op]
+    if src_imm:
+        def execute(self: Executor, instr: Instruction, pc: int, word: int) -> CommitRecord:
+            rs1 = self.state.regs[instr.rs1]
+            return self._commit_rd(instr, pc, word, value_of(rs1, instr.imm))
+    else:
+        def execute(self: Executor, instr: Instruction, pc: int, word: int) -> CommitRecord:
+            regs = self.state.regs
+            return self._commit_rd(instr, pc, word,
+                                   value_of(regs[instr.rs1], regs[instr.rs2]))
+    return execute
+
+
+def _make_load_handler(size: int, signed: bool):
+    def execute(self: Executor, instr: Instruction, pc: int, word: int) -> CommitRecord:
+        address = (self.state.regs[instr.rs1] + instr.imm) & MASK64
         value = self._mem_load(address, size, signed, instr)
         return self._commit_rd(instr, pc, word, value)
+    return execute
 
-    def _exec_store(self, instr: Instruction, pc: int, word: int) -> CommitRecord:
-        size = _STORE_SIZES[instr.mnemonic]
-        address = (self.state.read_reg(instr.rs1) + instr.imm) & MASK64
-        value = self.state.read_reg(instr.rs2) & ((1 << (8 * size)) - 1)
+
+def _make_store_handler(size: int):
+    mask = (1 << (8 * size)) - 1
+    def execute(self: Executor, instr: Instruction, pc: int, word: int) -> CommitRecord:
+        regs = self.state.regs
+        address = (regs[instr.rs1] + instr.imm) & MASK64
+        value = regs[instr.rs2] & mask
         self._mem_store(address, value, size, instr)
         return CommitRecord(
             step=self._step_index, pc=pc, word=word, mnemonic=instr.mnemonic,
             mem_addr=address, mem_value=value, mem_size=size,
             next_pc=(pc + 4) & MASK64,
         )
+    return execute
 
-    # ----------------------------------------------------------------- branches
-    def _exec_branch(self, instr: Instruction, pc: int, word: int) -> CommitRecord:
-        rs1 = self.state.read_reg(instr.rs1)
-        rs2 = self.state.read_reg(instr.rs2)
-        s1, s2 = to_signed(rs1), to_signed(rs2)
-        taken = {
-            "beq": rs1 == rs2,
-            "bne": rs1 != rs2,
-            "blt": s1 < s2,
-            "bge": s1 >= s2,
-            "bltu": rs1 < rs2,
-            "bgeu": rs1 >= rs2,
-        }[instr.mnemonic]
+
+def _make_branch_handler(mnemonic: str):
+    taken_of = _BRANCH_OPS[mnemonic]
+    def execute(self: Executor, instr: Instruction, pc: int, word: int) -> CommitRecord:
+        regs = self.state.regs
+        taken = taken_of(regs[instr.rs1], regs[instr.rs2])
         target = (pc + instr.imm) & MASK64 if taken else (pc + 4) & MASK64
         if taken and target % 4 != 0:
             raise Trap(TrapCause.INSTRUCTION_ADDRESS_MISALIGNED, tval=target)
         return self._commit_simple(instr, pc, word, next_pc=target)
+    return execute
 
-    def _exec_jump(self, instr: Instruction, pc: int, word: int) -> CommitRecord:
-        if instr.mnemonic == "jal":
+
+def _make_jump_handler(mnemonic: str):
+    is_jal = mnemonic == "jal"
+    def execute(self: Executor, instr: Instruction, pc: int, word: int) -> CommitRecord:
+        if is_jal:
             target = (pc + instr.imm) & MASK64
         else:  # jalr
-            target = (self.state.read_reg(instr.rs1) + instr.imm) & MASK64 & ~1
+            target = (self.state.regs[instr.rs1] + instr.imm) & MASK64 & ~1
         if target % 4 != 0:
             raise Trap(TrapCause.INSTRUCTION_ADDRESS_MISALIGNED, tval=target)
         return self._commit_rd(instr, pc, word, pc + 4, next_pc=target)
+    return execute
 
-    # ---------------------------------------------------------------------- CSR
-    def _exec_csr(self, instr: Instruction, pc: int, word: int, spec) -> CommitRecord:
+
+def _make_csr_handler(mnemonic: str, fmt: InstrFormat):
+    is_imm = fmt is InstrFormat.CSR_IMM
+    kind = mnemonic[4]  # csrr[w|s|c](i) -> "w" / "s" / "c"
+    conditional = kind in ("s", "c")
+    def execute(self: Executor, instr: Instruction, pc: int, word: int) -> CommitRecord:
         address = instr.csr
-        is_imm = spec.fmt is InstrFormat.CSR_IMM
-        operand = (instr.imm & 0x1F) if is_imm else self.state.read_reg(instr.rs1)
+        operand = (instr.imm & 0x1F) if is_imm else self.state.regs[instr.rs1]
         writes = True
-        mnemonic = instr.mnemonic
-        if mnemonic in ("csrrs", "csrrc", "csrrsi", "csrrci"):
+        if conditional:
             source_is_zero = (instr.imm & 0x1F) == 0 if is_imm else instr.rs1 == 0
             writes = not source_is_zero
         old_value = self._csr_read(address, instr)
         new_value = None
         if writes:
-            if mnemonic in ("csrrw", "csrrwi"):
+            if kind == "w":
                 new_value = operand
-            elif mnemonic in ("csrrs", "csrrsi"):
+            elif kind == "s":
                 new_value = old_value | operand
             else:
                 new_value = old_value & ~operand
@@ -404,55 +412,99 @@ class Executor:
                 next_pc=record.next_pc,
             )
         return record
+    return execute
 
-    # ------------------------------------------------------------------- system
-    def _exec_system(self, instr: Instruction, pc: int, word: int) -> CommitRecord:
-        mnemonic = instr.mnemonic
-        if mnemonic == "ecall":
+
+def _make_system_handler(mnemonic: str):
+    if mnemonic == "ecall":
+        def execute(self: Executor, instr: Instruction, pc: int, word: int) -> CommitRecord:
             raise Trap(TrapCause.ECALL_FROM_M, tval=0)
-        if mnemonic == "ebreak":
+    elif mnemonic == "ebreak":
+        def execute(self: Executor, instr: Instruction, pc: int, word: int) -> CommitRecord:
             raise Trap(TrapCause.BREAKPOINT, tval=pc)
-        if mnemonic == "mret":
+    elif mnemonic == "mret":
+        def execute(self: Executor, instr: Instruction, pc: int, word: int) -> CommitRecord:
             return self._commit_simple(instr, pc, word,
                                        next_pc=self.state.csrs[csrdefs.MEPC])
-        # wfi behaves as a nop in this harness.
-        return self._commit_simple(instr, pc, word)
+    else:  # wfi behaves as a nop in this harness.
+        def execute(self: Executor, instr: Instruction, pc: int, word: int) -> CommitRecord:
+            return self._commit_simple(instr, pc, word)
+    return execute
 
-    # ------------------------------------------------------------------ atomics
-    def _exec_atomic(self, instr: Instruction, pc: int, word: int, spec) -> CommitRecord:
-        size = 4 if instr.mnemonic.endswith(".w") else 8
-        signed = size == 4
-        address = self.state.read_reg(instr.rs1) & MASK64
-        base = instr.mnemonic.split(".")[0]
-        if base == "lr":
+
+def _make_fence_handler():
+    def execute(self: Executor, instr: Instruction, pc: int, word: int) -> CommitRecord:
+        return self._commit_simple(instr, pc, word)
+    return execute
+
+
+def _make_atomic_handler(mnemonic: str):
+    base = mnemonic.split(".")[0]
+    size = 4 if mnemonic.endswith(".w") else 8
+    signed = size == 4
+    mask = (1 << (8 * size)) - 1
+    if base == "lr":
+        def execute(self: Executor, instr: Instruction, pc: int, word: int) -> CommitRecord:
+            address = self.state.regs[instr.rs1] & MASK64
             value = self._mem_load(address, size, signed, instr)
             self.state.reservation = address
             return self._commit_rd(instr, pc, word, value)
-        if base == "sc":
-            if self.state.reservation == address:
-                value = self.state.read_reg(instr.rs2) & ((1 << (8 * size)) - 1)
+    elif base == "sc":
+        def execute(self: Executor, instr: Instruction, pc: int, word: int) -> CommitRecord:
+            state = self.state
+            address = state.regs[instr.rs1] & MASK64
+            if state.reservation == address:
+                value = state.regs[instr.rs2] & mask
                 self._mem_store(address, value, size, instr)
-                self.state.reservation = None
+                state.reservation = None
                 return self._commit_rd(instr, pc, word, 0, mem_addr=address,
                                        mem_value=value, mem_size=size)
-            self.state.reservation = None
+            state.reservation = None
             return self._commit_rd(instr, pc, word, 1)
-        # AMO read-modify-write.
-        old = self._mem_load(address, size, signed, instr)
-        rs2 = self.state.read_reg(instr.rs2)
-        if base == "amoswap":
-            new = rs2
-        elif base == "amoadd":
-            new = old + rs2
-        elif base == "amoxor":
-            new = old ^ rs2
-        elif base == "amoand":
-            new = old & rs2
-        elif base == "amoor":
-            new = old | rs2
+    else:
+        amo_of = _AMO_OPS[base]
+        def execute(self: Executor, instr: Instruction, pc: int, word: int) -> CommitRecord:
+            state = self.state
+            address = state.regs[instr.rs1] & MASK64
+            old = self._mem_load(address, size, signed, instr)
+            new = amo_of(old, state.regs[instr.rs2]) & mask
+            self._mem_store(address, new, size, instr)
+            return self._commit_rd(instr, pc, word, old, mem_addr=address,
+                                   mem_value=new, mem_size=size)
+    return execute
+
+
+def _build_handlers() -> Dict[str, Callable]:
+    handlers: Dict[str, Callable] = {}
+    for mnemonic, spec in SPECS.items():
+        cls = spec.cls
+        if mnemonic == "lui":
+            handlers[mnemonic] = _make_lui_handler()
+        elif mnemonic == "auipc":
+            handlers[mnemonic] = _make_auipc_handler()
+        elif spec.alu_op is not None:
+            handlers[mnemonic] = _make_alu_handler(spec.alu_op, spec.alu_src_imm)
+        elif cls is InstrClass.LOAD:
+            size, signed = _LOAD_SIZES[mnemonic]
+            handlers[mnemonic] = _make_load_handler(size, signed)
+        elif cls is InstrClass.STORE:
+            handlers[mnemonic] = _make_store_handler(_STORE_SIZES[mnemonic])
+        elif cls is InstrClass.BRANCH:
+            handlers[mnemonic] = _make_branch_handler(mnemonic)
+        elif cls is InstrClass.JUMP:
+            handlers[mnemonic] = _make_jump_handler(mnemonic)
+        elif cls is InstrClass.CSR:
+            handlers[mnemonic] = _make_csr_handler(mnemonic, spec.fmt)
+        elif cls is InstrClass.SYSTEM:
+            handlers[mnemonic] = _make_system_handler(mnemonic)
+        elif cls is InstrClass.FENCE:
+            handlers[mnemonic] = _make_fence_handler()
+        elif cls is InstrClass.ATOMIC:
+            handlers[mnemonic] = _make_atomic_handler(mnemonic)
         else:  # pragma: no cover - defensive
-            raise AssertionError(f"unhandled AMO {base}")
-        new &= (1 << (8 * size)) - 1
-        self._mem_store(address, new, size, instr)
-        return self._commit_rd(instr, pc, word, old, mem_addr=address,
-                               mem_value=new, mem_size=size)
+            raise AssertionError(f"unhandled class {cls}")
+    return handlers
+
+
+#: mnemonic -> handler closure, built once from SPECS at import time.
+_HANDLERS: Dict[str, Callable] = _build_handlers()

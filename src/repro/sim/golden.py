@@ -10,7 +10,7 @@ construction -- exactly the property differential testing relies on.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.isa.program import TestProgram
 from repro.sim.executor import Executor, ExecutorConfig
@@ -84,3 +84,66 @@ class GoldenModel(ModelBase):
     """SPIKE-substitute: the architecturally correct reference model."""
 
     name = "golden"
+
+
+class GoldenTraceCache:
+    """Program-keyed cache of golden-model execution results.
+
+    The golden model is deterministic: the commit trace depends only on the
+    encoded program words, the load address and the step limit.  Campaigns
+    re-run the same seed programs constantly (MABFuzz arms replay their
+    seeds; duplicate mutants are common), so caching the golden trace halves
+    the per-iteration simulation cost for every repeated program.
+
+    Cached :class:`~repro.sim.trace.ExecutionResult` objects are shared --
+    callers must treat them as read-only (the differential tester does).
+    ``hits`` / ``misses`` counters are surfaced in the fuzzing-session stats.
+    """
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._entries: Dict[Tuple, ExecutionResult] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key(model: ModelBase, program: TestProgram,
+            step_limit: int) -> Tuple:
+        """Cache key: program content hash + step limit + model configuration.
+
+        The model's executor config and memory layout are part of the key so
+        a cache shared between sessions can never serve a trace computed
+        under a different golden-model configuration.
+        """
+        return (program.fingerprint(), step_limit,
+                model.executor_config, model.layout)
+
+    def get_or_run(self, model: ModelBase, program: TestProgram,
+                   max_steps: Optional[int] = None) -> ExecutionResult:
+        """Return the cached trace for ``program``, running ``model`` on a miss."""
+        limit = max_steps or model.executor_config.step_limit
+        key = self.key(model, program, limit)
+        cached = self._entries.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        result = model.run(program, max_steps)
+        if len(self._entries) >= self.max_entries:
+            # Simple wholesale eviction: campaigns cycle working sets far
+            # smaller than the bound, so this triggers rarely (if ever).
+            self._entries.clear()
+        self._entries[key] = result
+        return result
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": len(self._entries), "max_entries": self.max_entries}
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,15 +1,21 @@
-"""Sparse byte-addressable memory with a simple address map.
+"""Byte-addressable memory with a simple address map.
 
 The modelled SoC exposes one valid DRAM window.  Accesses outside it raise
 access-fault traps -- this is the path exercised by vulnerability V5
 ("exception not thrown when invalid addresses accessed"), which is why the
 layout is explicit and checkable rather than an unbounded dictionary.
+
+The window is backed by a single flat :class:`bytearray` (offset =
+address - dram_base) so that loads, stores and instruction fetches are one
+slice + ``int.from_bytes``/``int.to_bytes`` each rather than per-byte dict
+lookups -- memory access is on the hottest path of the fuzzing loop.  Trap
+semantics (window check first, then alignment, with the faulting address as
+``tval``) are identical to the original sparse implementation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
 
 from repro.isa.exceptions import Trap, TrapCause
 
@@ -48,59 +54,69 @@ DEFAULT_LAYOUT = MemoryLayout()
 
 
 class Memory:
-    """Sparse little-endian byte memory honouring a :class:`MemoryLayout`."""
+    """Flat little-endian byte memory honouring a :class:`MemoryLayout`."""
 
     def __init__(self, layout: MemoryLayout = DEFAULT_LAYOUT) -> None:
         self.layout = layout
-        self._bytes: Dict[int, int] = {}
+        self._base = layout.dram_base
+        self._size = layout.dram_size
+        self._data = bytearray(layout.dram_size)
 
     def clone(self) -> "Memory":
         """Return an independent copy of this memory."""
-        copy = Memory(self.layout)
-        copy._bytes = dict(self._bytes)
+        copy = Memory.__new__(Memory)
+        copy.layout = self.layout
+        copy._base = self._base
+        copy._size = self._size
+        copy._data = bytearray(self._data)
         return copy
-
-    # ------------------------------------------------------------------ checks
-    def _check(self, address: int, size: int, store: bool) -> None:
-        if not self.layout.contains(address, size):
-            cause = TrapCause.STORE_ACCESS_FAULT if store else TrapCause.LOAD_ACCESS_FAULT
-            raise Trap(cause, tval=address)
-        if address % size != 0:
-            cause = (TrapCause.STORE_ADDRESS_MISALIGNED if store
-                     else TrapCause.LOAD_ADDRESS_MISALIGNED)
-            raise Trap(cause, tval=address)
 
     # ------------------------------------------------------------------ access
     def load(self, address: int, size: int, signed: bool = False) -> int:
         """Load ``size`` bytes from ``address`` (little-endian)."""
-        self._check(address, size, store=False)
-        value = 0
-        for offset in range(size):
-            value |= self._bytes.get(address + offset, 0) << (8 * offset)
-        if signed and value & (1 << (8 * size - 1)):
-            value -= 1 << (8 * size)
-        return value
+        offset = address - self._base
+        if offset < 0 or offset + size > self._size:
+            raise Trap(TrapCause.LOAD_ACCESS_FAULT, tval=address)
+        if address % size != 0:
+            raise Trap(TrapCause.LOAD_ADDRESS_MISALIGNED, tval=address)
+        return int.from_bytes(self._data[offset:offset + size], "little",
+                              signed=signed)
 
     def store(self, address: int, value: int, size: int) -> None:
         """Store the low ``size`` bytes of ``value`` at ``address``."""
-        self._check(address, size, store=True)
+        offset = address - self._base
+        if offset < 0 or offset + size > self._size:
+            raise Trap(TrapCause.STORE_ACCESS_FAULT, tval=address)
+        if address % size != 0:
+            raise Trap(TrapCause.STORE_ADDRESS_MISALIGNED, tval=address)
         value &= (1 << (8 * size)) - 1
-        for offset in range(size):
-            self._bytes[address + offset] = (value >> (8 * offset)) & 0xFF
+        self._data[offset:offset + size] = value.to_bytes(size, "little")
 
     def fetch_word(self, address: int) -> int:
         """Fetch a 32-bit instruction word (instruction access checks)."""
-        if not self.layout.contains(address, 4):
+        offset = address - self._base
+        if offset < 0 or offset + 4 > self._size:
             raise Trap(TrapCause.INSTRUCTION_ACCESS_FAULT, tval=address)
         if address % 4 != 0:
             raise Trap(TrapCause.INSTRUCTION_ADDRESS_MISALIGNED, tval=address)
-        value = 0
-        for offset in range(4):
-            value |= self._bytes.get(address + offset, 0) << (8 * offset)
-        return value
+        return int.from_bytes(self._data[offset:offset + 4], "little")
 
     # ------------------------------------------------------------------ loading
     def load_program_words(self, base_address: int, words) -> None:
-        """Write 32-bit ``words`` starting at ``base_address``."""
-        for index, word in enumerate(words):
-            self.store(base_address + 4 * index, word, 4)
+        """Write 32-bit ``words`` starting at ``base_address`` in one pass.
+
+        The whole target range is validated once up front (window first,
+        then alignment -- the same order as individual stores) and the block
+        is then written directly into the backing buffer.
+        """
+        words = tuple(words)
+        if not words:
+            return
+        offset = base_address - self._base
+        if offset < 0 or offset + 4 * len(words) > self._size:
+            raise Trap(TrapCause.STORE_ACCESS_FAULT, tval=base_address)
+        if base_address % 4 != 0:
+            raise Trap(TrapCause.STORE_ADDRESS_MISALIGNED, tval=base_address)
+        block = b"".join((word & 0xFFFF_FFFF).to_bytes(4, "little")
+                         for word in words)
+        self._data[offset:offset + len(block)] = block

@@ -25,7 +25,7 @@ class HaltReason(enum.Enum):
     STEP_LIMIT = "step_limit"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CommitRecord:
     """Architecturally visible effects of executing one instruction.
 

@@ -29,3 +29,21 @@ class TestCollector:
         snapshot = collector.hits
         collector.hit("b")
         assert snapshot == {"a"}
+
+    def test_hits_not_refrozen_when_unchanged(self):
+        collector = CoverageCollector()
+        collector.hit_many(["a", "b"])
+        first = collector.hits
+        assert collector.hits is first  # memoised between reads
+        collector.hit("c")
+        assert collector.hits == {"a", "b", "c"}
+
+    def test_reset_invalidates_snapshot(self):
+        collector = CoverageCollector()
+        collector.hit("a")
+        assert collector.hits == {"a"}
+        collector.reset()
+        assert collector.hits == frozenset()
+        collector.hit("b")  # bound fast paths survive reset
+        collector.hit_many(["c"])
+        assert collector.hits == {"b", "c"}

@@ -72,3 +72,82 @@ class TestRunTest:
 
     def test_total_points_matches_dut_space(self, session):
         assert session.total_points == session.dut.total_coverage_points
+
+
+class TestGoldenTraceCache:
+    def test_duplicate_program_hits_cache(self, session, straightline_program):
+        session.run_test(straightline_program)
+        assert session.golden_cache_misses == 1
+        assert session.golden_cache_hits == 0
+        session.run_test(straightline_program)
+        assert session.golden_cache_hits == 1
+        assert session.golden_cache_misses == 1
+
+    def test_equal_content_different_provenance_hits(self, session):
+        body = (Instruction("addi", rd=1, rs1=0, imm=5), Instruction("ecall"))
+        session.run_test(_program(*body))
+        session.run_test(_program(*body))  # distinct program_id, same words
+        assert session.golden_cache_hits == 1
+
+    def test_distinct_programs_miss(self, session, straightline_program,
+                                    memory_program):
+        session.run_test(straightline_program)
+        session.run_test(memory_program)
+        assert session.golden_cache_hits == 0
+        assert session.golden_cache_misses == 2
+
+    def test_cached_outcomes_identical(self, session, straightline_program):
+        first = session.run_test(straightline_program)
+        second = session.run_test(straightline_program)
+        assert first.mismatch is None and second.mismatch is None
+        assert first.coverage == second.coverage
+
+    def test_shared_cache_keys_on_model_config(self, straightline_program):
+        """Different golden configurations must never share cache entries."""
+        from repro.sim.executor import ExecutorConfig
+        from repro.sim.golden import GoldenModel, GoldenTraceCache
+
+        cache = GoldenTraceCache()
+        counting = GoldenModel(ExecutorConfig(count_trapped_instructions=True))
+        skipping = GoldenModel(ExecutorConfig(count_trapped_instructions=False))
+        cache.get_or_run(counting, straightline_program)
+        cache.get_or_run(skipping, straightline_program)
+        assert cache.stats()["misses"] == 2 and cache.stats()["hits"] == 0
+        cache.get_or_run(counting, straightline_program)
+        assert cache.stats()["hits"] == 1
+
+    def test_stats_surface_cache_counters(self, session, straightline_program):
+        session.run_test(straightline_program)
+        session.run_test(straightline_program)
+        stats = session.stats()
+        assert stats["golden_cache_hits"] == 1
+        assert stats["golden_cache_misses"] == 1
+        assert stats["tests_executed"] == 2
+
+
+class TestGoldenCacheInCampaign:
+    def test_duplicate_seeds_in_campaign_hit_cache(self):
+        """A campaign that replays a seed must serve it from the trace cache."""
+        from repro.fuzzing.base import Fuzzer, FuzzerConfig
+
+        class ReplayFuzzer(Fuzzer):
+            """Degenerate fuzzer: schedules the same seed every iteration."""
+
+            name = "replay"
+
+            def __init__(self, dut, **kwargs):
+                super().__init__(dut, **kwargs)
+                self._seed = self.seed_generator.generate()
+
+            def _next_test(self):
+                return self._seed
+
+            def _after_test(self, program, outcome):
+                pass
+
+        fuzzer = ReplayFuzzer(CVA6Model(bugs=[]),
+                              config=FuzzerConfig(num_seeds=1), rng=7)
+        result = fuzzer.run(4)
+        assert result.metadata["golden_cache_hits"] >= 1
+        assert result.metadata["golden_cache_misses"] == 1
+        assert fuzzer.session.golden_cache_hits == 3

@@ -3,7 +3,7 @@
 import math
 
 import pytest
-from hypothesis import given, strategies as st
+from hypothesis import example, given, strategies as st
 
 from repro.harness.stats import censored_mean, geometric_mean, median, summarize
 
@@ -63,6 +63,9 @@ class TestCensoredMean:
 
 
 @given(st.lists(st.floats(min_value=0.1, max_value=1e6), min_size=1, max_size=30))
+# Regression: numpy's pairwise mean of identical values can exceed max by an
+# ulp; summarize() clamps the mean into [min, max].
+@example(values=[174762.87263006327] * 3)
 def test_summary_bounds_property(values):
     summary = summarize(values)
     assert summary.minimum <= summary.mean <= summary.maximum

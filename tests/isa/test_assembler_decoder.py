@@ -106,6 +106,40 @@ class TestDecode:
         assert encode_instruction(instr) == word
 
 
+class TestDecodeCache:
+    def test_repeated_decodes_share_one_instruction(self):
+        from repro.isa.decoder import clear_decode_cache
+
+        clear_decode_cache()
+        assert decode_word(0x005201B3) is decode_word(0x005201B3)
+
+    def test_illegal_words_cache_too(self):
+        from repro.isa.decoder import clear_decode_cache
+
+        clear_decode_cache()
+        assert decode_word(0x0) is decode_word(0x0)
+        assert decode_word(0x0).is_illegal
+
+    def test_cache_info_and_clear(self):
+        from repro.isa.decoder import clear_decode_cache, decode_cache_info
+
+        clear_decode_cache()
+        assert decode_cache_info()["size"] == 0
+        decode_word(0x005201B3)
+        info = decode_cache_info()
+        assert info["size"] == 1
+        assert info["max_size"] >= 1
+        clear_decode_cache()
+        assert decode_cache_info()["size"] == 0
+
+    def test_cached_instructions_are_immutable(self):
+        import dataclasses
+
+        instr = decode_word(0x005201B3)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            instr.rd = 5
+
+
 # ------------------------------------------------------------------- round trips
 def _operand_strategy(mnemonic):
     """Build a hypothesis strategy producing valid operand values for a mnemonic."""

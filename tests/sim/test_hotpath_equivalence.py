@@ -1,0 +1,201 @@
+"""Trace equivalence of the optimised hot path against pre-rewrite fixtures.
+
+The simulation substrate (decoder tables + decode cache, table-dispatched
+executor, bytearray memory) must be *bit-identical* to the original
+straight-line implementation: same commit records, same final registers and
+CSRs, same halt reasons.  This module pins that property to golden fixtures
+recorded from the pre-rewrite implementation (see ``record_hotpath_fixtures``
+in this file): a deterministic ~200-program corpus -- random seeds, mutated
+programs (including illegal words produced by bit-level mutation) and
+hand-built corner cases -- is digested per program and compared digest by
+digest.
+
+To re-record the fixtures (only after intentionally changing architectural
+semantics, never to paper over a regression)::
+
+    PYTHONPATH=src:. python tests/sim/test_hotpath_equivalence.py --record
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.fuzzing.mutation import MutationEngine
+from repro.isa.generator import SeedGenerator
+from repro.isa.instruction import Instruction
+from repro.isa.program import TestProgram
+from repro.rtl.registry import make_dut
+from repro.sim.golden import GoldenModel
+
+FIXTURE_PATH = Path(__file__).parent / "fixtures" / "hotpath_golden.json"
+
+CORPUS_SEED = 20260728
+NUM_SEEDS = 120
+NUM_MUTATED_PARENTS = 40
+MUTANTS_PER_PARENT = 2
+DUT_NAMES = ("cva6", "rocket", "boom")
+DUT_PROGRAMS = 25        # corpus prefix run through each clean DUT
+BUGGY_PROGRAMS = 15      # corpus prefix run through a fully-bugged rocket
+
+
+def _corner_programs() -> list:
+    """Hand-built programs hitting illegal words, traps and CSR/AMO paths."""
+    I = Instruction
+    programs = [
+        # All-zero and all-one words are the canonical illegal encodings.
+        [I.illegal(0x0000_0000), I.illegal(0xFFFF_FFFF), I("ecall")],
+        # Misaligned branch target, then fall through to a misaligned jalr.
+        [I("addi", rd=1, rs1=0, imm=3),
+         I("beq", rs1=0, rs2=0, imm=2),
+         I("jalr", rd=1, rs1=1, imm=0),
+         I("ecall")],
+        # Out-of-window load/store (access faults, V5's trigger).
+        [I("lui", rd=2, imm=0x10000),
+         I("lw", rd=3, rs1=2, imm=0),
+         I("sd", rs1=2, rs2=3, imm=8),
+         I("ecall")],
+        # Misaligned load within the window.
+        [I("lui", rd=2, imm=0x40004),
+         I("lh", rd=3, rs1=2, imm=1),
+         I("ld", rd=4, rs1=2, imm=4),
+         I("ecall")],
+        # CSR reads/writes incl. an unimplemented address and a read-only write.
+        [I("csrrwi", rd=1, imm=7, csr=0x340),
+         I("csrrs", rd=2, rs1=0, csr=0x340),
+         I("csrrw", rd=3, rs1=1, csr=0x7B0),
+         I("csrrw", rd=4, rs1=1, csr=0xF11),
+         I("csrrci", rd=5, imm=0, csr=0xC00),
+         I("ecall")],
+        # LR/SC success + failure and an AMO round trip.
+        [I("lui", rd=2, imm=0x40004),
+         I("addi", rd=3, rs1=0, imm=42),
+         I("lr.d", rd=4, rs1=2),
+         I("sc.d", rd=5, rs1=2, rs2=3),
+         I("sc.d", rd=6, rs1=2, rs2=3),
+         I("amoadd.w", rd=7, rs1=2, rs2=3, aq=1),
+         I("ecall")],
+        # ebreak (breakpoint trap) then mret, fence paths and wfi.
+        [I("ebreak"), I("fence", imm=0xFF), I("fence.i"), I("wfi"),
+         I("mret"), I("ecall")],
+        # Divide-by-zero / overflow corners for the M extension.
+        [I("addi", rd=1, rs1=0, imm=-1),
+         I("lui", rd=2, imm=0x80000),
+         I("div", rd=3, rs1=2, rs2=0),
+         I("divw", rd=4, rs1=2, rs2=1),
+         I("rem", rd=5, rs1=2, rs2=1),
+         I("remuw", rd=6, rs1=1, rs2=0),
+         I("ecall")],
+    ]
+    return [TestProgram(instructions=tuple(body)) for body in programs]
+
+
+def build_corpus() -> list:
+    """Deterministic ~200-program corpus: seeds + mutants + corner cases."""
+    generator = SeedGenerator(rng=CORPUS_SEED)
+    programs = list(generator.generate_many(NUM_SEEDS))
+    engine = MutationEngine(rng=CORPUS_SEED + 1)
+    for parent in programs[:NUM_MUTATED_PARENTS]:
+        programs.extend(engine.mutate(parent, count=MUTANTS_PER_PARENT))
+    programs.extend(_corner_programs())
+    return programs
+
+
+def trace_digest(execution) -> str:
+    """Digest every architecturally visible aspect of one program run."""
+    h = hashlib.sha256()
+    for r in execution.records:
+        h.update(repr((
+            r.step, r.pc, r.word, r.mnemonic, r.rd, r.rd_value,
+            None if r.trap is None else r.trap.name,
+            r.mem_addr, r.mem_value, r.mem_size,
+            r.csr_addr, r.csr_value, r.next_pc,
+        )).encode())
+    h.update(repr(execution.halt_reason.value).encode())
+    h.update(repr(tuple(execution.final_registers)).encode())
+    h.update(repr(sorted(execution.final_csrs.items())).encode())
+    return h.hexdigest()
+
+
+def compute_digests() -> dict:
+    """Run the full corpus and return all per-program trace digests."""
+    corpus = build_corpus()
+    golden = GoldenModel()
+    digests = {
+        "corpus_size": len(corpus),
+        "golden": [trace_digest(golden.run(p)) for p in corpus],
+        "duts": {},
+    }
+    for name in DUT_NAMES:
+        dut = make_dut(name, bugs=[])
+        digests["duts"][name] = [
+            trace_digest(dut.run(p).execution) for p in corpus[:DUT_PROGRAMS]
+        ]
+    buggy = make_dut("rocket")  # default (full) bug set
+    digests["rocket_buggy"] = [
+        trace_digest(buggy.run(p).execution) for p in corpus[:BUGGY_PROGRAMS]
+    ]
+    return digests
+
+
+@pytest.fixture(scope="module")
+def fixture_digests():
+    if not FIXTURE_PATH.exists():  # pragma: no cover - recording guard
+        pytest.skip("hotpath fixtures not recorded; run this module with --record")
+    return json.loads(FIXTURE_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def current_digests():
+    return compute_digests()
+
+
+def test_corpus_is_representative():
+    """The corpus must include illegal words (mutation fallout) and traps."""
+    corpus = build_corpus()
+    assert len(corpus) >= 200
+    assert any(i.is_illegal for p in corpus for i in p.instructions)
+    mnemonics = {i.mnemonic for p in corpus for i in p.instructions}
+    assert {"ecall", "ebreak", "csrrw"} <= mnemonics
+
+
+def test_golden_traces_match_fixtures(fixture_digests, current_digests):
+    assert current_digests["corpus_size"] == fixture_digests["corpus_size"]
+    mismatches = [
+        index
+        for index, (new, old) in enumerate(
+            zip(current_digests["golden"], fixture_digests["golden"]))
+        if new != old
+    ]
+    assert not mismatches, (
+        f"golden traces diverged from pre-rewrite fixtures at programs {mismatches[:10]}")
+
+
+@pytest.mark.parametrize("dut_name", DUT_NAMES)
+def test_dut_traces_match_fixtures(fixture_digests, current_digests, dut_name):
+    assert current_digests["duts"][dut_name] == fixture_digests["duts"][dut_name], (
+        f"{dut_name} DUT traces diverged from pre-rewrite fixtures")
+
+
+def test_buggy_dut_traces_match_fixtures(fixture_digests, current_digests):
+    assert current_digests["rocket_buggy"] == fixture_digests["rocket_buggy"], (
+        "bug-injected rocket traces diverged from pre-rewrite fixtures")
+
+
+def record_hotpath_fixtures() -> None:  # pragma: no cover - manual tool
+    FIXTURE_PATH.parent.mkdir(parents=True, exist_ok=True)
+    FIXTURE_PATH.write_text(json.dumps(compute_digests(), indent=1) + "\n")
+    print(f"recorded fixtures for {json.loads(FIXTURE_PATH.read_text())['corpus_size']} "
+          f"programs -> {FIXTURE_PATH}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    if "--record" in sys.argv:
+        record_hotpath_fixtures()
+    else:
+        print(__doc__)

@@ -100,6 +100,28 @@ class TestProgramLoading:
         assert memory.load(DEFAULT_LAYOUT.data_base, 8) == 7
         assert copy.load(DEFAULT_LAYOUT.data_base, 8) == 9
 
+    def test_load_words_empty_is_noop(self):
+        Memory().load_program_words(DEFAULT_LAYOUT.dram_base, [])
+
+    def test_load_words_out_of_window(self):
+        memory = Memory()
+        with pytest.raises(Trap) as excinfo:
+            memory.load_program_words(DEFAULT_LAYOUT.dram_end - 4,
+                                      [0x00100093, 0x00000073])
+        assert excinfo.value.cause is TrapCause.STORE_ACCESS_FAULT
+        # The range is validated before anything is written.
+        assert memory.fetch_word(DEFAULT_LAYOUT.dram_end - 4) == 0
+
+    def test_load_words_misaligned_base(self):
+        with pytest.raises(Trap) as excinfo:
+            Memory().load_program_words(DEFAULT_LAYOUT.dram_base + 2, [0x00100093])
+        assert excinfo.value.cause is TrapCause.STORE_ADDRESS_MISALIGNED
+
+    def test_load_words_masks_to_32_bits(self):
+        memory = Memory()
+        memory.load_program_words(DEFAULT_LAYOUT.dram_base, [0x1_2345_6789])
+        assert memory.fetch_word(DEFAULT_LAYOUT.dram_base) == 0x2345_6789
+
 
 # ----------------------------------------------------------------- properties
 _sizes = st.sampled_from([1, 2, 4, 8])
