@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import subprocess
 import sys
@@ -62,6 +63,10 @@ def summarize(raw: dict) -> dict:
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "python": platform.python_version(),
         "machine": platform.machine(),
+        # The campaign-grid serial/parallel pair is only meaningful
+        # relative to this: on a 1-CPU host the parallel benchmark
+        # measures pure multi-process overhead (see docs/parallel.md).
+        "cpu_count": os.cpu_count(),
         "benchmarks": benchmarks,
     }
 

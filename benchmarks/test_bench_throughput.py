@@ -10,8 +10,10 @@ import pytest
 
 from repro.api import make_fuzzer, make_processor
 from repro.core.config import MABFuzzConfig
+from repro.exec import ProcessPoolBackend, SerialBackend, grid_summary, run_grid
 from repro.fuzzing.base import FuzzerConfig
 from repro.fuzzing.mutation import MutationEngine
+from repro.harness.campaign import CampaignSpec
 from repro.isa.generator import SeedGenerator
 from repro.sim.golden import GoldenModel
 
@@ -65,3 +67,45 @@ def test_mabfuzz_iteration_throughput(benchmark):
                          mab_config=MABFuzzConfig(num_arms=5), rng=0)
     outcome = benchmark(fuzzer.fuzz_one)
     assert outcome.coverage
+
+
+# --------------------------------------------------------------- campaign grids
+# A multi-campaign grid (2 processors x 2 fuzzers x 2 trials) run through
+# the execution subsystem on both backends.  Comparing the two medians in
+# BENCH_throughput.json gives the parallel speedup on this machine.  Every
+# round draws fresh base seeds so neither backend trivially serves its
+# whole workload out of the DUT-run/golden caches warmed by earlier rounds.
+_GRID_SEEDS = iter(range(1000, 2000))
+
+
+def _grid_specs():
+    seed = next(_GRID_SEEDS)
+    return [
+        CampaignSpec(processor=processor, fuzzer=fuzzer, num_tests=120,
+                     trials=2, seed=seed, bugs=[],
+                     fuzzer_config=FuzzerConfig(num_seeds=4, mutants_per_test=2))
+        for processor in ("cva6", "rocket")
+        for fuzzer in ("thehuzz", "mabfuzz:ucb")
+    ]
+
+
+def _check_grid(trialsets):
+    summary = grid_summary(trialsets)
+    assert summary["specs"] == 4
+    assert summary["trials_completed"] == summary["trials_expected"] == 8
+    assert summary["tests_executed"] == 8 * 120
+
+
+def test_campaign_grid_serial_throughput(benchmark):
+    trialsets = benchmark.pedantic(
+        lambda: run_grid(_grid_specs(), backend=SerialBackend()),
+        rounds=2, iterations=1)
+    _check_grid(trialsets)
+
+
+def test_campaign_grid_parallel_throughput(benchmark):
+    backend = ProcessPoolBackend(workers=4)
+    trialsets = benchmark.pedantic(
+        lambda: run_grid(_grid_specs(), backend=backend),
+        rounds=2, iterations=1)
+    _check_grid(trialsets)

@@ -7,9 +7,12 @@ Installed as the ``mabfuzz`` console script::
     mabfuzz table1 --tests 800 --trials 2         # Table I reproduction
     mabfuzz coverage --tests 500 --trials 2       # Fig. 3 + Fig. 4 reproduction
     mabfuzz ablation gamma --tests 300            # ablation sweeps
+    mabfuzz report --workers 4 --resume grid.jsonl   # parallel + resumable
 
 Every command prints its results to stdout; ``--output`` additionally writes
-them to a file.
+them to a file.  The grid commands (table1/coverage/report/ablation) accept
+``--workers N`` to shard campaigns across processes and ``--resume PATH``
+to journal/restore completed trials -- see docs/parallel.md.
 """
 
 from __future__ import annotations
@@ -20,6 +23,8 @@ from typing import Optional, Sequence
 
 from repro.api import available_fuzzers, available_processors, quick_campaign
 from repro.core.config import MABFuzzConfig
+from repro.core.monitor import ProgressMonitor
+from repro.exec import CampaignEngine, ProcessPoolBackend
 from repro.fuzzing.base import FuzzerConfig
 from repro.harness.experiments import (
     ExperimentConfig,
@@ -52,6 +57,22 @@ def _experiment_config(args, algorithms=None, processors=None) -> ExperimentConf
                                    mutants_per_test=args.mutants),
         mab_config=MABFuzzConfig(),
     )
+
+
+def _engine(args) -> CampaignEngine:
+    """Build the campaign engine the grid commands hand their specs to."""
+    if args.workers < 1:
+        raise SystemExit("--workers must be >= 1")
+    backend = None
+    if args.workers > 1:
+        backend = ProcessPoolBackend(args.workers,
+                                     max_tasks_per_child=args.max_tasks_per_child)
+    elif args.max_tasks_per_child is not None:
+        raise SystemExit("--max-tasks-per-child requires --workers > 1")
+    monitor = ProgressMonitor(
+        sink=lambda line: print(line, file=sys.stderr, flush=True))
+    return CampaignEngine(backend=backend, checkpoint_path=args.resume,
+                          monitor=monitor)
 
 
 def _emit(text: str, output: Optional[str]) -> None:
@@ -93,14 +114,14 @@ def _cmd_fuzz(args) -> int:
 
 def _cmd_table1(args) -> int:
     config = _experiment_config(args)
-    result = run_table1(config)
+    result = run_table1(config, engine=_engine(args))
     _emit(render_table1(result), args.output)
     return 0
 
 
 def _cmd_coverage(args) -> int:
     config = _experiment_config(args, processors=args.processors)
-    study = run_coverage_study(config)
+    study = run_coverage_study(config, engine=_engine(args))
     text = "\n\n".join([
         render_figure3(figure3_series(study)),
         render_figure4_table(figure4_summary(study)),
@@ -111,8 +132,9 @@ def _cmd_coverage(args) -> int:
 
 def _cmd_report(args) -> int:
     config = _experiment_config(args, processors=args.processors)
-    table1 = run_table1(config)
-    study = run_coverage_study(config)
+    engine = _engine(args)
+    table1 = run_table1(config, engine=engine)
+    study = run_coverage_study(config, engine=engine)
     text = build_experiments_report(table1=table1, study=study,
                                     notes=f"Scaled runs: {args.tests} tests x "
                                           f"{args.trials} trials per campaign.")
@@ -131,12 +153,22 @@ def _cmd_ablation(args) -> int:
     config = _experiment_config(args, algorithms=(args.algorithm,),
                                 processors=(args.processor,))
     runner, parameter = _ABLATIONS[args.which]
-    results = runner(config, processor=args.processor, algorithm=args.algorithm)
+    results = runner(config, processor=args.processor, algorithm=args.algorithm,
+                     engine=_engine(args))
     _emit(render_ablation_table(results, parameter_name=parameter), args.output)
     return 0
 
 
 # -------------------------------------------------------------------- parser
+_EXECUTION_EPILOG = """\
+parallel execution:
+  --workers N shards the campaign grid across N worker processes;
+  --resume PATH journals completed trials to a JSONL checkpoint and
+  restores them on the next invocation with the same configuration.
+  Results are bit-identical whichever backend runs them (docs/parallel.md).
+"""
+
+
 def _add_common_campaign_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--tests", type=int, default=400, help="tests per campaign")
     parser.add_argument("--trials", type=int, default=2, help="trials per campaign")
@@ -145,6 +177,19 @@ def _add_common_campaign_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--mutants", type=int, default=4,
                         help="mutants per interesting test")
     parser.add_argument("--output", help="also write the result to this file")
+
+
+def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
+    """Options of the parallel execution engine (grid commands only)."""
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the campaign grid "
+                             "(1 = serial in-process)")
+    parser.add_argument("--max-tasks-per-child", type=int, default=None,
+                        help="recycle each worker after this many trials")
+    parser.add_argument("--resume", metavar="PATH", default=None,
+                        help="JSONL checkpoint journal to write and resume from")
+    parser.epilog = _EXECUTION_EPILOG
+    parser.formatter_class = argparse.RawDescriptionHelpFormatter
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -166,6 +211,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     table1_parser = subparsers.add_parser("table1", help="reproduce Table I")
     _add_common_campaign_arguments(table1_parser)
+    _add_execution_arguments(table1_parser)
     table1_parser.set_defaults(func=_cmd_table1)
 
     coverage_parser = subparsers.add_parser("coverage",
@@ -174,6 +220,7 @@ def build_parser() -> argparse.ArgumentParser:
                                  default=["cva6", "rocket", "boom"],
                                  choices=["cva6", "rocket", "boom"])
     _add_common_campaign_arguments(coverage_parser)
+    _add_execution_arguments(coverage_parser)
     coverage_parser.set_defaults(func=_cmd_coverage)
 
     report_parser = subparsers.add_parser("report",
@@ -182,6 +229,7 @@ def build_parser() -> argparse.ArgumentParser:
                                default=["cva6", "rocket", "boom"],
                                choices=["cva6", "rocket", "boom"])
     _add_common_campaign_arguments(report_parser)
+    _add_execution_arguments(report_parser)
     report_parser.set_defaults(func=_cmd_report)
 
     ablation_parser = subparsers.add_parser("ablation", help="run an ablation sweep")
@@ -191,6 +239,7 @@ def build_parser() -> argparse.ArgumentParser:
     ablation_parser.add_argument("--algorithm", default="ucb",
                                  choices=("egreedy", "ucb", "exp3"))
     _add_common_campaign_arguments(ablation_parser)
+    _add_execution_arguments(ablation_parser)
     ablation_parser.set_defaults(func=_cmd_ablation)
 
     return parser

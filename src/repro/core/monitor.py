@@ -1,17 +1,24 @@
-"""The γ-window saturation monitor (Sec. III-C).
+"""Campaign monitors: γ-window saturation and grid-run progress.
 
-For every arm the monitor remembers how much new coverage each of the last
-γ pulls of that arm produced.  When γ consecutive pulls produced nothing
-new, the arm is declared *saturated* (depleted) and the scheduler replaces
-it with a fresh seed.  γ trades depth for breadth: a large γ gives a seed
-more chances to reach deep points before being abandoned, a small γ moves
-on to unexplored regions sooner (footnote 1 of the paper).
+:class:`SaturationMonitor` implements the paper's arm-saturation detector
+(Sec. III-C): for every arm it remembers how much new coverage each of the
+last γ pulls of that arm produced.  When γ consecutive pulls produced
+nothing new, the arm is declared *saturated* (depleted) and the scheduler
+replaces it with a fresh seed.  γ trades depth for breadth: a large γ gives
+a seed more chances to reach deep points before being abandoned, a small γ
+moves on to unexplored regions sooner (footnote 1 of the paper).
+
+:class:`ProgressMonitor` tracks the other time axis -- a whole grid of
+campaigns running through the parallel execution subsystem
+(:mod:`repro.exec`): trials done/total, throughput-based ETA, and the
+golden/DUT cache traffic reported by finished trials.
 """
 
 from __future__ import annotations
 
+import time
 from collections import deque
-from typing import Deque, Dict, List, Optional
+from typing import Callable, Deque, Dict, List, Optional
 
 
 class SaturationMonitor:
@@ -50,3 +57,94 @@ class SaturationMonitor:
     def window(self, arm_index: int) -> List[int]:
         """The recorded window of ``arm_index`` (most recent last)."""
         return list(self._history.get(arm_index, ()))
+
+
+class ProgressMonitor:
+    """Live progress of a grid run: trials done/total, ETA, cache traffic.
+
+    The execution engine calls :meth:`start` once with the total trial
+    count (restored trials count as already done), then
+    :meth:`trial_completed` per finished trial.  ``sink`` receives one
+    rendered status line per event (e.g. ``print`` or a logger method);
+    ``None`` keeps the monitor silent but still queryable.
+
+    The ETA is throughput-based -- remaining trials divided by observed
+    completed-trials-per-second -- which is the right model for a sharded
+    grid where several trials finish per wall-clock interval.
+    """
+
+    def __init__(self, sink: Optional[Callable[[str], None]] = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self._sink = sink
+        self._clock = clock
+        self.total_trials = 0
+        self.completed_trials = 0
+        self.restored_trials = 0
+        self.cache_stats: Dict[str, int] = {"golden_cache_hits": 0,
+                                            "golden_cache_misses": 0}
+        self._started_at: Optional[float] = None
+
+    # ------------------------------------------------------------------ updates
+    def start(self, total_trials: int, restored_trials: int = 0,
+              backend: str = "serial") -> None:
+        """Begin tracking a grid of ``total_trials`` trials."""
+        if total_trials < 0 or restored_trials < 0:
+            raise ValueError("trial counts must be non-negative")
+        if restored_trials > total_trials:
+            raise ValueError("restored_trials cannot exceed total_trials")
+        self.total_trials = total_trials
+        self.completed_trials = restored_trials
+        self.restored_trials = restored_trials
+        self.cache_stats = dict.fromkeys(self.cache_stats, 0)  # per-grid rates
+        self._started_at = self._clock()
+        if self._sink is not None:
+            restored = (f" ({restored_trials} restored from checkpoint)"
+                        if restored_trials else "")
+            self._sink(f"grid: {total_trials} trials on {backend}{restored}")
+
+    def trial_completed(self, label: str = "",
+                        metadata: Optional[Dict[str, object]] = None) -> None:
+        """Record one finished trial (``metadata`` = the result's metadata)."""
+        self.completed_trials += 1
+        for counter in self.cache_stats:
+            value = (metadata or {}).get(counter)
+            if isinstance(value, int):
+                self.cache_stats[counter] += value
+        if self._sink is not None:
+            self._sink(self.render(label))
+
+    # ------------------------------------------------------------------ queries
+    @property
+    def remaining_trials(self) -> int:
+        return max(0, self.total_trials - self.completed_trials)
+
+    def elapsed_seconds(self) -> float:
+        if self._started_at is None:
+            return 0.0
+        return self._clock() - self._started_at
+
+    def eta_seconds(self) -> Optional[float]:
+        """Estimated seconds to completion (``None`` until one trial ran)."""
+        ran = self.completed_trials - self.restored_trials
+        if ran < 1 or self.remaining_trials == 0:
+            return 0.0 if self.remaining_trials == 0 else None
+        return self.remaining_trials * (self.elapsed_seconds() / ran)
+
+    def golden_cache_hit_rate(self) -> Optional[float]:
+        """Aggregate golden-cache hit rate over finished trials (or ``None``)."""
+        hits = self.cache_stats["golden_cache_hits"]
+        total = hits + self.cache_stats["golden_cache_misses"]
+        return hits / total if total else None
+
+    def render(self, label: str = "") -> str:
+        """One status line: ``trials 3/12 | eta 41s | golden-cache 87% hit``."""
+        parts = [f"trials {self.completed_trials}/{self.total_trials}"]
+        eta = self.eta_seconds()
+        if eta is not None:
+            parts.append(f"eta {eta:.0f}s")
+        hit_rate = self.golden_cache_hit_rate()
+        if hit_rate is not None:
+            parts.append(f"golden-cache {100.0 * hit_rate:.0f}% hit")
+        if label:
+            parts.append(label)
+        return " | ".join(parts)

@@ -11,12 +11,19 @@ class CoverageCollector:
     The DUT executor records several points per committed instruction, so
     ``hit``/``hit_many`` are pre-bound to the underlying set's ``add``/
     ``update`` in ``__init__`` -- one attribute load instead of a method
-    call per emission.  ``hits`` memoises its frozen view and only
-    re-freezes when points were added since the last read (sets only grow
-    between resets, so a length check is an exact dirtiness test).
+    call per emission.  The emission helpers in :mod:`repro.rtl.harness`
+    feed ``hit_many`` *shared, memoised tuples* (one per observable
+    situation, built once per process), so recording coverage allocates
+    nothing on the hot path: no fresh point strings, no fresh containers.
+    ``hits`` memoises its frozen view and only re-freezes when points were
+    added since the last read (sets only grow between resets, so a length
+    check is an exact dirtiness test).
     """
 
     __slots__ = ("_hits", "hit", "hit_many", "_frozen", "_frozen_len")
+
+    #: shared empty snapshot (avoids one allocation per reset/empty read).
+    _EMPTY: frozenset = frozenset()
 
     def __init__(self) -> None:
         self._hits: Set[str] = set()
@@ -24,13 +31,13 @@ class CoverageCollector:
         #: ``hit_many(points)`` records several at once.
         self.hit = self._hits.add
         self.hit_many = self._hits.update
-        self._frozen: frozenset = frozenset()
+        self._frozen: frozenset = self._EMPTY
         self._frozen_len = 0
 
     def reset(self) -> None:
         """Clear all recorded hits (called at the start of each run)."""
         self._hits.clear()
-        self._frozen = frozenset()
+        self._frozen = self._EMPTY
         self._frozen_len = 0
 
     @property

@@ -18,6 +18,15 @@ class CoverageSample:
     test_index: int
     covered: int
 
+    def to_dict(self) -> Dict[str, int]:
+        """JSON-safe representation (inverse of :meth:`from_dict`)."""
+        return {"test_index": self.test_index, "covered": self.covered}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "CoverageSample":
+        """Rebuild a sample from :meth:`to_dict` output."""
+        return cls(test_index=int(data["test_index"]), covered=int(data["covered"]))
+
 
 class CoverageDatabase:
     """Campaign-level cumulative coverage bookkeeping."""

@@ -1,0 +1,32 @@
+"""Parallel campaign execution subsystem.
+
+Shards grids of independent campaign trials across pluggable backends
+(serial or multi-process), journals completed trials to a JSONL checkpoint
+for kill-safe resume, and serves DUT runs from a per-process cache.  See
+``docs/parallel.md`` for the architecture and determinism contract.
+"""
+
+from repro.exec.backends import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    TrialTask,
+    execute_trial,
+)
+from repro.exec.cache import DutRunCache, process_dut_cache
+from repro.exec.checkpoint import CheckpointJournal
+from repro.exec.engine import CampaignEngine, grid_summary, run_grid
+
+__all__ = [
+    "CampaignEngine",
+    "CheckpointJournal",
+    "DutRunCache",
+    "ExecutionBackend",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "TrialTask",
+    "execute_trial",
+    "grid_summary",
+    "process_dut_cache",
+    "run_grid",
+]

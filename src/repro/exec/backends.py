@@ -1,0 +1,164 @@
+"""Pluggable trial-execution backends.
+
+A backend consumes :class:`TrialTask` work units -- one (spec, trial)
+cell of a campaign grid -- and yields ``(task, result_dict)`` pairs as
+trials finish.  Results cross the backend boundary as
+``FuzzCampaignResult.to_dict()`` payloads on *every* backend, so the
+serial path exercises exactly the serialization the multi-process path
+depends on, and the engine can journal a result without re-encoding it.
+
+Two backends ship today:
+
+* :class:`SerialBackend` -- in-process, in-order; the determinism oracle
+  and the debugging path (breakpoints work, tracebacks are local).
+* :class:`ProcessPoolBackend` -- ``concurrent.futures`` pool with optional
+  worker recycling (``max_tasks_per_child``), completion-order streaming.
+
+The interface is deliberately narrow (spec in, dict out, no shared state)
+so a future distributed backend only needs a transport for the same
+payloads.
+"""
+
+from __future__ import annotations
+
+import abc
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Sequence, Tuple
+
+from repro.harness.campaign import CampaignSpec, run_campaign
+
+
+@dataclass(frozen=True)
+class TrialTask:
+    """One unit of backend work: trial ``trial_index`` of ``spec``.
+
+    ``spec_index`` is the spec's position in the submitted grid; backends
+    carry it through untouched so the engine can reassemble results
+    without re-deriving fingerprints.
+    """
+
+    spec_index: int
+    trial_index: int
+    spec: CampaignSpec
+
+
+def execute_trial(task: TrialTask) -> Tuple[int, int, Dict[str, object]]:
+    """Run one trial and return ``(spec_index, trial_index, result_dict)``.
+
+    This is the function worker processes execute, so it must stay
+    module-level (picklable) and self-contained: it builds the DUT and
+    fuzzer from the spec alone and routes DUT runs through the calling
+    process's :func:`~repro.exec.cache.process_dut_cache`.
+    """
+    from repro.exec.cache import process_dut_cache  # local import: cycle
+
+    result = run_campaign(task.spec, task.trial_index,
+                          dut_cache=process_dut_cache())
+    return task.spec_index, task.trial_index, result.to_dict()
+
+
+class ExecutionBackend(abc.ABC):
+    """Runs a batch of trial tasks, yielding serialized results as they finish."""
+
+    @abc.abstractmethod
+    def run(self, tasks: Sequence[TrialTask]
+            ) -> Iterator[Tuple[TrialTask, Dict[str, object]]]:
+        """Execute ``tasks``; yield ``(task, result_dict)`` per completed trial.
+
+        Completion order is backend-defined; callers must not assume it
+        matches submission order.
+        """
+
+    def describe(self) -> str:
+        """Human-readable backend label (shown by progress monitors)."""
+        return type(self).__name__
+
+
+class SerialBackend(ExecutionBackend):
+    """In-process, submission-order execution.
+
+    Shares the process-local DUT-run cache with any other serial grids run
+    in this process, exactly as one pool worker would.
+    """
+
+    def run(self, tasks: Sequence[TrialTask]
+            ) -> Iterator[Tuple[TrialTask, Dict[str, object]]]:
+        for task in tasks:
+            _, _, payload = execute_trial(task)
+            yield task, payload
+
+    def describe(self) -> str:
+        return "serial"
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Shards trials across a ``concurrent.futures`` process pool.
+
+    Attributes:
+        workers: pool size.
+        max_tasks_per_child: recycle each worker after this many trials
+            (bounds memory growth of per-process caches on huge grids);
+            ``None`` keeps workers for the pool's lifetime.
+        start_method: explicit multiprocessing start method.  By default
+            ``"fork"`` is used where available (cheap startup), except that
+            worker recycling requires ``"forkserver"``/``"spawn"`` --
+            CPython forbids ``max_tasks_per_child`` with ``"fork"``.
+    """
+
+    def __init__(self, workers: int,
+                 max_tasks_per_child: Optional[int] = None,
+                 start_method: Optional[str] = None) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if max_tasks_per_child is not None and max_tasks_per_child < 1:
+            raise ValueError("max_tasks_per_child must be >= 1 or None")
+        if max_tasks_per_child is not None and start_method == "fork":
+            # CPython rejects this pairing when the pool is built; fail at
+            # construction instead of mid-grid after side effects.
+            raise ValueError("max_tasks_per_child is incompatible with the "
+                             "'fork' start method")
+        self.workers = workers
+        self.max_tasks_per_child = max_tasks_per_child
+        self.start_method = start_method or self._default_start_method()
+
+    def _default_start_method(self) -> str:
+        import multiprocessing
+
+        available = multiprocessing.get_all_start_methods()
+        if self.max_tasks_per_child is None and "fork" in available:
+            return "fork"
+        if "forkserver" in available:
+            return "forkserver"
+        return "spawn"
+
+    def run(self, tasks: Sequence[TrialTask]
+            ) -> Iterator[Tuple[TrialTask, Dict[str, object]]]:
+        import multiprocessing
+
+        context = multiprocessing.get_context(self.start_method)
+        pool_kwargs = {"max_workers": self.workers, "mp_context": context}
+        if self.max_tasks_per_child is not None:
+            pool_kwargs["max_tasks_per_child"] = self.max_tasks_per_child
+        pool = ProcessPoolExecutor(**pool_kwargs)
+        try:
+            pending = {pool.submit(execute_trial, task): task for task in tasks}
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    task = pending.pop(future)
+                    _, _, payload = future.result()
+                    yield task, payload
+        except BaseException:
+            # Abort (consumer raised/abandoned the generator, or a trial
+            # failed): drop everything still queued instead of letting
+            # shutdown block until the whole grid has run to completion.
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        else:
+            pool.shutdown(wait=True)
+
+    def describe(self) -> str:
+        recycle = (f", recycle every {self.max_tasks_per_child}"
+                   if self.max_tasks_per_child else "")
+        return f"process-pool({self.workers} workers, {self.start_method}{recycle})"

@@ -1,0 +1,74 @@
+"""Per-process DUT-run cache.
+
+The DUT models are deterministic: a :class:`~repro.rtl.harness.DutRunResult`
+depends only on the program words, the load address, the step limit and the
+DUT's full configuration (microarchitecture parameters + injected bug set).
+Campaigns replay programs constantly -- MABFuzz arms re-run their seeds,
+mutants duplicate each other -- so caching DUT runs removes the second half
+of the per-iteration simulation cost the same way PR 1's
+:class:`~repro.sim.golden.GoldenTraceCache` removed the golden half.
+
+The cache is *process-local by design*: worker processes each build their
+own (:func:`process_dut_cache`), so no locking or shared memory is needed
+and a cached entry can never leak between incompatible DUT configurations
+running in other workers.  Cached :class:`DutRunResult` objects are frozen
+and must be treated as read-only, which every consumer (differential
+tester, coverage database) already does.
+
+Cache hits never change campaign results -- only wall-clock -- so the
+hit/miss counters are deliberately *not* copied into
+:class:`~repro.fuzzing.results.FuzzCampaignResult` metadata: a worker's
+counters depend on which trials it happened to execute before, and result
+payloads must stay bit-identical between serial and parallel backends.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.isa.program import TestProgram
+from repro.rtl.harness import DutModel, DutRunResult
+from repro.sim.golden import KeyedRunCache
+
+
+class DutRunCache(KeyedRunCache):
+    """Program-and-configuration-keyed cache of instrumented DUT runs.
+
+    Shares its mechanics (counters, eviction, stats) with
+    :class:`~repro.sim.golden.GoldenTraceCache` via
+    :class:`~repro.sim.golden.KeyedRunCache`; only the key differs.
+    """
+
+    @staticmethod
+    def key(dut: DutModel, program: TestProgram, step_limit: int) -> Tuple:
+        """Cache key: program fingerprint + step limit + full DUT identity.
+
+        The bug set is part of the key (sorted ids), so one worker can
+        interleave trials against differently-bugged instances of the same
+        core without cross-talk.
+        """
+        return (program.fingerprint(), step_limit, dut.name, dut.config,
+                tuple(sorted(bug.bug_id for bug in dut.bugs)),
+                dut.executor_config, dut.layout)
+
+    def get_or_run(self, dut: DutModel, program: TestProgram,
+                   max_steps: Optional[int] = None) -> DutRunResult:
+        """Return the cached run for ``program`` on ``dut``, running on a miss."""
+        return super().get_or_run(dut, program, max_steps)
+
+
+_PROCESS_CACHE: Optional[DutRunCache] = None
+
+
+def process_dut_cache() -> DutRunCache:
+    """The calling process's shared :class:`DutRunCache` (created lazily).
+
+    Trial workers route every DUT run through this instance so that trials
+    of the same spec executed back-to-back in one worker reuse each other's
+    seed-program runs.  Worker recycling (``max_tasks_per_child``) resets
+    it together with the rest of the interpreter state.
+    """
+    global _PROCESS_CACHE
+    if _PROCESS_CACHE is None:
+        _PROCESS_CACHE = DutRunCache()
+    return _PROCESS_CACHE

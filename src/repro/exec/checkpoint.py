@@ -1,0 +1,122 @@
+"""JSONL checkpoint journal for campaign grids.
+
+One journal file records the completed trials of one (or several) grid
+runs, one JSON object per line, append-only:
+
+* ``{"kind": "grid", "specs": [...], ...}`` -- informational header
+  written at the start of every grid run (spec fingerprints + labels).
+* ``{"kind": "trial", "spec": <fingerprint>, "trial": <index>,
+  "result": <FuzzCampaignResult.to_dict()>}`` -- one completed trial.
+
+Trials are keyed by *spec fingerprint*, not by grid position, so a resumed
+run matches completed work even if the grid is re-assembled in a different
+order (or a superset grid is launched later).  A half-written final line --
+the normal aftermath of killing a run mid-append -- is skipped on load.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import IO, Dict, Optional, Sequence, Tuple
+
+from repro.fuzzing.results import FuzzCampaignResult
+from repro.harness.campaign import CampaignSpec
+
+JOURNAL_VERSION = 1
+
+#: key of one completed trial: (spec fingerprint, trial index).
+TrialKey = Tuple[str, int]
+
+
+class CheckpointJournal:
+    """Append-only JSONL journal of completed grid trials."""
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._handle: Optional[IO[str]] = None
+
+    # ------------------------------------------------------------------ loading
+    def load(self) -> Dict[TrialKey, FuzzCampaignResult]:
+        """Read every completed trial recorded in the journal.
+
+        Returns a mapping from :data:`TrialKey` to the deserialized result.
+        Unknown line kinds are ignored (forward compatibility); malformed
+        lines -- typically one truncated tail line after a kill -- are
+        skipped.  A missing file is simply an empty journal.
+        """
+        completed: Dict[TrialKey, FuzzCampaignResult] = {}
+        if not os.path.exists(self.path):
+            return completed
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # truncated tail from an interrupted append
+                if not isinstance(record, dict):
+                    continue
+                if record.get("kind") == "grid":
+                    version = record.get("version", JOURNAL_VERSION)
+                    if version != JOURNAL_VERSION:
+                        raise ValueError(
+                            f"checkpoint journal {self.path} has format "
+                            f"version {version}; this build reads version "
+                            f"{JOURNAL_VERSION} -- refusing a partial restore")
+                    continue
+                if record.get("kind") != "trial":
+                    continue
+                try:
+                    key = (str(record["spec"]), int(record["trial"]))
+                    completed[key] = FuzzCampaignResult.from_dict(record["result"])
+                except (KeyError, TypeError, ValueError):
+                    continue
+        return completed
+
+    # ------------------------------------------------------------------ writing
+    def _append(self, record: dict) -> None:
+        if self._handle is None:
+            self._handle = open(self.path, "a", encoding="utf-8")
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def record_grid(self, specs: Sequence[CampaignSpec]) -> None:
+        """Append an informational header describing the grid being run."""
+        self._append({
+            "kind": "grid",
+            "version": JOURNAL_VERSION,
+            "specs": [{"fingerprint": spec.fingerprint(),
+                       "label": spec.describe(),
+                       "trials": spec.trials} for spec in specs],
+        })
+
+    def record_trial(self, spec: CampaignSpec, trial_index: int,
+                     result) -> None:
+        """Append one completed trial (flushed + fsynced before returning).
+
+        ``result`` is a :class:`FuzzCampaignResult` or, when the caller
+        already holds the backend's serialized form, its ``to_dict()``
+        payload -- the engine passes payloads straight through so results
+        are encoded exactly once per trial.
+        """
+        self._append({
+            "kind": "trial",
+            "spec": spec.fingerprint(),
+            "trial": trial_index,
+            "result": result if isinstance(result, dict) else result.to_dict(),
+        })
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "CheckpointJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

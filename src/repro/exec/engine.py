@@ -1,0 +1,126 @@
+"""The campaign execution engine: grids in, trial sets out.
+
+:class:`CampaignEngine` owns everything between "here is a grid of
+:class:`~repro.harness.campaign.CampaignSpec`" and "here are its
+:class:`~repro.harness.campaign.TrialSet` results":
+
+* expands the grid into (spec, trial) tasks,
+* drops tasks already completed in the checkpoint journal (resume),
+* shards the remainder across the configured backend,
+* journals each result the moment it arrives (kill-safe), and
+* feeds a :class:`~repro.core.monitor.ProgressMonitor` throughout.
+
+Determinism contract: trial ``i`` of a spec seeds itself from the spec
+content alone (:func:`~repro.harness.campaign.trial_seed`), so the engine
+guarantees bit-identical ``FuzzCampaignResult`` payloads (modulo
+``elapsed_seconds``) whichever backend executes it and in whatever order
+trials complete -- the property ``tests/exec/test_backends.py`` enforces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.monitor import ProgressMonitor
+from repro.exec.backends import ExecutionBackend, SerialBackend, TrialTask
+from repro.exec.checkpoint import CheckpointJournal
+from repro.fuzzing.results import FuzzCampaignResult
+from repro.harness.campaign import CampaignSpec, TrialSet
+
+
+class CampaignEngine:
+    """Executes campaign grids on a pluggable backend with checkpoint/resume.
+
+    Attributes:
+        backend: trial executor (defaults to :class:`SerialBackend`).
+        checkpoint_path: JSONL journal path; ``None`` disables journaling.
+        monitor: progress monitor; a silent one is created when omitted.
+    """
+
+    def __init__(self, backend: Optional[ExecutionBackend] = None,
+                 checkpoint_path: Optional[str] = None,
+                 monitor: Optional[ProgressMonitor] = None) -> None:
+        self.backend = backend or SerialBackend()
+        self.checkpoint_path = checkpoint_path
+        self.monitor = monitor or ProgressMonitor()
+
+    def run_grid(self, specs: Sequence[CampaignSpec]) -> List[TrialSet]:
+        """Run every trial of every spec; return one TrialSet per spec, in order.
+
+        With a checkpoint journal configured, trials recorded there are
+        restored instead of re-run, and every newly finished trial is
+        appended before the next one is awaited -- killing the process at
+        any point loses at most the trials currently in flight.
+        """
+        if not specs:
+            return []
+        fingerprints = [spec.fingerprint() for spec in specs]
+        grids: List[List[Optional[FuzzCampaignResult]]] = [
+            [None] * spec.trials for spec in specs]
+
+        journal = (CheckpointJournal(self.checkpoint_path)
+                   if self.checkpoint_path else None)
+        restored = 0
+        if journal is not None:
+            completed = journal.load()
+            for spec_index, spec in enumerate(specs):
+                for trial in range(spec.trials):
+                    result = completed.get((fingerprints[spec_index], trial))
+                    if result is not None:
+                        grids[spec_index][trial] = result
+                        restored += 1
+
+        tasks = [TrialTask(spec_index, trial, spec)
+                 for spec_index, spec in enumerate(specs)
+                 for trial in range(spec.trials)
+                 if grids[spec_index][trial] is None]
+        total = sum(spec.trials for spec in specs)
+        self.monitor.start(total_trials=total, restored_trials=restored,
+                           backend=self.backend.describe())
+
+        try:
+            if journal is not None and tasks:
+                journal.record_grid(specs)
+            for task, payload in self.backend.run(tasks):
+                result = FuzzCampaignResult.from_dict(payload)
+                grids[task.spec_index][task.trial_index] = result
+                if journal is not None:
+                    journal.record_trial(task.spec, task.trial_index, payload)
+                self.monitor.trial_completed(
+                    label=f"{task.spec.describe()} trial {task.trial_index}",
+                    metadata=result.metadata)
+        finally:
+            if journal is not None:
+                journal.close()
+
+        return [TrialSet(spec=spec, results=grids[spec_index])
+                for spec_index, spec in enumerate(specs)]
+
+    def run_trials(self, spec: CampaignSpec) -> TrialSet:
+        """Single-spec convenience wrapper over :meth:`run_grid`."""
+        return self.run_grid([spec])[0]
+
+
+def run_grid(specs: Sequence[CampaignSpec],
+             backend: Optional[ExecutionBackend] = None,
+             checkpoint_path: Optional[str] = None,
+             monitor: Optional[ProgressMonitor] = None) -> List[TrialSet]:
+    """Functional one-shot form of :meth:`CampaignEngine.run_grid`."""
+    engine = CampaignEngine(backend=backend, checkpoint_path=checkpoint_path,
+                            monitor=monitor)
+    return engine.run_grid(specs)
+
+
+def grid_summary(trialsets: Sequence[TrialSet]) -> Dict[str, object]:
+    """Aggregate statistics over a finished grid (used by the grid benchmarks)."""
+    completed: List[Tuple[TrialSet, FuzzCampaignResult]] = [
+        (ts, result) for ts in trialsets for result in ts.completed_results()]
+    return {
+        "specs": len(trialsets),
+        "trials_completed": len(completed),
+        "trials_expected": sum(ts.spec.trials for ts in trialsets),
+        "tests_executed": sum(r.num_tests for _, r in completed),
+        "total_elapsed_seconds": sum(r.elapsed_seconds for _, r in completed),
+        "bugs_detected": sorted({bug for _, r in completed
+                                 for bug in r.bug_detections}),
+    }

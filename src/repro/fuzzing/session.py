@@ -10,7 +10,7 @@ through this interface, which is what makes the MAB layer fuzzer-agnostic
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.coverage.database import CoverageDatabase
 from repro.fuzzing.differential import DifferentialTester
@@ -18,6 +18,9 @@ from repro.fuzzing.results import BugDetection, TestOutcome
 from repro.isa.program import TestProgram
 from repro.rtl.harness import DutModel
 from repro.sim.golden import GoldenModel, GoldenTraceCache
+
+if TYPE_CHECKING:  # avoid a cycle: repro.exec imports the fuzzing layer.
+    from repro.exec.cache import DutRunCache
 
 
 class FuzzSession:
@@ -30,10 +33,15 @@ class FuzzSession:
     """
 
     def __init__(self, dut: DutModel, golden: Optional[GoldenModel] = None,
-                 golden_cache: Optional[GoldenTraceCache] = None) -> None:
+                 golden_cache: Optional[GoldenTraceCache] = None,
+                 dut_cache: Optional["DutRunCache"] = None) -> None:
         self.dut = dut
         self.golden = golden or GoldenModel(dut.executor_config)
         self.golden_cache = golden_cache or GoldenTraceCache()
+        #: optional :class:`~repro.exec.cache.DutRunCache`; the parallel
+        #: execution workers install their process-local instance here.
+        #: DUT runs are deterministic, so a cache hit never changes results.
+        self.dut_cache = dut_cache
         self.coverage_db = CoverageDatabase(space=dut.coverage_space())
         self.differential = DifferentialTester()
         self.bug_detections: Dict[str, BugDetection] = {}
@@ -46,7 +54,10 @@ class FuzzSession:
         """Run one test on golden + DUT, update coverage and bug bookkeeping."""
         test_index = self.tests_executed
         golden_result = self.golden_cache.get_or_run(self.golden, program)
-        dut_run = self.dut.run(program)
+        if self.dut_cache is not None:
+            dut_run = self.dut_cache.get_or_run(self.dut, program)
+        else:
+            dut_run = self.dut.run(program)
         report = self.differential.check(golden_result, dut_run)
         new_points = self.coverage_db.record(test_index, dut_run.coverage)
 
@@ -92,8 +103,13 @@ class FuzzSession:
         return self.golden_cache.misses
 
     def stats(self) -> Dict[str, int]:
-        """Campaign-level session counters (incl. golden-trace cache traffic)."""
-        return {
+        """Campaign-level session counters (incl. golden-trace cache traffic).
+
+        DUT-cache counters appear only when a cache is installed, and are
+        *process-cumulative* (the cache outlives individual sessions in a
+        worker), which is why they never go into campaign-result metadata.
+        """
+        stats = {
             "tests_executed": self.tests_executed,
             "interesting_tests": self.interesting_tests,
             "mismatching_tests": self.mismatching_tests,
@@ -101,6 +117,10 @@ class FuzzSession:
             "golden_cache_hits": self.golden_cache.hits,
             "golden_cache_misses": self.golden_cache.misses,
         }
+        if self.dut_cache is not None:
+            stats["dut_cache_hits"] = self.dut_cache.hits
+            stats["dut_cache_misses"] = self.dut_cache.misses
+        return stats
 
     def undetected_bugs(self) -> List[str]:
         """Bug ids injected into the DUT that have not been detected yet."""

@@ -3,17 +3,31 @@
 The paper runs every configuration at least three times to reduce the
 effect of randomness (Sec. IV-A); :class:`TrialSet` is the container for
 such repeated campaigns and the unit the metrics module aggregates over.
+
+Trials are independent, so :func:`run_trials` can hand them to an
+execution backend from :mod:`repro.exec` (serial or multi-process); the
+per-trial seeds are derived purely from the spec content, which is what
+makes trial ``i`` bit-reproducible regardless of which worker runs it.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from enum import Enum
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.api import make_fuzzer, make_processor
 from repro.core.config import MABFuzzConfig
 from repro.fuzzing.base import FuzzerConfig
 from repro.fuzzing.results import FuzzCampaignResult
+from repro.isa.program import program_id_scope
+
+if TYPE_CHECKING:  # avoid a cycle: repro.exec imports this module.
+    from repro.exec.backends import ExecutionBackend
+    from repro.exec.cache import DutRunCache
 
 
 @dataclass(frozen=True)
@@ -25,7 +39,7 @@ class CampaignSpec:
         fuzzer: fuzzer name (``"thehuzz"``, ``"mabfuzz:ucb"`` ...).
         num_tests: tests per trial.
         trials: number of repeated trials.
-        seed: base RNG seed; trial ``i`` uses ``seed + i``.
+        seed: base RNG seed; trial ``i`` uses :func:`trial_seed`.
         bugs: bug ids to inject (``None`` = the paper's defaults for the DUT).
         fuzzer_config: shared fuzzer configuration.
         mab_config: MABFuzz configuration (ignored by non-MAB fuzzers).
@@ -46,13 +60,78 @@ class CampaignSpec:
         if self.trials < 1:
             raise ValueError("trials must be >= 1")
 
+    def fingerprint(self) -> str:
+        """Stable content hash of this spec (process-independent).
+
+        Used by the checkpoint journal to match completed trials to specs
+        across interrupted runs, so it must not depend on
+        ``PYTHONHASHSEED``, dict ordering or object identity.
+
+        ``trials`` is deliberately excluded: trial ``i`` is bit-identical
+        regardless of how many trials the spec asks for (see
+        :func:`trial_seed`), so re-running a grid with a *larger* trial
+        count must still restore the trials already journaled.
+        """
+        canonical = _canonical(self)
+        del canonical["trials"]
+        payload = json.dumps(canonical, sort_keys=True, separators=(",", ":"))
+        return hashlib.blake2b(payload.encode("utf-8"), digest_size=16).hexdigest()
+
+    def describe(self) -> str:
+        """Short human-readable label (used in journals and progress lines)."""
+        return (f"{self.fuzzer}@{self.processor}"
+                f" tests={self.num_tests} trials={self.trials} seed={self.seed}")
+
+
+def _canonical(obj: object) -> object:
+    """Reduce ``obj`` to a JSON-serializable canonical form for hashing."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {"__type__": type(obj).__name__,
+                **{f.name: _canonical(getattr(obj, f.name))
+                   for f in dataclasses.fields(obj)}}
+    if isinstance(obj, Enum):
+        return str(obj.value)
+    if isinstance(obj, dict):
+        return {str(_canonical(key)): _canonical(value)
+                for key, value in obj.items()}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        items = [_canonical(item) for item in obj]
+        return sorted(items, key=repr) if isinstance(obj, (set, frozenset)) else items
+    return obj
+
+
+def trial_seed(spec: CampaignSpec, trial_index: int) -> int:
+    """Derive the RNG seed of trial ``trial_index`` of ``spec``.
+
+    The seed is spread through BLAKE2b over ``(processor, fuzzer, base
+    seed, trial)``, so specs that share a base seed (the experiment grids
+    all do) still get statistically independent streams per cell -- the
+    pre-parallel scheme ``seed + trial_index`` made trial 1 of ``seed=0``
+    identical to trial 0 of ``seed=1`` for the same (processor, fuzzer).
+
+    Compatibility note: results produced before the parallel-execution
+    subsystem (PR 2) used ``spec.seed + trial_index`` and are not
+    seed-comparable with results produced after it.
+    """
+    if trial_index < 0:
+        raise ValueError("trial_index must be non-negative")
+    key = f"{spec.processor}\x1f{spec.fuzzer}\x1f{spec.seed}\x1f{trial_index}"
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little") & (2**63 - 1)
+
 
 @dataclass
 class TrialSet:
-    """The results of all trials of one campaign specification."""
+    """The results of all trials of one campaign specification.
+
+    ``results`` may be *partial* after a checkpoint resume: entries can be
+    missing (shorter list) or ``None`` (a hole for a not-yet-run trial
+    index).  Every aggregate helper operates on :meth:`completed_results`
+    so a partially restored set never crashes the metrics layer.
+    """
 
     spec: CampaignSpec
-    results: List[FuzzCampaignResult] = field(default_factory=list)
+    results: List[Optional[FuzzCampaignResult]] = field(default_factory=list)
 
     @property
     def fuzzer_name(self) -> str:
@@ -62,39 +141,85 @@ class TrialSet:
     def processor(self) -> str:
         return self.spec.processor
 
+    def completed_results(self) -> List[FuzzCampaignResult]:
+        """The trials that actually ran (skips ``None`` placeholders)."""
+        return [r for r in self.results if r is not None]
+
     @property
     def num_trials(self) -> int:
-        return len(self.results)
+        """Number of completed trials (may be < ``spec.trials`` after resume)."""
+        return len(self.completed_results())
+
+    @property
+    def is_complete(self) -> bool:
+        """Whether every trial the spec asks for has a result."""
+        return self.num_trials >= self.spec.trials
+
+    def missing_trials(self) -> List[int]:
+        """Trial indices that still need to run to complete the spec."""
+        return [i for i in range(self.spec.trials)
+                if i >= len(self.results) or self.results[i] is None]
 
     def mean_coverage_count(self) -> float:
-        if not self.results:
+        completed = self.completed_results()
+        if not completed:
             return 0.0
-        return sum(r.coverage_count for r in self.results) / len(self.results)
+        return sum(r.coverage_count for r in completed) / len(completed)
 
     def mean_coverage_percent(self) -> float:
-        if not self.results:
+        completed = self.completed_results()
+        if not completed:
             return 0.0
-        return sum(r.coverage_percent for r in self.results) / len(self.results)
+        return sum(r.coverage_percent for r in completed) / len(completed)
 
     def detection_tests(self, bug_id: str) -> List[Optional[int]]:
-        """Per-trial tests-to-detection for ``bug_id`` (``None`` = undetected)."""
-        return [r.detection_tests(bug_id) for r in self.results]
+        """Per-completed-trial tests-to-detection for ``bug_id``.
+
+        ``None`` entries mean *ran but did not detect*; trials that have
+        not run at all (resume holes) are excluded entirely, since they say
+        nothing about detectability.
+        """
+        return [r.detection_tests(bug_id) for r in self.completed_results()]
 
 
-def run_campaign(spec: CampaignSpec, trial_index: int = 0) -> FuzzCampaignResult:
-    """Run a single trial of ``spec`` and return its result."""
-    dut = make_processor(spec.processor, bugs=spec.bugs)
-    fuzzer = make_fuzzer(
-        spec.fuzzer, dut,
-        fuzzer_config=spec.fuzzer_config,
-        mab_config=spec.mab_config,
-        rng=spec.seed + trial_index,
-    )
-    return fuzzer.run(spec.num_tests,
-                      metadata={"trial": trial_index, "seed": spec.seed + trial_index})
+def run_campaign(spec: CampaignSpec, trial_index: int = 0,
+                 dut_cache: Optional["DutRunCache"] = None) -> FuzzCampaignResult:
+    """Run a single trial of ``spec`` and return its result.
+
+    ``dut_cache`` optionally routes DUT runs through a
+    :class:`~repro.exec.cache.DutRunCache` (the parallel workers install a
+    process-local one); it never changes results, only wall-clock.
+    """
+    seed = trial_seed(spec, trial_index)
+    with program_id_scope():  # ids restart at 0: results are process-independent
+        dut = make_processor(spec.processor, bugs=spec.bugs)
+        fuzzer = make_fuzzer(
+            spec.fuzzer, dut,
+            fuzzer_config=spec.fuzzer_config,
+            mab_config=spec.mab_config,
+            rng=seed,
+        )
+        if dut_cache is not None:
+            fuzzer.session.dut_cache = dut_cache
+        return fuzzer.run(spec.num_tests,
+                          metadata={"trial": trial_index, "seed": seed})
 
 
-def run_trials(spec: CampaignSpec) -> TrialSet:
-    """Run every trial of ``spec`` and collect the results."""
-    results = [run_campaign(spec, trial) for trial in range(spec.trials)]
-    return TrialSet(spec=spec, results=results)
+def run_trials(spec: CampaignSpec,
+               backend: Optional["ExecutionBackend"] = None,
+               checkpoint: Optional[str] = None) -> TrialSet:
+    """Run every trial of ``spec`` and collect the results.
+
+    With the default arguments this runs serially in-process exactly as it
+    always did.  Passing ``backend`` shards the trials across it (e.g.
+    ``ProcessPoolBackend(workers=4)``), and ``checkpoint`` names a JSONL
+    journal so an interrupted run resumes from completed trials -- see
+    ``docs/parallel.md``.
+    """
+    if backend is None and checkpoint is None:
+        results = [run_campaign(spec, trial) for trial in range(spec.trials)]
+        return TrialSet(spec=spec, results=results)
+    from repro.exec.engine import CampaignEngine  # local import: cycle
+
+    engine = CampaignEngine(backend=backend, checkpoint_path=checkpoint)
+    return engine.run_grid([spec])[0]

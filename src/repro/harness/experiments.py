@@ -4,17 +4,24 @@ Every experiment is a plain function taking an :class:`ExperimentConfig`
 (which mainly scales the campaign size) and returning a structured result
 that the renderers in :mod:`repro.harness.tables` /
 :mod:`repro.harness.figures` turn into the paper's tables and figure data.
+
+Each experiment first assembles its full grid of
+:class:`~repro.harness.campaign.CampaignSpec` cells and then hands the
+grid to a :class:`~repro.exec.engine.CampaignEngine` in one call, so an
+``engine`` configured with a process-pool backend parallelises across the
+*whole* grid (every processor × fuzzer × trial cell at once), not merely
+within one campaign -- and a checkpointed engine resumes any of them.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import MABFuzzConfig
 from repro.coverage.database import CoverageSample
 from repro.fuzzing.base import FuzzerConfig
-from repro.harness.campaign import CampaignSpec, TrialSet, run_trials
+from repro.harness.campaign import CampaignSpec, TrialSet
 from repro.harness.metrics import (
     coverage_increment_percent,
     coverage_speedup,
@@ -23,6 +30,18 @@ from repro.harness.metrics import (
     mean_detection_tests,
 )
 from repro.rtl.bugs import BUGS_BY_ID, CVA6_BUG_IDS, ROCKET_BUG_IDS
+
+if TYPE_CHECKING:
+    from repro.exec.engine import CampaignEngine
+
+
+def _resolve_engine(engine: Optional["CampaignEngine"]) -> "CampaignEngine":
+    """Default to a serial in-process engine (imported lazily: cycle)."""
+    if engine is not None:
+        return engine
+    from repro.exec.engine import CampaignEngine
+
+    return CampaignEngine()
 
 
 @dataclass(frozen=True)
@@ -97,31 +116,37 @@ def _bug_map() -> Dict[str, Tuple[str, ...]]:
     return {"cva6": CVA6_BUG_IDS, "rocket": ROCKET_BUG_IDS}
 
 
-def run_table1(config: Optional[ExperimentConfig] = None) -> Table1Result:
+def run_table1(config: Optional[ExperimentConfig] = None,
+               engine: Optional["CampaignEngine"] = None) -> Table1Result:
     """Reproduce Table I: vulnerability detection speedup vs TheHuzz."""
     config = config or ExperimentConfig()
+    runner = _resolve_engine(engine)
     result = Table1Result(config=config)
     fuzzers = ("thehuzz",) + config.mab_fuzzer_names()
 
+    cells = [(processor, fuzzer)
+             for processor in _bug_map() for fuzzer in fuzzers]
+    trialsets = runner.run_grid([config.spec(processor, fuzzer)
+                                 for processor, fuzzer in cells])
+    result.trialsets = dict(zip(cells, trialsets))
+
     for processor, bug_ids in _bug_map().items():
-        trialsets: Dict[str, TrialSet] = {}
-        for fuzzer in fuzzers:
-            spec = config.spec(processor, fuzzer)
-            trialsets[fuzzer] = run_trials(spec)
-            result.trialsets[(processor, fuzzer)] = trialsets[fuzzer]
-        baseline = trialsets["thehuzz"]
+        baseline = result.trialsets[(processor, "thehuzz")]
         for bug_id in bug_ids:
             bug_cls = BUGS_BY_ID[bug_id]
             speedups: Dict[str, Optional[float]] = {}
             for algo, fuzzer in zip(config.algorithms, config.mab_fuzzer_names()):
                 speedups[algo] = detection_speedup(
-                    baseline.results, trialsets[fuzzer].results, bug_id)
+                    baseline.completed_results(),
+                    result.trialsets[(processor, fuzzer)].completed_results(),
+                    bug_id)
             result.rows.append(Table1Row(
                 bug_id=bug_id,
                 cwe=bug_cls.cwe,
                 description=bug_cls.description,
                 processor=processor,
-                baseline_tests=mean_detection_tests(baseline.results, bug_id),
+                baseline_tests=mean_detection_tests(
+                    baseline.completed_results(), bug_id),
                 speedups=speedups,
             ))
     return result
@@ -142,14 +167,18 @@ class CoverageStudy:
         return self.trialsets[(processor, fuzzer)]
 
 
-def run_coverage_study(config: Optional[ExperimentConfig] = None) -> CoverageStudy:
+def run_coverage_study(config: Optional[ExperimentConfig] = None,
+                       engine: Optional["CampaignEngine"] = None) -> CoverageStudy:
     """Run the coverage campaigns behind Fig. 3 / Fig. 4 (TheHuzz + MAB algorithms)."""
     config = config or ExperimentConfig()
+    runner = _resolve_engine(engine)
     study = CoverageStudy(config=config)
-    for processor in config.processors:
-        for fuzzer in ("thehuzz",) + config.mab_fuzzer_names():
-            study.trialsets[(processor, fuzzer)] = run_trials(
-                config.spec(processor, fuzzer))
+    cells = [(processor, fuzzer)
+             for processor in config.processors
+             for fuzzer in ("thehuzz",) + config.mab_fuzzer_names()]
+    trialsets = runner.run_grid([config.spec(processor, fuzzer)
+                                 for processor, fuzzer in cells])
+    study.trialsets = dict(zip(cells, trialsets))
     return study
 
 
@@ -163,7 +192,7 @@ def figure3_series(study: CoverageStudy,
         for fuzzer in study.fuzzers():
             trialset = study.get(processor, fuzzer)
             series[processor][fuzzer] = mean_coverage_curve(
-                trialset.results, num_samples=num_samples)
+                trialset.completed_results(), num_samples=num_samples)
     return series
 
 
@@ -177,9 +206,10 @@ def figure4_summary(study: CoverageStudy) -> Dict[str, Dict[str, Dict[str, float
                                 study.config.mab_fuzzer_names()):
             candidate = study.get(processor, fuzzer)
             summary[processor][algo] = {
-                "speedup": coverage_speedup(baseline.results, candidate.results),
+                "speedup": coverage_speedup(baseline.completed_results(),
+                                            candidate.completed_results()),
                 "increment_percent": coverage_increment_percent(
-                    baseline.results, candidate.results),
+                    baseline.completed_results(), candidate.completed_results()),
                 "final_coverage": candidate.mean_coverage_count(),
                 "baseline_coverage": baseline.mean_coverage_count(),
             }
@@ -187,54 +217,65 @@ def figure4_summary(study: CoverageStudy) -> Dict[str, Dict[str, Dict[str, float
 
 
 # =================================================================== ablations
+def _run_sweep(keys: Sequence, specs: Sequence[CampaignSpec],
+               engine: Optional["CampaignEngine"]) -> Dict:
+    """Run one ablation grid and key its TrialSets by the swept values."""
+    trialsets = _resolve_engine(engine).run_grid(specs)
+    return dict(zip(keys, trialsets))
+
+
 def run_alpha_ablation(config: Optional[ExperimentConfig] = None,
                        alphas: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
                        processor: str = "cva6",
-                       algorithm: str = "ucb") -> Dict[float, TrialSet]:
+                       algorithm: str = "ucb",
+                       engine: Optional["CampaignEngine"] = None
+                       ) -> Dict[float, TrialSet]:
     """E4: sweep the reward weighting α (the paper fixes α = 0.25)."""
     config = config or ExperimentConfig()
-    results: Dict[float, TrialSet] = {}
-    for alpha in alphas:
-        mab_config = replace(config.mab_config or MABFuzzConfig(), alpha=alpha)
-        spec = config.spec(processor, f"mabfuzz:{algorithm}", mab_config=mab_config)
-        results[alpha] = run_trials(spec)
-    return results
+    specs = [config.spec(processor, f"mabfuzz:{algorithm}",
+                         mab_config=replace(config.mab_config or MABFuzzConfig(),
+                                            alpha=alpha))
+             for alpha in alphas]
+    return _run_sweep(alphas, specs, engine)
 
 
 def run_gamma_ablation(config: Optional[ExperimentConfig] = None,
                        gammas: Sequence[Optional[int]] = (1, 3, 5, 10, None),
                        processor: str = "cva6",
-                       algorithm: str = "ucb") -> Dict[Optional[int], TrialSet]:
+                       algorithm: str = "ucb",
+                       engine: Optional["CampaignEngine"] = None
+                       ) -> Dict[Optional[int], TrialSet]:
     """E5: sweep the reset threshold γ; ``None`` disables resets entirely."""
     config = config or ExperimentConfig()
-    results: Dict[Optional[int], TrialSet] = {}
-    for gamma in gammas:
-        mab_config = replace(config.mab_config or MABFuzzConfig(), gamma=gamma)
-        spec = config.spec(processor, f"mabfuzz:{algorithm}", mab_config=mab_config)
-        results[gamma] = run_trials(spec)
-    return results
+    specs = [config.spec(processor, f"mabfuzz:{algorithm}",
+                         mab_config=replace(config.mab_config or MABFuzzConfig(),
+                                            gamma=gamma))
+             for gamma in gammas]
+    return _run_sweep(gammas, specs, engine)
 
 
 def run_arm_count_ablation(config: Optional[ExperimentConfig] = None,
                            arm_counts: Sequence[int] = (2, 5, 10, 20),
                            processor: str = "cva6",
-                           algorithm: str = "ucb") -> Dict[int, TrialSet]:
+                           algorithm: str = "ucb",
+                           engine: Optional["CampaignEngine"] = None
+                           ) -> Dict[int, TrialSet]:
     """E6: sweep the number of arms (the paper fixes 10)."""
     config = config or ExperimentConfig()
-    results: Dict[int, TrialSet] = {}
-    for count in arm_counts:
-        mab_config = replace(config.mab_config or MABFuzzConfig(), num_arms=count)
-        spec = config.spec(processor, f"mabfuzz:{algorithm}", mab_config=mab_config)
-        results[count] = run_trials(spec)
-    return results
+    specs = [config.spec(processor, f"mabfuzz:{algorithm}",
+                         mab_config=replace(config.mab_config or MABFuzzConfig(),
+                                            num_arms=count))
+             for count in arm_counts]
+    return _run_sweep(arm_counts, specs, engine)
 
 
 def run_mutation_bandit_comparison(config: Optional[ExperimentConfig] = None,
                                    processor: str = "cva6",
-                                   algorithm: str = "exp3") -> Dict[str, TrialSet]:
+                                   algorithm: str = "exp3",
+                                   engine: Optional["CampaignEngine"] = None
+                                   ) -> Dict[str, TrialSet]:
     """E7 (Sec. V extension): MAB over mutation operators vs static weights."""
     config = config or ExperimentConfig()
-    comparison = {}
-    for fuzzer in ("thehuzz", f"mutation-bandit:{algorithm}"):
-        comparison[fuzzer] = run_trials(config.spec(processor, fuzzer))
-    return comparison
+    fuzzers = ("thehuzz", f"mutation-bandit:{algorithm}")
+    specs = [config.spec(processor, fuzzer) for fuzzer in fuzzers]
+    return _run_sweep(fuzzers, specs, engine)

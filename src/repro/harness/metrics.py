@@ -145,14 +145,17 @@ def coverage_increment_percent(baseline: Sequence[FuzzCampaignResult],
 def trialset_detection_speedup(baseline: TrialSet, candidate: TrialSet,
                                bug_id: str) -> Optional[float]:
     """Detection speedup between two trial sets."""
-    return detection_speedup(baseline.results, candidate.results, bug_id)
+    return detection_speedup(baseline.completed_results(),
+                             candidate.completed_results(), bug_id)
 
 
 def trialset_coverage_speedup(baseline: TrialSet, candidate: TrialSet) -> float:
     """Coverage speedup between two trial sets."""
-    return coverage_speedup(baseline.results, candidate.results)
+    return coverage_speedup(baseline.completed_results(),
+                            candidate.completed_results())
 
 
 def trialset_coverage_increment(baseline: TrialSet, candidate: TrialSet) -> float:
     """Coverage increment between two trial sets (%)."""
-    return coverage_increment_percent(baseline.results, candidate.results)
+    return coverage_increment_percent(baseline.completed_results(),
+                                      candidate.completed_results())

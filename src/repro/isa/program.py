@@ -22,12 +22,36 @@ from repro.isa.instruction import Instruction
 #: under RV64 sign extension.
 DEFAULT_BASE_ADDRESS = 0x4000_0000
 
-_id_counter = itertools.count()
+#: stack of active id counters; the base entry is the process-global one.
+_id_counters = [itertools.count()]
 
 
 def next_program_id(prefix: str = "t") -> str:
-    """Return a fresh, process-unique program identifier."""
-    return f"{prefix}{next(_id_counter)}"
+    """Return a fresh program identifier from the innermost id scope.
+
+    Outside any :class:`program_id_scope` the ids are process-unique.
+    Inside one they restart from 0, which is what makes the ids recorded
+    in campaign results (e.g. ``BugDetection.program_id``) functions of
+    the campaign alone rather than of interpreter history -- a
+    prerequisite for the serial-vs-parallel bit-identical guarantee of
+    the execution subsystem.
+    """
+    return f"{prefix}{next(_id_counters[-1])}"
+
+
+class program_id_scope:
+    """Context manager isolating program-id numbering (restarts at 0).
+
+    Scopes nest; ids are only unique *within* one scope, so never compare
+    program ids across scopes (campaign trials each get their own).
+    """
+
+    def __enter__(self) -> "program_id_scope":
+        _id_counters.append(itertools.count())
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        _id_counters.pop()
 
 
 @dataclass(frozen=True)

@@ -66,12 +66,22 @@ class DutConfig:
 # Shared (ISA-level) coverage families.  Each family provides a space
 # enumeration and a runtime emission helper; the two must stay consistent,
 # which the property-based tests check by asserting emitted ⊆ enumerated.
+#
+# Emission is allocation-free on the hot path: every helper returns a
+# *shared tuple* memoised by the (small, bounded) set of observable
+# situations -- the point strings and their containers are built once per
+# process, and the collector's ``set.update`` consumes them without
+# copying.  The point spaces are finite, so the memo dictionaries are
+# bounded by construction.
 
 _ALU_CLASSES = (InstrClass.ARITH, InstrClass.LOGIC, InstrClass.SHIFT,
                 InstrClass.COMPARE, InstrClass.MUL, InstrClass.DIV)
 _IMM_FORMATS = (InstrFormat.I, InstrFormat.I_SHIFT, InstrFormat.S,
                 InstrFormat.B, InstrFormat.U, InstrFormat.J)
 _MEM_SIZES = (1, 2, 4, 8)
+
+#: empty shared emission (illegal/non-applicable instructions).
+_NO_POINTS: Tuple[str, ...] = ()
 
 
 def decode_space() -> Set[str]:
@@ -80,10 +90,22 @@ def decode_space() -> Set[str]:
     return points
 
 
-def decode_points(instr: Instruction, word: int) -> List[str]:
+_DECODE_MEMO: Dict[object, Tuple[str, ...]] = {}
+
+
+def decode_points(instr: Instruction, word: int) -> Tuple[str, ...]:
     if instr.is_illegal:
-        return [coverage_point("decode", "illegal", f"op{get_bits(word, 6, 2)}")]
-    return [coverage_point("decode", instr.mnemonic)]
+        key: object = get_bits(word, 6, 2)
+        points = _DECODE_MEMO.get(key)
+        if points is None:
+            points = _DECODE_MEMO[key] = (
+                coverage_point("decode", "illegal", f"op{key}"),)
+        return points
+    points = _DECODE_MEMO.get(instr.mnemonic)
+    if points is None:
+        points = _DECODE_MEMO[instr.mnemonic] = (
+            coverage_point("decode", instr.mnemonic),)
+    return points
 
 
 def operand_space() -> Set[str]:
@@ -101,24 +123,32 @@ def operand_space() -> Set[str]:
     return points
 
 
-def operand_points(instr: Instruction) -> List[str]:
+_OPERAND_MEMO: Dict[Tuple, Tuple[str, ...]] = {}
+
+
+def operand_points(instr: Instruction) -> Tuple[str, ...]:
     if instr.is_illegal:
-        return []
+        return _NO_POINTS
     spec = spec_for(instr.mnemonic)
-    points = []
-    if spec.writes_rd:
-        points.append(coverage_point(
-            "operand", instr.mnemonic, "rd_zero" if instr.rd == 0 else "rd_nonzero"))
-    if spec.reads_rs1 and spec.reads_rs2 and instr.rs1 == instr.rs2:
-        points.append(coverage_point("operand", instr.mnemonic, "rs_equal"))
+    rd_zero = (instr.rd == 0) if spec.writes_rd else None
+    rs_equal = spec.reads_rs1 and spec.reads_rs2 and instr.rs1 == instr.rs2
     if spec.fmt in _IMM_FORMATS:
-        if instr.imm < 0:
-            bucket = "imm_neg"
-        elif instr.imm == 0:
-            bucket = "imm_zero"
-        else:
-            bucket = "imm_pos"
-        points.append(coverage_point("operand", instr.mnemonic, bucket))
+        bucket = ("imm_neg" if instr.imm < 0
+                  else "imm_zero" if instr.imm == 0 else "imm_pos")
+    else:
+        bucket = None
+    key = (instr.mnemonic, rd_zero, rs_equal, bucket)
+    points = _OPERAND_MEMO.get(key)
+    if points is None:
+        built = []
+        if rd_zero is not None:
+            built.append(coverage_point(
+                "operand", instr.mnemonic, "rd_zero" if rd_zero else "rd_nonzero"))
+        if rs_equal:
+            built.append(coverage_point("operand", instr.mnemonic, "rs_equal"))
+        if bucket is not None:
+            built.append(coverage_point("operand", instr.mnemonic, bucket))
+        points = _OPERAND_MEMO[key] = tuple(built)
     return points
 
 
@@ -131,15 +161,22 @@ def alu_space() -> Set[str]:
     return points
 
 
-def alu_points(instr: Instruction, record: CommitRecord) -> List[str]:
+_ALU_MEMO: Dict[Tuple[str, str], Tuple[str, ...]] = {}
+
+
+def alu_points(instr: Instruction, record: CommitRecord) -> Tuple[str, ...]:
     if instr.is_illegal or record.trap is not None or record.rd_value is None:
-        return []
+        return _NO_POINTS
     spec = spec_for(instr.mnemonic)
     if spec.cls not in _ALU_CLASSES:
-        return []
+        return _NO_POINTS
     signed = to_signed(record.rd_value)
     bucket = "zero" if signed == 0 else ("neg" if signed < 0 else "pos")
-    return [coverage_point("alu", instr.mnemonic, bucket)]
+    key = (instr.mnemonic, bucket)
+    points = _ALU_MEMO.get(key)
+    if points is None:
+        points = _ALU_MEMO[key] = (coverage_point("alu", instr.mnemonic, bucket),)
+    return points
 
 
 def branch_space() -> Set[str]:
@@ -153,16 +190,25 @@ def branch_space() -> Set[str]:
     return points
 
 
-def branch_points(instr: Instruction, record: CommitRecord) -> List[str]:
+_BRANCH_MEMO: Dict[Tuple, Tuple[str, ...]] = {}
+
+
+def branch_points(instr: Instruction, record: CommitRecord) -> Tuple[str, ...]:
     if instr.is_illegal or record.trap is not None:
-        return []
+        return _NO_POINTS
     if spec_for(instr.mnemonic).cls is not InstrClass.BRANCH:
-        return []
+        return _NO_POINTS
     taken = record.next_pc != (record.pc + 4) & MASK64
-    points = [coverage_point("branch", instr.mnemonic, "taken" if taken else "nottaken")]
-    if taken:
-        direction = "backward_taken" if record.next_pc < record.pc else "forward_taken"
-        points.append(coverage_point("branch", direction))
+    direction = (("backward_taken" if record.next_pc < record.pc
+                  else "forward_taken") if taken else None)
+    key = (instr.mnemonic, taken, direction)
+    points = _BRANCH_MEMO.get(key)
+    if points is None:
+        built = [coverage_point("branch", instr.mnemonic,
+                                "taken" if taken else "nottaken")]
+        if direction is not None:
+            built.append(coverage_point("branch", direction))
+        points = _BRANCH_MEMO[key] = tuple(built)
     return points
 
 
@@ -177,12 +223,15 @@ def mem_space() -> Set[str]:
     return points
 
 
-def mem_points(instr: Instruction, executor: "DutExecutor") -> List[str]:
+_MEM_MEMO: Dict[Tuple[str, str, str], Tuple[str, ...]] = {}
+
+
+def mem_points(instr: Instruction, executor: "DutExecutor") -> Tuple[str, ...]:
     if instr.is_illegal:
-        return []
+        return _NO_POINTS
     spec = spec_for(instr.mnemonic)
     if spec.cls not in (InstrClass.LOAD, InstrClass.STORE):
-        return []
+        return _NO_POINTS
     kind = "load" if spec.cls is InstrClass.LOAD else "store"
     from repro.sim.executor import _LOAD_SIZES, _STORE_SIZES
 
@@ -197,10 +246,14 @@ def mem_points(instr: Instruction, executor: "DutExecutor") -> List[str]:
         region = "code"
     else:
         region = "data"
-    return [
-        coverage_point("mem", kind, f"size{size}", aligned),
-        coverage_point("mem", "region", region),
-    ]
+    key = (instr.mnemonic, aligned, region)
+    points = _MEM_MEMO.get(key)
+    if points is None:
+        points = _MEM_MEMO[key] = (
+            coverage_point("mem", kind, f"size{size}", aligned),
+            coverage_point("mem", "region", region),
+        )
+    return points
 
 
 def atomic_space() -> Set[str]:
@@ -214,17 +267,26 @@ def atomic_space() -> Set[str]:
     return points
 
 
-def atomic_points(instr: Instruction, record: CommitRecord) -> List[str]:
+_ATOMIC_MEMO: Dict[Tuple, Tuple[str, ...]] = {}
+
+
+def atomic_points(instr: Instruction, record: CommitRecord) -> Tuple[str, ...]:
     if instr.is_illegal or record.trap is not None:
-        return []
+        return _NO_POINTS
     if spec_for(instr.mnemonic).cls is not InstrClass.ATOMIC:
-        return []
-    points = [coverage_point("atomic", instr.mnemonic)]
-    if instr.mnemonic.startswith("sc."):
-        outcome = "success" if record.rd_value == 0 else "fail"
-        points.append(coverage_point("atomic", "sc", outcome))
-    if instr.aq or instr.rl:
-        points.append(coverage_point("atomic", "ordered"))
+        return _NO_POINTS
+    outcome = (("success" if record.rd_value == 0 else "fail")
+               if instr.mnemonic.startswith("sc.") else None)
+    ordered = bool(instr.aq or instr.rl)
+    key = (instr.mnemonic, outcome, ordered)
+    points = _ATOMIC_MEMO.get(key)
+    if points is None:
+        built = [coverage_point("atomic", instr.mnemonic)]
+        if outcome is not None:
+            built.append(coverage_point("atomic", "sc", outcome))
+        if ordered:
+            built.append(coverage_point("atomic", "ordered"))
+        points = _ATOMIC_MEMO[key] = tuple(built)
     return points
 
 
@@ -237,13 +299,21 @@ def trap_space() -> Set[str]:
     return points
 
 
-def trap_points(instr: Instruction, record: CommitRecord) -> List[str]:
+_TRAP_MEMO: Dict[Tuple[str, str], Tuple[str, ...]] = {}
+
+
+def trap_points(instr: Instruction, record: CommitRecord) -> Tuple[str, ...]:
     if record.trap is None:
-        return []
+        return _NO_POINTS
     cause = record.trap.name.lower()
     source = ("illegal_word" if instr.is_illegal
               else spec_for(instr.mnemonic).cls.value)
-    return [coverage_point("trap", cause), coverage_point("trap", cause, source)]
+    key = (cause, source)
+    points = _TRAP_MEMO.get(key)
+    if points is None:
+        points = _TRAP_MEMO[key] = (coverage_point("trap", cause),
+                                    coverage_point("trap", cause, source))
+    return points
 
 
 def csr_space() -> Set[str]:
@@ -265,14 +335,22 @@ def system_space() -> Set[str]:
     return points
 
 
-def system_points(instr: Instruction) -> List[str]:
+_SYSTEM_MEMO: Dict[str, Tuple[str, ...]] = {}
+
+
+def system_points(instr: Instruction) -> Tuple[str, ...]:
     if instr.is_illegal:
-        return []
-    if instr.mnemonic in ("ecall", "ebreak", "mret", "wfi"):
-        return [coverage_point("sys", instr.mnemonic)]
-    if instr.mnemonic in ("fence", "fence.i"):
-        return [coverage_point("fencepath", instr.mnemonic)]
-    return []
+        return _NO_POINTS
+    points = _SYSTEM_MEMO.get(instr.mnemonic)
+    if points is None:
+        if instr.mnemonic in ("ecall", "ebreak", "mret", "wfi"):
+            points = (coverage_point("sys", instr.mnemonic),)
+        elif instr.mnemonic in ("fence", "fence.i"):
+            points = (coverage_point("fencepath", instr.mnemonic),)
+        else:
+            points = _NO_POINTS
+        _SYSTEM_MEMO[instr.mnemonic] = points
+    return points
 
 
 def common_space() -> Set[str]:
@@ -483,9 +561,9 @@ class DutModel(ModelBase):
         return set()
 
     def structural_points(self, record: CommitRecord, instr: Instruction,
-                          executor: DutExecutor) -> List[str]:
+                          executor: DutExecutor) -> Sequence[str]:
         """DUT-specific structural coverage emission (overridden by subclasses)."""
-        return []
+        return _NO_POINTS
 
     def coverage_space(self) -> FrozenSet[str]:
         """The DUT's full branch coverage space (cached)."""

@@ -86,43 +86,37 @@ class GoldenModel(ModelBase):
     name = "golden"
 
 
-class GoldenTraceCache:
-    """Program-keyed cache of golden-model execution results.
+class KeyedRunCache:
+    """Bounded cache of deterministic model runs, keyed by subclasses.
 
-    The golden model is deterministic: the commit trace depends only on the
-    encoded program words, the load address and the step limit.  Campaigns
-    re-run the same seed programs constantly (MABFuzz arms replay their
-    seeds; duplicate mutants are common), so caching the golden trace halves
-    the per-iteration simulation cost for every repeated program.
+    Both the golden reference and the DUT models are deterministic
+    functions of (program, step limit, model configuration), so their runs
+    can be cached and shared.  Subclasses define what "model configuration"
+    means by overriding :meth:`key`; everything else -- hit/miss counters,
+    the eviction policy, stats -- is shared here so the two caches cannot
+    drift apart.
 
-    Cached :class:`~repro.sim.trace.ExecutionResult` objects are shared --
-    callers must treat them as read-only (the differential tester does).
-    ``hits`` / ``misses`` counters are surfaced in the fuzzing-session stats.
+    Cached results are shared objects -- callers must treat them as
+    read-only (every consumer does: the differential tester and the
+    coverage database only read).
     """
 
     def __init__(self, max_entries: int = 4096) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = max_entries
-        self._entries: Dict[Tuple, ExecutionResult] = {}
+        self._entries: Dict[Tuple, object] = {}
         self.hits = 0
         self.misses = 0
 
     @staticmethod
-    def key(model: ModelBase, program: TestProgram,
-            step_limit: int) -> Tuple:
-        """Cache key: program content hash + step limit + model configuration.
-
-        The model's executor config and memory layout are part of the key so
-        a cache shared between sessions can never serve a trace computed
-        under a different golden-model configuration.
-        """
-        return (program.fingerprint(), step_limit,
-                model.executor_config, model.layout)
+    def key(model: ModelBase, program: TestProgram, step_limit: int) -> Tuple:
+        """Cache key for one run (overridden per cache flavour)."""
+        raise NotImplementedError
 
     def get_or_run(self, model: ModelBase, program: TestProgram,
-                   max_steps: Optional[int] = None) -> ExecutionResult:
-        """Return the cached trace for ``program``, running ``model`` on a miss."""
+                   max_steps: Optional[int] = None):
+        """Return the cached run for ``program``, running ``model`` on a miss."""
         limit = max_steps or model.executor_config.step_limit
         key = self.key(model, program, limit)
         cached = self._entries.get(key)
@@ -147,3 +141,33 @@ class GoldenTraceCache:
 
     def __len__(self) -> int:
         return len(self._entries)
+
+
+class GoldenTraceCache(KeyedRunCache):
+    """Program-keyed cache of golden-model execution results.
+
+    The golden model is deterministic: the commit trace depends only on the
+    encoded program words, the load address and the step limit.  Campaigns
+    re-run the same seed programs constantly (MABFuzz arms replay their
+    seeds; duplicate mutants are common), so caching the golden trace halves
+    the per-iteration simulation cost for every repeated program.
+
+    ``hits`` / ``misses`` counters are surfaced in the fuzzing-session stats.
+    """
+
+    @staticmethod
+    def key(model: ModelBase, program: TestProgram,
+            step_limit: int) -> Tuple:
+        """Cache key: program content hash + step limit + model configuration.
+
+        The model's executor config and memory layout are part of the key so
+        a cache shared between sessions can never serve a trace computed
+        under a different golden-model configuration.
+        """
+        return (program.fingerprint(), step_limit,
+                model.executor_config, model.layout)
+
+    def get_or_run(self, model: ModelBase, program: TestProgram,
+                   max_steps: Optional[int] = None) -> ExecutionResult:
+        """Return the cached trace for ``program``, running ``model`` on a miss."""
+        return super().get_or_run(model, program, max_steps)

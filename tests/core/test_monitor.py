@@ -1,9 +1,9 @@
-"""Tests for the γ-window saturation monitor (Sec. III-C)."""
+"""Tests for the γ-window saturation monitor and the grid progress monitor."""
 
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.core.monitor import SaturationMonitor
+from repro.core.monitor import ProgressMonitor, SaturationMonitor
 
 
 class TestSaturationMonitor:
@@ -69,6 +69,82 @@ class TestSaturationMonitor:
     def test_negative_count_rejected(self):
         with pytest.raises(ValueError):
             SaturationMonitor(gamma=2).record(0, -1)
+
+
+class TestProgressMonitor:
+    def _monitor(self, lines=None):
+        clock = iter(float(i) for i in range(100))
+        return ProgressMonitor(sink=lines.append if lines is not None else None,
+                               clock=lambda: next(clock))
+
+    def test_validation(self):
+        monitor = ProgressMonitor()
+        with pytest.raises(ValueError):
+            monitor.start(total_trials=-1)
+        with pytest.raises(ValueError):
+            monitor.start(total_trials=2, restored_trials=3)
+
+    def test_counts_and_remaining(self):
+        monitor = self._monitor()
+        monitor.start(total_trials=4, restored_trials=1)
+        assert monitor.completed_trials == 1
+        assert monitor.remaining_trials == 3
+        monitor.trial_completed()
+        assert monitor.completed_trials == 2
+        assert monitor.remaining_trials == 2
+
+    def test_eta_uses_observed_throughput_only(self):
+        # Restored trials took no wall-clock, so they must not skew the ETA.
+        monitor = self._monitor()
+        monitor.start(total_trials=5, restored_trials=2)
+        assert monitor.eta_seconds() is None  # nothing ran yet
+        monitor.trial_completed()  # one trial per clock tick
+        eta = monitor.eta_seconds()
+        assert eta == pytest.approx(2.0)  # 2 remaining at 1 trial/s
+
+    def test_eta_zero_when_done(self):
+        monitor = self._monitor()
+        monitor.start(total_trials=1)
+        monitor.trial_completed()
+        assert monitor.eta_seconds() == 0.0
+
+    def test_cache_hit_rate_aggregates_metadata(self):
+        monitor = self._monitor()
+        monitor.start(total_trials=2)
+        monitor.trial_completed(metadata={"golden_cache_hits": 3,
+                                          "golden_cache_misses": 1})
+        monitor.trial_completed(metadata={"golden_cache_hits": 1,
+                                          "golden_cache_misses": 3})
+        assert monitor.golden_cache_hit_rate() == pytest.approx(0.5)
+
+    def test_hit_rate_none_without_data(self):
+        monitor = self._monitor()
+        monitor.start(total_trials=1)
+        assert monitor.golden_cache_hit_rate() is None
+
+    def test_start_resets_cache_stats_between_grids(self):
+        # One engine (and monitor) runs several grids back to back; each
+        # grid's reported hit rate must not inherit the previous grid's.
+        monitor = self._monitor()
+        monitor.start(total_trials=1)
+        monitor.trial_completed(metadata={"golden_cache_hits": 9,
+                                          "golden_cache_misses": 1})
+        monitor.start(total_trials=1)
+        assert monitor.golden_cache_hit_rate() is None
+        monitor.trial_completed(metadata={"golden_cache_hits": 0,
+                                          "golden_cache_misses": 4})
+        assert monitor.golden_cache_hit_rate() == pytest.approx(0.0)
+
+    def test_sink_receives_status_lines(self):
+        lines = []
+        monitor = self._monitor(lines)
+        monitor.start(total_trials=2, restored_trials=1, backend="serial")
+        monitor.trial_completed(label="trial 1")
+        assert "2 trials on serial (1 restored from checkpoint)" in lines[0]
+        assert "trials 2/2" in lines[1] and "trial 1" in lines[1]
+
+    def test_render_without_start(self):
+        assert "trials 0/0" in ProgressMonitor().render()
 
 
 @given(counts=st.lists(st.integers(0, 5), min_size=1, max_size=30),

@@ -1,0 +1,108 @@
+"""Backend tests, including the serial-vs-parallel determinism guarantee."""
+
+import pytest
+
+from repro.exec.backends import (
+    ProcessPoolBackend,
+    SerialBackend,
+    TrialTask,
+    execute_trial,
+)
+from repro.exec.engine import run_grid
+from repro.fuzzing.base import FuzzerConfig
+from repro.harness.campaign import CampaignSpec
+
+SMALL_CONFIG = FuzzerConfig(num_seeds=3, mutants_per_test=2)
+
+
+def _grid():
+    """A small heterogeneous grid: two processors, two fuzzer families."""
+    return [
+        CampaignSpec(processor="rocket", fuzzer="thehuzz", num_tests=8,
+                     trials=2, seed=5, bugs=[], fuzzer_config=SMALL_CONFIG),
+        CampaignSpec(processor="cva6", fuzzer="mabfuzz:ucb", num_tests=8,
+                     trials=2, seed=5, bugs=["V5"], fuzzer_config=SMALL_CONFIG),
+    ]
+
+
+def _canonical(trialsets):
+    return [[r.canonical_dict() for r in ts.results] for ts in trialsets]
+
+
+class TestBackendValidation:
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(workers=0)
+
+    def test_recycle_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(workers=2, max_tasks_per_child=0)
+
+    def test_recycling_avoids_fork(self):
+        backend = ProcessPoolBackend(workers=2, max_tasks_per_child=1)
+        assert backend.start_method in ("forkserver", "spawn")
+
+    def test_explicit_fork_with_recycling_rejected_early(self):
+        with pytest.raises(ValueError, match="fork"):
+            ProcessPoolBackend(workers=2, max_tasks_per_child=1,
+                               start_method="fork")
+
+    def test_describe(self):
+        assert "serial" in SerialBackend().describe()
+        assert "2 workers" in ProcessPoolBackend(workers=2).describe()
+
+
+class TestExecuteTrial:
+    def test_returns_serialized_payload(self):
+        spec = _grid()[0]
+        spec_index, trial_index, payload = execute_trial(TrialTask(0, 1, spec))
+        assert (spec_index, trial_index) == (0, 1)
+        assert isinstance(payload, dict)
+        assert payload["dut_name"] == "rocket"
+        assert payload["metadata"]["trial"] == 1
+
+
+class TestPoolAbort:
+    def test_worker_error_propagates_without_draining_grid(self):
+        # An unknown processor makes the worker raise on its first trial;
+        # the backend must surface the error promptly (pending futures are
+        # cancelled, not run to completion) rather than swallow it.
+        bad = CampaignSpec(processor="rocket", fuzzer="no-such-fuzzer",
+                           num_tests=8, trials=4, seed=1, bugs=[],
+                           fuzzer_config=SMALL_CONFIG)
+        backend = ProcessPoolBackend(workers=1)
+        tasks = [TrialTask(0, trial, bad) for trial in range(4)]
+        with pytest.raises(KeyError):
+            for _ in backend.run(tasks):
+                pass
+
+    def test_abandoning_the_generator_is_clean(self):
+        spec = _grid()[0]
+        backend = ProcessPoolBackend(workers=1)
+        tasks = [TrialTask(0, trial, spec) for trial in range(3)]
+        stream = backend.run(tasks)
+        next(stream)
+        stream.close()  # queued trials are cancelled, no hang, no error
+
+
+class TestSerialVsParallelDeterminism:
+    """The subsystem's hard requirement: backends cannot change results."""
+
+    def test_process_pool_matches_serial_bit_for_bit(self):
+        specs = _grid()
+        serial = run_grid(specs, backend=SerialBackend())
+        parallel = run_grid(specs, backend=ProcessPoolBackend(workers=4))
+        assert _canonical(parallel) == _canonical(serial)
+
+    def test_worker_recycling_preserves_determinism(self):
+        specs = _grid()[:1]
+        serial = run_grid(specs, backend=SerialBackend())
+        recycled = run_grid(specs, backend=ProcessPoolBackend(
+            workers=2, max_tasks_per_child=1))
+        assert _canonical(recycled) == _canonical(serial)
+
+    def test_serial_rerun_is_reproducible(self):
+        specs = _grid()[:1]
+        first = run_grid(specs, backend=SerialBackend())
+        second = run_grid(specs, backend=SerialBackend())
+        assert _canonical(first) == _canonical(second)

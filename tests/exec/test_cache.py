@@ -1,0 +1,71 @@
+"""Tests for the per-process DUT-run cache."""
+
+import pytest
+
+from repro.api import make_processor
+from repro.exec.cache import DutRunCache, process_dut_cache
+from repro.isa.generator import SeedGenerator
+
+
+@pytest.fixture()
+def programs():
+    return SeedGenerator(rng=11).generate_many(3)
+
+
+class TestDutRunCache:
+    def test_invalid_bound(self):
+        with pytest.raises(ValueError):
+            DutRunCache(max_entries=0)
+
+    def test_hit_returns_identical_result(self, programs):
+        cache = DutRunCache()
+        dut = make_processor("rocket", bugs=[])
+        first = cache.get_or_run(dut, programs[0])
+        second = cache.get_or_run(dut, programs[0])
+        assert second is first  # shared, read-only
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_cached_result_matches_direct_run(self, programs):
+        cache = DutRunCache()
+        dut = make_processor("rocket", bugs=[])
+        cached = cache.get_or_run(dut, programs[1])
+        direct = dut.run(programs[1])
+        assert cached.coverage == direct.coverage
+        assert cached.execution.final_registers == direct.execution.final_registers
+        assert cached.fired_bugs == direct.fired_bugs
+
+    def test_bug_set_partitions_the_key(self, programs):
+        cache = DutRunCache()
+        clean = make_processor("cva6", bugs=[])
+        bugged = make_processor("cva6", bugs=["V5"])
+        cache.get_or_run(clean, programs[0])
+        cache.get_or_run(bugged, programs[0])
+        assert cache.misses == 2 and cache.hits == 0
+        assert len(cache) == 2
+
+    def test_different_processors_do_not_collide(self, programs):
+        cache = DutRunCache()
+        cache.get_or_run(make_processor("rocket", bugs=[]), programs[0])
+        cache.get_or_run(make_processor("boom", bugs=[]), programs[0])
+        assert cache.misses == 2 and cache.hits == 0
+
+    def test_eviction_bound(self, programs):
+        cache = DutRunCache(max_entries=2)
+        dut = make_processor("rocket", bugs=[])
+        for program in programs:
+            cache.get_or_run(dut, program)
+        assert len(cache) <= 2
+
+    def test_stats_and_clear(self, programs):
+        cache = DutRunCache()
+        dut = make_processor("rocket", bugs=[])
+        cache.get_or_run(dut, programs[0])
+        stats = cache.stats()
+        assert stats["misses"] == 1 and stats["entries"] == 1
+        cache.clear()
+        assert len(cache) == 0
+
+
+def test_process_cache_is_a_singleton():
+    assert process_dut_cache() is process_dut_cache()
+    assert isinstance(process_dut_cache(), DutRunCache)

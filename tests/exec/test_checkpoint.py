@@ -1,0 +1,140 @@
+"""Tests for the JSONL checkpoint journal and grid resume."""
+
+import json
+
+import pytest
+
+from repro.core.monitor import ProgressMonitor
+from repro.exec.backends import SerialBackend
+from repro.exec.checkpoint import CheckpointJournal
+from repro.exec.engine import CampaignEngine
+from repro.fuzzing.base import FuzzerConfig
+from repro.fuzzing.results import FuzzCampaignResult
+from repro.harness.campaign import CampaignSpec
+
+
+def _spec(trials=3):
+    return CampaignSpec(processor="rocket", fuzzer="thehuzz", num_tests=8,
+                        trials=trials, seed=7, bugs=[],
+                        fuzzer_config=FuzzerConfig(num_seeds=3, mutants_per_test=2))
+
+
+class CountingBackend(SerialBackend):
+    """Serial backend that records which (spec_index, trial) it actually ran."""
+
+    def __init__(self):
+        self.executed = []
+
+    def run(self, tasks):
+        for task, payload in super().run(tasks):
+            self.executed.append((task.spec_index, task.trial_index))
+            yield task, payload
+
+
+class TestJournal:
+    def test_missing_file_is_empty(self, tmp_path):
+        journal = CheckpointJournal(str(tmp_path / "nothing.jsonl"))
+        assert journal.load() == {}
+
+    def test_trial_round_trip(self, tmp_path):
+        spec = _spec()
+        result = FuzzCampaignResult(fuzzer_name="thehuzz", dut_name="rocket",
+                                    num_tests=8, coverage_count=3,
+                                    metadata={"trial": 0, "seed": 42})
+        path = str(tmp_path / "journal.jsonl")
+        with CheckpointJournal(path) as journal:
+            journal.record_grid([spec])
+            journal.record_trial(spec, 0, result)
+        loaded = CheckpointJournal(path).load()
+        assert loaded[(spec.fingerprint(), 0)].canonical_dict() == result.canonical_dict()
+
+    def test_trial_accepts_preserialized_payload(self, tmp_path):
+        # The engine journals the backend's payload dict directly (no
+        # second to_dict pass); both forms must load identically.
+        spec = _spec()
+        result = FuzzCampaignResult(fuzzer_name="thehuzz", dut_name="rocket",
+                                    num_tests=8, coverage_count=2)
+        path = str(tmp_path / "journal.jsonl")
+        with CheckpointJournal(path) as journal:
+            journal.record_trial(spec, 0, result)
+            journal.record_trial(spec, 1, result.to_dict())
+        loaded = CheckpointJournal(path).load()
+        assert (loaded[(spec.fingerprint(), 0)].canonical_dict()
+                == loaded[(spec.fingerprint(), 1)].canonical_dict())
+
+    def test_torn_tail_line_is_skipped(self, tmp_path):
+        spec = _spec()
+        result = FuzzCampaignResult(fuzzer_name="thehuzz", dut_name="rocket",
+                                    num_tests=8)
+        path = str(tmp_path / "journal.jsonl")
+        with CheckpointJournal(path) as journal:
+            journal.record_trial(spec, 0, result)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "trial", "spec": "dead')  # kill mid-append
+        assert set(CheckpointJournal(path).load()) == {(spec.fingerprint(), 0)}
+
+    def test_unknown_kinds_ignored(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text(json.dumps({"kind": "future-extension"}) + "\n")
+        assert CheckpointJournal(str(path)).load() == {}
+
+    def test_incompatible_journal_version_rejected(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text(json.dumps({"kind": "grid", "version": 99,
+                                    "specs": []}) + "\n")
+        with pytest.raises(ValueError, match="version 99"):
+            CheckpointJournal(str(path)).load()
+
+
+class TestResume:
+    def test_interrupted_grid_resumes_without_rerunning(self, tmp_path):
+        spec = _spec(trials=3)
+        path = str(tmp_path / "grid.jsonl")
+        reference = CampaignEngine(backend=SerialBackend(),
+                                   checkpoint_path=path).run_grid([spec])[0]
+
+        # Simulate a kill after two completed trials: keep header + 2 lines.
+        lines = open(path).read().splitlines(True)
+        with open(path, "w") as handle:
+            handle.writelines(lines[:3])
+
+        backend = CountingBackend()
+        monitor = ProgressMonitor()
+        resumed = CampaignEngine(backend=backend, checkpoint_path=path,
+                                 monitor=monitor).run_grid([spec])[0]
+        assert backend.executed == [(0, 2)]  # only the lost trial re-ran
+        assert monitor.restored_trials == 2
+        assert resumed.is_complete
+        assert ([r.canonical_dict() for r in resumed.results]
+                == [r.canonical_dict() for r in reference.results])
+
+    def test_changed_spec_does_not_match_old_trials(self, tmp_path):
+        path = str(tmp_path / "grid.jsonl")
+        CampaignEngine(checkpoint_path=path).run_grid([_spec(trials=1)])
+        changed = CampaignSpec(processor="rocket", fuzzer="thehuzz",
+                               num_tests=9, trials=1, seed=7, bugs=[],
+                               fuzzer_config=FuzzerConfig(num_seeds=3,
+                                                          mutants_per_test=2))
+        backend = CountingBackend()
+        CampaignEngine(backend=backend, checkpoint_path=path).run_grid([changed])
+        assert backend.executed == [(0, 0)]  # fingerprint mismatch -> re-run
+
+    def test_extending_trial_count_reuses_journaled_trials(self, tmp_path):
+        path = str(tmp_path / "grid.jsonl")
+        CampaignEngine(checkpoint_path=path).run_grid([_spec(trials=2)])
+        backend = CountingBackend()
+        extended = CampaignEngine(backend=backend,
+                                  checkpoint_path=path).run_grid(
+                                      [_spec(trials=3)])[0]
+        assert backend.executed == [(0, 2)]  # only the new trial runs
+        assert extended.is_complete
+
+    def test_completed_grid_runs_nothing(self, tmp_path):
+        spec = _spec(trials=2)
+        path = str(tmp_path / "grid.jsonl")
+        CampaignEngine(checkpoint_path=path).run_grid([spec])
+        backend = CountingBackend()
+        trialset = CampaignEngine(backend=backend,
+                                  checkpoint_path=path).run_grid([spec])[0]
+        assert backend.executed == []
+        assert trialset.num_trials == 2

@@ -1,0 +1,60 @@
+"""Tests for the campaign execution engine."""
+
+from repro.core.monitor import ProgressMonitor
+from repro.exec.engine import CampaignEngine, grid_summary, run_grid
+from repro.fuzzing.base import FuzzerConfig
+from repro.harness.campaign import CampaignSpec
+
+SMALL_CONFIG = FuzzerConfig(num_seeds=3, mutants_per_test=2)
+
+
+def _spec(processor="rocket", fuzzer="thehuzz", trials=2, seed=4):
+    return CampaignSpec(processor=processor, fuzzer=fuzzer, num_tests=8,
+                        trials=trials, seed=seed, bugs=[],
+                        fuzzer_config=SMALL_CONFIG)
+
+
+class TestCampaignEngine:
+    def test_empty_grid(self):
+        assert CampaignEngine().run_grid([]) == []
+
+    def test_results_keep_grid_order(self):
+        specs = [_spec(processor="rocket"), _spec(processor="boom")]
+        trialsets = CampaignEngine().run_grid(specs)
+        assert [ts.spec.processor for ts in trialsets] == ["rocket", "boom"]
+        for spec, trialset in zip(specs, trialsets):
+            assert trialset.is_complete
+            assert trialset.num_trials == spec.trials
+            for trial, result in enumerate(trialset.results):
+                assert result.metadata["trial"] == trial
+
+    def test_run_trials_wrapper(self):
+        trialset = CampaignEngine().run_trials(_spec(trials=1))
+        assert trialset.num_trials == 1
+
+    def test_monitor_sees_all_trials(self):
+        lines = []
+        monitor = ProgressMonitor(sink=lines.append)
+        engine = CampaignEngine(monitor=monitor)
+        engine.run_grid([_spec(trials=2)])
+        assert monitor.completed_trials == monitor.total_trials == 2
+        assert len(lines) == 3  # start + one per trial
+        assert "trials 2/2" in lines[-1]
+
+
+class TestGridSummary:
+    def test_summary_counts(self):
+        trialsets = run_grid([_spec(trials=2)])
+        summary = grid_summary(trialsets)
+        assert summary["specs"] == 1
+        assert summary["trials_completed"] == 2
+        assert summary["trials_expected"] == 2
+        assert summary["tests_executed"] == 16
+        assert summary["total_elapsed_seconds"] > 0
+
+    def test_summary_tolerates_partial_sets(self):
+        trialsets = run_grid([_spec(trials=2)])
+        trialsets[0].results[1] = None  # simulate a resume hole
+        summary = grid_summary(trialsets)
+        assert summary["trials_completed"] == 1
+        assert summary["trials_expected"] == 2

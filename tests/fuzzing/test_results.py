@@ -75,3 +75,62 @@ class TestFuzzCampaignResult:
     def test_summary_mentions_key_facts(self):
         text = self._result().summary()
         assert "thehuzz" in text and "cva6" in text and "V5@3" in text
+
+
+class TestSerialization:
+    def _result(self):
+        return FuzzCampaignResult(
+            fuzzer_name="mabfuzz:ucb",
+            dut_name="rocket",
+            num_tests=20,
+            coverage_curve=[CoverageSample(0, 5), CoverageSample(7, 11)],
+            coverage_count=11,
+            total_points=200,
+            bug_detections={"V5": BugDetection("V5", 2, "t9", "mismatch at pc"),
+                            "V7": BugDetection("V7", 15, "t40")},
+            interesting_tests=4,
+            mismatching_tests=2,
+            elapsed_seconds=1.25,
+            metadata={"trial": 1, "seed": 99, "gamma": None, "alpha": 0.25},
+        )
+
+    def test_coverage_sample_round_trip(self):
+        sample = CoverageSample(3, 17)
+        assert CoverageSample.from_dict(sample.to_dict()) == sample
+
+    def test_bug_detection_round_trip(self):
+        detection = BugDetection("V1", 4, "t2", "desc")
+        assert BugDetection.from_dict(detection.to_dict()) == detection
+
+    def test_bug_detection_default_description(self):
+        rebuilt = BugDetection.from_dict({"bug_id": "V1", "test_index": 0,
+                                          "program_id": "t0"})
+        assert rebuilt.description == ""
+
+    def test_result_round_trip_equality(self):
+        result = self._result()
+        rebuilt = FuzzCampaignResult.from_dict(result.to_dict())
+        assert rebuilt == result  # dataclass field-wise equality
+
+    def test_round_trip_survives_json(self):
+        import json
+
+        result = self._result()
+        payload = json.loads(json.dumps(result.to_dict()))
+        rebuilt = FuzzCampaignResult.from_dict(payload)
+        assert rebuilt == result
+        assert rebuilt.metadata["gamma"] is None  # None preserved in metadata
+
+    def test_round_trip_with_no_detections(self):
+        result = FuzzCampaignResult("thehuzz", "cva6", 5)
+        rebuilt = FuzzCampaignResult.from_dict(result.to_dict())
+        assert rebuilt == result
+        assert rebuilt.detection_tests("V5") is None
+
+    def test_canonical_dict_drops_wall_clock(self):
+        result = self._result()
+        canonical = result.canonical_dict()
+        assert "elapsed_seconds" not in canonical
+        slower = FuzzCampaignResult.from_dict(result.to_dict())
+        slower.elapsed_seconds = 99.0
+        assert slower.canonical_dict() == canonical

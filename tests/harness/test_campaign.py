@@ -1,9 +1,16 @@
-"""Tests for campaign specs and trial running."""
+"""Tests for campaign specs, trial seeding and trial running."""
 
 import pytest
 
 from repro.fuzzing.base import FuzzerConfig
-from repro.harness.campaign import CampaignSpec, TrialSet, run_campaign, run_trials
+from repro.fuzzing.results import FuzzCampaignResult
+from repro.harness.campaign import (
+    CampaignSpec,
+    TrialSet,
+    run_campaign,
+    run_trials,
+    trial_seed,
+)
 
 
 SMALL = dict(num_tests=12, trials=2, seed=3,
@@ -21,6 +28,56 @@ class TestCampaignSpec:
         spec = CampaignSpec(processor="cva6", fuzzer="thehuzz")
         assert spec.trials == 3
         assert spec.bugs is None
+
+    def test_fingerprint_is_content_addressed(self):
+        spec = CampaignSpec(processor="cva6", fuzzer="thehuzz", **SMALL)
+        same = CampaignSpec(processor="cva6", fuzzer="thehuzz", **SMALL)
+        assert spec.fingerprint() == same.fingerprint()
+        other = CampaignSpec(processor="cva6", fuzzer="thehuzz",
+                             num_tests=13, trials=2, seed=3,
+                             fuzzer_config=SMALL["fuzzer_config"])
+        assert spec.fingerprint() != other.fingerprint()
+
+    def test_fingerprint_ignores_trial_count(self):
+        # Trials are independent and individually seeded, so extending a
+        # grid's trial count must keep matching its journaled trials.
+        two = CampaignSpec(processor="cva6", fuzzer="thehuzz", trials=2)
+        three = CampaignSpec(processor="cva6", fuzzer="thehuzz", trials=3)
+        assert two.fingerprint() == three.fingerprint()
+
+    def test_fingerprint_sees_nested_config(self):
+        spec = CampaignSpec(processor="cva6", fuzzer="thehuzz", **SMALL)
+        deeper = CampaignSpec(processor="cva6", fuzzer="thehuzz",
+                              num_tests=12, trials=2, seed=3,
+                              fuzzer_config=FuzzerConfig(num_seeds=4,
+                                                         mutants_per_test=2))
+        assert spec.fingerprint() != deeper.fingerprint()
+
+
+class TestTrialSeed:
+    def test_deterministic(self):
+        spec = CampaignSpec(processor="cva6", fuzzer="thehuzz", **SMALL)
+        assert trial_seed(spec, 0) == trial_seed(spec, 0)
+        assert trial_seed(spec, 0) != trial_seed(spec, 1)
+
+    def test_no_cross_spec_collisions_on_shared_base_seed(self):
+        # The old ``seed + trial`` scheme collided here: trial 1 of seed=0
+        # equalled trial 0 of seed=1 for the same (processor, fuzzer).
+        a = CampaignSpec(processor="cva6", fuzzer="thehuzz", seed=0)
+        b = CampaignSpec(processor="cva6", fuzzer="thehuzz", seed=1)
+        assert trial_seed(a, 1) != trial_seed(b, 0)
+
+    def test_spread_across_grid_cells(self):
+        seeds = {trial_seed(CampaignSpec(processor=p, fuzzer=f, seed=0), t)
+                 for p in ("cva6", "rocket", "boom")
+                 for f in ("thehuzz", "mabfuzz:ucb")
+                 for t in range(3)}
+        assert len(seeds) == 18  # every grid cell gets its own stream
+
+    def test_negative_trial_rejected(self):
+        spec = CampaignSpec(processor="cva6", fuzzer="thehuzz")
+        with pytest.raises(ValueError):
+            trial_seed(spec, -1)
 
 
 class TestRunCampaign:
@@ -63,3 +120,36 @@ class TestRunTrials:
         detections = trialset.detection_tests("V5")
         assert len(detections) == 2
         assert any(d is not None for d in detections)
+
+
+class TestPartialTrialSet:
+    """Aggregates must tolerate resume holes and short result lists."""
+
+    def _partial(self):
+        spec = CampaignSpec(processor="cva6", fuzzer="thehuzz", trials=3)
+        ran = FuzzCampaignResult(
+            fuzzer_name="thehuzz", dut_name="cva6", num_tests=10,
+            coverage_count=8, total_points=100,
+        )
+        return TrialSet(spec=spec, results=[ran, None])  # trial 1 hole, 2 missing
+
+    def test_counts_skip_holes(self):
+        trialset = self._partial()
+        assert trialset.num_trials == 1
+        assert not trialset.is_complete
+        assert trialset.missing_trials() == [1, 2]
+
+    def test_means_over_completed_only(self):
+        trialset = self._partial()
+        assert trialset.mean_coverage_count() == pytest.approx(8.0)
+        assert trialset.mean_coverage_percent() == pytest.approx(8.0)
+
+    def test_detection_tests_excludes_unrun_trials(self):
+        detections = self._partial().detection_tests("V5")
+        assert detections == [None]  # ran-but-undetected; holes excluded
+
+    def test_empty_set_is_safe(self):
+        trialset = TrialSet(spec=CampaignSpec(processor="cva6", fuzzer="thehuzz"))
+        assert trialset.mean_coverage_count() == 0.0
+        assert trialset.detection_tests("V5") == []
+        assert trialset.missing_trials() == [0, 1, 2]

@@ -1,7 +1,12 @@
 """Tests for the TestProgram container."""
 
 from repro.isa.instruction import Instruction
-from repro.isa.program import DEFAULT_BASE_ADDRESS, TestProgram, next_program_id
+from repro.isa.program import (
+    DEFAULT_BASE_ADDRESS,
+    TestProgram,
+    next_program_id,
+    program_id_scope,
+)
 
 
 def _program(n=3):
@@ -68,6 +73,26 @@ class TestFingerprint:
         a = _program(3)
         b = _program(4)
         assert a.fingerprint() != b.fingerprint()
+
+
+class TestProgramIdScope:
+    def test_scope_restarts_numbering(self):
+        with program_id_scope():
+            first = next_program_id()
+        with program_id_scope():
+            again = next_program_id()
+        assert first == again == "t0"
+
+    def test_scopes_nest_and_restore(self):
+        outer_before = next_program_id()
+        with program_id_scope():
+            assert next_program_id() == "t0"
+            with program_id_scope():
+                assert next_program_id("seed") == "seed0"
+            assert next_program_id() == "t1"
+        outer_after = next_program_id()
+        # the process-global counter kept advancing monotonically
+        assert int(outer_after[1:]) == int(outer_before[1:]) + 1
 
 
 class TestListing:

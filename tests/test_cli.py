@@ -23,6 +23,37 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["ablation", "nonsense"])
 
+    def test_execution_defaults(self):
+        args = build_parser().parse_args(["report"])
+        assert args.workers == 1
+        assert args.resume is None
+        assert args.max_tasks_per_child is None
+
+    def test_execution_flags_on_grid_commands(self):
+        for command in (["table1"], ["coverage"], ["report"],
+                        ["ablation", "gamma"]):
+            args = build_parser().parse_args(
+                command + ["--workers", "4", "--resume", "grid.jsonl",
+                           "--max-tasks-per-child", "8"])
+            assert args.workers == 4
+            assert args.resume == "grid.jsonl"
+            assert args.max_tasks_per_child == 8
+
+    def test_fuzz_has_no_workers_flag(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fuzz", "--workers", "2"])
+
+    def test_recycling_without_workers_rejected(self):
+        with pytest.raises(SystemExit, match="--workers"):
+            main(["ablation", "arms", "--tests", "6", "--trials", "1",
+                  "--max-tasks-per-child", "4"])
+
+    def test_nonpositive_workers_rejected(self):
+        for workers in ("0", "-2"):
+            with pytest.raises(SystemExit, match="--workers must be"):
+                main(["ablation", "arms", "--tests", "6", "--trials", "1",
+                      "--workers", workers])
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -46,3 +77,24 @@ class TestCommands:
                      "--seeds", "2", "--mutants", "2"])
         assert code == 0
         assert "num_arms" in capsys.readouterr().out
+
+    def test_ablation_parallel_matches_serial(self, capsys, tmp_path):
+        common = ["ablation", "arms", "--tests", "6", "--trials", "1",
+                  "--seeds", "2", "--mutants", "2"]
+        assert main(common) == 0
+        serial_out = capsys.readouterr().out
+        assert main(common + ["--workers", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert parallel_out == serial_out
+
+    def test_ablation_resume_journal(self, capsys, tmp_path):
+        journal = tmp_path / "ablation.jsonl"
+        common = ["ablation", "arms", "--tests", "6", "--trials", "1",
+                  "--seeds", "2", "--mutants", "2", "--resume", str(journal)]
+        assert main(common) == 0
+        first = capsys.readouterr()
+        assert journal.exists()
+        assert main(common) == 0  # second run restores every trial
+        second = capsys.readouterr()
+        assert second.out == first.out
+        assert "restored from checkpoint" in second.err
