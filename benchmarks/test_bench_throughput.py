@@ -109,3 +109,30 @@ def test_campaign_grid_parallel_throughput(benchmark):
         lambda: run_grid(_grid_specs(), backend=backend),
         rounds=2, iterations=1)
     _check_grid(trialsets)
+
+
+# A bug-sweep grid: the same (processor, fuzzer, seed) campaign under three
+# injected-bug sets.  Trial seeds ignore the bug set, so the three variants
+# generate identical seed corpora and the shared golden-trace fallback
+# serves two out of three golden runs for every program the campaigns have
+# in common -- the workload batched execution amortizes.  (Tracked as its
+# own trajectory metric; it is not an A/B against the grid above.)
+def _bug_sweep_specs():
+    seed = next(_GRID_SEEDS)
+    return [
+        CampaignSpec(processor="cva6", fuzzer="thehuzz", num_tests=120,
+                     trials=2, seed=seed, bugs=list(bugs),
+                     fuzzer_config=FuzzerConfig(num_seeds=4, mutants_per_test=2))
+        for bugs in ((), ("V5",), ("V2", "V6"))
+    ]
+
+
+def test_campaign_grid_batched_bug_sweep_throughput(benchmark):
+    backend = SerialBackend(batch_size=None)
+    trialsets = benchmark.pedantic(
+        lambda: run_grid(_bug_sweep_specs(), backend=backend),
+        rounds=2, iterations=1)
+    summary = grid_summary(trialsets)
+    assert summary["specs"] == 3
+    assert summary["trials_completed"] == 6
+    assert summary["tests_executed"] == 6 * 120

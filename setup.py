@@ -1,11 +1,43 @@
-"""Legacy setup shim.
+"""Package metadata and installation.
 
-The build environment used for the reproduction has no ``wheel`` package and
-no network access, so editable installs fall back to
+Kept as a plain ``setup.py`` (no ``pyproject.toml``) because the build
+environment used for the reproduction has no ``wheel`` package and no
+network access: editable installs there fall back to
 ``pip install -e . --no-build-isolation --no-use-pep517``, which requires
-this file.  All metadata lives in ``pyproject.toml``.
+this file to be self-contained.
+
+CI installs ``.[test]`` -- the pinned toolchain the workflows run with.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="mabfuzz-repro",
+    version="0.3.0",
+    description=("Reproduction of MABFuzz: multi-armed-bandit scheduling "
+                 "for hardware fuzzing, with a parallel/distributed "
+                 "campaign execution engine"),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.11",
+    install_requires=[
+        "numpy>=1.26",
+    ],
+    extras_require={
+        # Pinned so every CI job runs the same toolchain; bump deliberately.
+        "test": [
+            "numpy==2.4.6",
+            "pytest==9.0.3",
+            "pytest-benchmark==5.2.3",
+            "hypothesis==6.155.2",
+        ],
+        "lint": [
+            "ruff==0.12.5",
+        ],
+    },
+    entry_points={
+        "console_scripts": [
+            "mabfuzz=repro.cli:main",
+        ],
+    },
+)

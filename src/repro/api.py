@@ -7,7 +7,7 @@ use: build a processor model by name, build a fuzzer by name (``"thehuzz"``,
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple, Union
+from typing import Optional, Tuple
 
 from repro.core.config import MABFuzzConfig
 from repro.core.mabfuzz import MABFuzz

@@ -8,11 +8,14 @@ Installed as the ``mabfuzz`` console script::
     mabfuzz coverage --tests 500 --trials 2       # Fig. 3 + Fig. 4 reproduction
     mabfuzz ablation gamma --tests 300            # ablation sweeps
     mabfuzz report --workers 4 --resume grid.jsonl   # parallel + resumable
+    mabfuzz worker --queue spool/                 # serve a distributed queue
 
 Every command prints its results to stdout; ``--output`` additionally writes
 them to a file.  The grid commands (table1/coverage/report/ablation) accept
-``--workers N`` to shard campaigns across processes and ``--resume PATH``
-to journal/restore completed trials -- see docs/parallel.md.
+``--workers N`` to shard campaigns across processes, ``--backend
+distributed --queue DIR`` to dispatch to externally launched ``worker``
+processes, and ``--resume PATH`` to journal/restore completed trials --
+see docs/parallel.md and docs/distributed.md.
 """
 
 from __future__ import annotations
@@ -24,7 +27,13 @@ from typing import Optional, Sequence
 from repro.api import available_fuzzers, available_processors, quick_campaign
 from repro.core.config import MABFuzzConfig
 from repro.core.monitor import ProgressMonitor
-from repro.exec import CampaignEngine, ProcessPoolBackend
+from repro.exec import (
+    CampaignEngine,
+    DistributedBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    run_worker,
+)
 from repro.fuzzing.base import FuzzerConfig
 from repro.harness.experiments import (
     ExperimentConfig,
@@ -59,20 +68,55 @@ def _experiment_config(args, algorithms=None, processors=None) -> ExperimentConf
     )
 
 
-def _engine(args) -> CampaignEngine:
-    """Build the campaign engine the grid commands hand their specs to."""
+def _backend(args):
+    """Resolve the execution backend from the grid command's arguments."""
     if args.workers < 1:
         raise SystemExit("--workers must be >= 1")
-    backend = None
-    if args.workers > 1:
-        backend = ProcessPoolBackend(args.workers,
-                                     max_tasks_per_child=args.max_tasks_per_child)
-    elif args.max_tasks_per_child is not None:
+    backend_name = args.backend
+    if backend_name is None:  # infer from the other flags, as before
+        backend_name = "process" if args.workers > 1 else "serial"
+    if backend_name == "distributed":
+        if args.queue is None:
+            raise SystemExit("--backend distributed requires --queue DIR")
+        if args.workers != 1:
+            raise SystemExit("--workers does not apply to --backend "
+                             "distributed; parallelism is however many "
+                             "`worker` processes are attached to the queue")
+        if args.max_tasks_per_child is not None:
+            raise SystemExit("--max-tasks-per-child only applies to the "
+                             "process backend; recycle distributed workers "
+                             "with `worker --max-tasks` instead")
+        return DistributedBackend(args.queue,
+                                  stop_workers_on_exit=args.stop_workers)
+    if args.queue is not None or args.stop_workers:
+        raise SystemExit("--queue/--stop-workers require --backend distributed")
+    if backend_name == "process":
+        if args.workers < 2:
+            raise SystemExit("--backend process requires --workers >= 2")
+        return ProcessPoolBackend(args.workers,
+                                  max_tasks_per_child=args.max_tasks_per_child)
+    # Serial: reject flags that only make sense with other backends.
+    if args.max_tasks_per_child is not None:
         raise SystemExit("--max-tasks-per-child requires --workers > 1")
+    if args.workers > 1:
+        raise SystemExit("--backend serial is incompatible with --workers > 1")
+    return SerialBackend()
+
+
+def _engine(args) -> CampaignEngine:
+    """Build the campaign engine the grid commands hand their specs to."""
+    if args.batch_size is not None and args.batch_size < 0:
+        raise SystemExit("--batch-size must be >= 0 (0 = unbounded)")
+    if args.cache_entries is not None and args.cache_entries < 1:
+        raise SystemExit("--cache-entries must be >= 1")
+    backend = _backend(args)
+    if args.batch_size is not None:
+        # 0 = unbounded batches (one per cache-locality group).
+        backend.batch_size = args.batch_size or None
     monitor = ProgressMonitor(
         sink=lambda line: print(line, file=sys.stderr, flush=True))
     return CampaignEngine(backend=backend, checkpoint_path=args.resume,
-                          monitor=monitor)
+                          monitor=monitor, cache_entries=args.cache_entries)
 
 
 def _emit(text: str, output: Optional[str]) -> None:
@@ -159,13 +203,29 @@ def _cmd_ablation(args) -> int:
     return 0
 
 
+def _cmd_worker(args) -> int:
+    executed = run_worker(
+        args.queue,
+        worker_id=args.worker_id,
+        poll_interval=args.poll_interval,
+        lease_timeout=args.lease_timeout,
+        max_tasks=args.max_tasks,
+        log=lambda line: print(line, file=sys.stderr, flush=True),
+    )
+    print(f"executed {executed} batches")
+    return 0
+
+
 # -------------------------------------------------------------------- parser
 _EXECUTION_EPILOG = """\
 parallel execution:
   --workers N shards the campaign grid across N worker processes;
+  --backend distributed --queue DIR dispatches to `worker` processes
+  launched separately against the same spool directory;
   --resume PATH journals completed trials to a JSONL checkpoint and
   restores them on the next invocation with the same configuration.
-  Results are bit-identical whichever backend runs them (docs/parallel.md).
+  Results are bit-identical whichever backend runs them (docs/parallel.md,
+  docs/distributed.md).
 """
 
 
@@ -184,8 +244,24 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--workers", type=int, default=1,
                         help="worker processes for the campaign grid "
                              "(1 = serial in-process)")
+    parser.add_argument("--backend", choices=("serial", "process", "distributed"),
+                        default=None,
+                        help="execution backend (default: inferred from "
+                             "--workers)")
+    parser.add_argument("--queue", metavar="DIR", default=None,
+                        help="spool directory shared with `worker` processes "
+                             "(distributed backend only)")
+    parser.add_argument("--stop-workers", action="store_true",
+                        help="write the queue's STOP sentinel when the grid "
+                             "finishes, so attached workers drain and exit")
     parser.add_argument("--max-tasks-per-child", type=int, default=None,
-                        help="recycle each worker after this many trials")
+                        help="recycle each pool worker after this many batches")
+    parser.add_argument("--batch-size", type=int, default=None,
+                        help="max trials per worker batch (0 = one batch per "
+                             "cache-locality group)")
+    parser.add_argument("--cache-entries", type=int, default=None,
+                        help="capacity of the per-worker golden/DUT run "
+                             "caches (default 4096)")
     parser.add_argument("--resume", metavar="PATH", default=None,
                         help="JSONL checkpoint journal to write and resume from")
     parser.epilog = _EXECUTION_EPILOG
@@ -241,6 +317,23 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_campaign_arguments(ablation_parser)
     _add_execution_arguments(ablation_parser)
     ablation_parser.set_defaults(func=_cmd_ablation)
+
+    worker_parser = subparsers.add_parser(
+        "worker", help="serve a distributed campaign queue until its STOP "
+                       "sentinel appears")
+    worker_parser.add_argument("--queue", metavar="DIR", required=True,
+                               help="spool directory shared with the dispatcher")
+    worker_parser.add_argument("--worker-id", default=None,
+                               help="stable worker name (default: host-pid)")
+    worker_parser.add_argument("--poll-interval", type=float, default=0.2,
+                               help="seconds between queue scans while idle")
+    worker_parser.add_argument("--lease-timeout", type=float, default=300.0,
+                               help="seconds before another worker's stalled "
+                                    "claim is rescued")
+    worker_parser.add_argument("--max-tasks", type=int, default=None,
+                               help="exit after this many batches (worker "
+                                    "recycling)")
+    worker_parser.set_defaults(func=_cmd_worker)
 
     return parser
 

@@ -10,7 +10,7 @@ arm is *reset*: a fresh seed replaces it and the per-arm history is cleared.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Optional, Set
+from typing import Iterable, List, Optional, Set
 
 from repro.fuzzing.testpool import TestPool
 from repro.isa.program import TestProgram

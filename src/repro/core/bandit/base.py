@@ -11,7 +11,7 @@ paper's "agnostic to any MAB algorithm" property.
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.utils.rng import make_rng
 

@@ -82,6 +82,11 @@ class ProgressMonitor:
         self.restored_trials = 0
         self.cache_stats: Dict[str, int] = {"golden_cache_hits": 0,
                                             "golden_cache_misses": 0}
+        #: worker-side cache-traffic deltas for the current grid, summed
+        #: over finished batches (DUT-run and shared golden caches); fed
+        #: out-of-band by the engine because these counters are kept out
+        #: of result metadata on purpose.
+        self.worker_cache_stats: Dict[str, int] = {}
         self._started_at: Optional[float] = None
 
     # ------------------------------------------------------------------ updates
@@ -96,6 +101,7 @@ class ProgressMonitor:
         self.completed_trials = restored_trials
         self.restored_trials = restored_trials
         self.cache_stats = dict.fromkeys(self.cache_stats, 0)  # per-grid rates
+        self.worker_cache_stats = {}
         self._started_at = self._clock()
         if self._sink is not None:
             restored = (f" ({restored_trials} restored from checkpoint)"
@@ -112,6 +118,12 @@ class ProgressMonitor:
                 self.cache_stats[counter] += value
         if self._sink is not None:
             self._sink(self.render(label))
+
+    def update_cache_stats(self, stats: Dict[str, int]) -> None:
+        """Replace the worker-side cache deltas (the engine passes the
+        backend's running per-grid totals, so this is a snapshot, not an
+        increment)."""
+        self.worker_cache_stats = dict(stats)
 
     # ------------------------------------------------------------------ queries
     @property
@@ -136,6 +148,17 @@ class ProgressMonitor:
         total = hits + self.cache_stats["golden_cache_misses"]
         return hits / total if total else None
 
+    def dut_cache_hit_rate(self) -> Optional[float]:
+        """Worker DUT-run cache hit rate this grid (or ``None`` before traffic)."""
+        hits = self.worker_cache_stats.get("dut_cache_hits", 0)
+        total = hits + self.worker_cache_stats.get("dut_cache_misses", 0)
+        return hits / total if total else None
+
+    def cache_evictions(self) -> int:
+        """LRU spills in the worker caches this grid (capacity pressure signal)."""
+        return (self.worker_cache_stats.get("dut_cache_evictions", 0)
+                + self.worker_cache_stats.get("shared_golden_evictions", 0))
+
     def render(self, label: str = "") -> str:
         """One status line: ``trials 3/12 | eta 41s | golden-cache 87% hit``."""
         parts = [f"trials {self.completed_trials}/{self.total_trials}"]
@@ -145,6 +168,12 @@ class ProgressMonitor:
         hit_rate = self.golden_cache_hit_rate()
         if hit_rate is not None:
             parts.append(f"golden-cache {100.0 * hit_rate:.0f}% hit")
+        dut_rate = self.dut_cache_hit_rate()
+        if dut_rate is not None:
+            parts.append(f"dut-cache {100.0 * dut_rate:.0f}% hit")
+        evictions = self.cache_evictions()
+        if evictions:
+            parts.append(f"{evictions} evicted")
         if label:
             parts.append(label)
         return " | ".join(parts)

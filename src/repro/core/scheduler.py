@@ -10,7 +10,7 @@ inside the bandit (reset-arms modification).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, FrozenSet, Iterable, List, Optional
+from typing import Callable, Iterable, List, Optional
 
 from repro.core.arms import Arm, ArmSet
 from repro.core.bandit.base import BanditAlgorithm

@@ -1,32 +1,57 @@
-"""Parallel campaign execution subsystem.
+"""Parallel and distributed campaign execution subsystem.
 
 Shards grids of independent campaign trials across pluggable backends
-(serial or multi-process), journals completed trials to a JSONL checkpoint
-for kill-safe resume, and serves DUT runs from a per-process cache.  See
-``docs/parallel.md`` for the architecture and determinism contract.
+(serial, multi-process pool, or a spool-directory queue served by external
+workers), batches cache-compatible trials so one warm-up serves many,
+journals completed trials to a JSONL checkpoint for kill-safe resume, and
+serves repeated golden/DUT runs from bounded per-process LRU caches.  See
+``docs/parallel.md`` and ``docs/distributed.md`` for the architecture and
+determinism contract.
 """
 
 from repro.exec.backends import (
     ExecutionBackend,
     ProcessPoolBackend,
     SerialBackend,
-    TrialTask,
     execute_trial,
 )
-from repro.exec.cache import DutRunCache, process_dut_cache
+from repro.exec.batching import (
+    DEFAULT_BATCH_SIZE,
+    TrialBatch,
+    TrialTask,
+    execute_batch,
+    plan_batches,
+)
+from repro.exec.cache import (
+    DutRunCache,
+    configure_process_caches,
+    process_dut_cache,
+    process_golden_cache,
+)
 from repro.exec.checkpoint import CheckpointJournal
+from repro.exec.distributed import DistributedBackend, run_worker
 from repro.exec.engine import CampaignEngine, grid_summary, run_grid
+from repro.exec.queue import SpoolQueue
 
 __all__ = [
     "CampaignEngine",
     "CheckpointJournal",
+    "DEFAULT_BATCH_SIZE",
+    "DistributedBackend",
     "DutRunCache",
     "ExecutionBackend",
     "ProcessPoolBackend",
     "SerialBackend",
+    "SpoolQueue",
+    "TrialBatch",
     "TrialTask",
+    "configure_process_caches",
+    "execute_batch",
     "execute_trial",
     "grid_summary",
+    "plan_batches",
     "process_dut_cache",
+    "process_golden_cache",
     "run_grid",
+    "run_worker",
 ]

@@ -7,49 +7,47 @@ trials finish.  Results cross the backend boundary as
 serial path exercises exactly the serialization the multi-process path
 depends on, and the engine can journal a result without re-encoding it.
 
-Two backends ship today:
+Task ordering, batching and result collection are hoisted into
+:class:`ExecutionBackend` itself: :meth:`ExecutionBackend.run` plans
+:class:`~repro.exec.batching.TrialBatch` groups (tasks sharing a DUT
+configuration, so one cache warm-up serves the whole batch), hands them to
+the subclass's :meth:`ExecutionBackend._run_batches`, accumulates the
+per-batch cache-traffic deltas, and unpacks batch payloads back into
+per-task results.  A concrete backend therefore only supplies a transport
+for batches:
 
 * :class:`SerialBackend` -- in-process, in-order; the determinism oracle
   and the debugging path (breakpoints work, tracebacks are local).
 * :class:`ProcessPoolBackend` -- ``concurrent.futures`` pool with optional
   worker recycling (``max_tasks_per_child``), completion-order streaming.
-
-The interface is deliberately narrow (spec in, dict out, no shared state)
-so a future distributed backend only needs a transport for the same
-payloads.
+* :class:`~repro.exec.distributed.DistributedBackend` -- spool-directory
+  queue served by independently launched ``repro.cli worker`` processes
+  (see ``docs/distributed.md``).
 """
 
 from __future__ import annotations
 
 import abc
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
 from typing import Dict, Iterator, Optional, Sequence, Tuple
 
-from repro.harness.campaign import CampaignSpec, run_campaign
-
-
-@dataclass(frozen=True)
-class TrialTask:
-    """One unit of backend work: trial ``trial_index`` of ``spec``.
-
-    ``spec_index`` is the spec's position in the submitted grid; backends
-    carry it through untouched so the engine can reassemble results
-    without re-deriving fingerprints.
-    """
-
-    spec_index: int
-    trial_index: int
-    spec: CampaignSpec
+from repro.exec.batching import (
+    DEFAULT_BATCH_SIZE,
+    TrialBatch,
+    TrialTask,
+    execute_batch,
+    plan_batches,
+)
+from repro.harness.campaign import run_campaign
 
 
 def execute_trial(task: TrialTask) -> Tuple[int, int, Dict[str, object]]:
     """Run one trial and return ``(spec_index, trial_index, result_dict)``.
 
-    This is the function worker processes execute, so it must stay
-    module-level (picklable) and self-contained: it builds the DUT and
-    fuzzer from the spec alone and routes DUT runs through the calling
-    process's :func:`~repro.exec.cache.process_dut_cache`.
+    The single-task ancestor of :func:`~repro.exec.batching.execute_batch`,
+    kept for direct callers and tests; it routes DUT runs through the
+    calling process's :func:`~repro.exec.cache.process_dut_cache` exactly
+    as the batch executor does.
     """
     from repro.exec.cache import process_dut_cache  # local import: cycle
 
@@ -59,16 +57,56 @@ def execute_trial(task: TrialTask) -> Tuple[int, int, Dict[str, object]]:
 
 
 class ExecutionBackend(abc.ABC):
-    """Runs a batch of trial tasks, yielding serialized results as they finish."""
+    """Runs a batch of trial tasks, yielding serialized results as they finish.
 
-    @abc.abstractmethod
+    Attributes:
+        batch_size: max tasks per :class:`TrialBatch` (``None`` = one batch
+            per cache-locality group, however large).
+        cache_entries: process-cache capacity applied inside workers before
+            each batch (``None`` keeps the worker default); set by the
+            engine's ``cache_entries`` knob.
+        cache_stats: cache-traffic deltas summed over the batches of the
+            most recent :meth:`run`, live while the run streams (the
+            engine feeds these to the progress monitor).
+    """
+
+    def __init__(self, batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
+                 cache_entries: Optional[int] = None) -> None:
+        if batch_size is not None and batch_size < 1:
+            raise ValueError("batch_size must be >= 1 or None")
+        if cache_entries is not None and cache_entries < 1:
+            raise ValueError("cache_entries must be >= 1 or None")
+        self.batch_size = batch_size
+        self.cache_entries = cache_entries
+        self.cache_stats: Dict[str, int] = {}
+
     def run(self, tasks: Sequence[TrialTask]
             ) -> Iterator[Tuple[TrialTask, Dict[str, object]]]:
         """Execute ``tasks``; yield ``(task, result_dict)`` per completed trial.
 
         Completion order is backend-defined; callers must not assume it
-        matches submission order.
+        matches submission order.  This template owns the shared
+        plan/collect logic; subclasses implement :meth:`_run_batches`.
         """
+        self.cache_stats = {}
+        # An empty grid still flows through _run_batches: backends with
+        # shutdown side effects (the distributed STOP sentinel) must see
+        # every run, including fully journal-restored ones.
+        batches = plan_batches(tasks, batch_size=self.batch_size,
+                               cache_entries=self.cache_entries)
+        for batch, payload in self._run_batches(batches):
+            for name, value in payload.get("cache_stats", {}).items():
+                self.cache_stats[name] = self.cache_stats.get(name, 0) + value
+            by_cell = {(task.spec_index, task.trial_index): task
+                       for task in batch.tasks}
+            for item in payload["results"]:
+                task = by_cell[(item["spec_index"], item["trial_index"])]
+                yield task, item["result"]
+
+    @abc.abstractmethod
+    def _run_batches(self, batches: Sequence[TrialBatch]
+                     ) -> Iterator[Tuple[TrialBatch, Dict[str, object]]]:
+        """Execute ``batches``; yield ``(batch, execute_batch payload)`` pairs."""
 
     def describe(self) -> str:
         """Human-readable backend label (shown by progress monitors)."""
@@ -78,26 +116,26 @@ class ExecutionBackend(abc.ABC):
 class SerialBackend(ExecutionBackend):
     """In-process, submission-order execution.
 
-    Shares the process-local DUT-run cache with any other serial grids run
-    in this process, exactly as one pool worker would.
+    Shares the process-local DUT-run and golden-trace caches with any
+    other serial grids run in this process, exactly as one pool worker
+    would.
     """
 
-    def run(self, tasks: Sequence[TrialTask]
-            ) -> Iterator[Tuple[TrialTask, Dict[str, object]]]:
-        for task in tasks:
-            _, _, payload = execute_trial(task)
-            yield task, payload
+    def _run_batches(self, batches: Sequence[TrialBatch]
+                     ) -> Iterator[Tuple[TrialBatch, Dict[str, object]]]:
+        for batch in batches:
+            yield batch, execute_batch(batch)
 
     def describe(self) -> str:
         return "serial"
 
 
 class ProcessPoolBackend(ExecutionBackend):
-    """Shards trials across a ``concurrent.futures`` process pool.
+    """Shards trial batches across a ``concurrent.futures`` process pool.
 
     Attributes:
         workers: pool size.
-        max_tasks_per_child: recycle each worker after this many trials
+        max_tasks_per_child: recycle each worker after this many *batches*
             (bounds memory growth of per-process caches on huge grids);
             ``None`` keeps workers for the pool's lifetime.
         start_method: explicit multiprocessing start method.  By default
@@ -108,7 +146,10 @@ class ProcessPoolBackend(ExecutionBackend):
 
     def __init__(self, workers: int,
                  max_tasks_per_child: Optional[int] = None,
-                 start_method: Optional[str] = None) -> None:
+                 start_method: Optional[str] = None,
+                 batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
+                 cache_entries: Optional[int] = None) -> None:
+        super().__init__(batch_size=batch_size, cache_entries=cache_entries)
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if max_tasks_per_child is not None and max_tasks_per_child < 1:
@@ -132,23 +173,25 @@ class ProcessPoolBackend(ExecutionBackend):
             return "forkserver"
         return "spawn"
 
-    def run(self, tasks: Sequence[TrialTask]
-            ) -> Iterator[Tuple[TrialTask, Dict[str, object]]]:
+    def _run_batches(self, batches: Sequence[TrialBatch]
+                     ) -> Iterator[Tuple[TrialBatch, Dict[str, object]]]:
         import multiprocessing
 
+        if not batches:
+            return  # don't spin up a pool for a fully restored grid
         context = multiprocessing.get_context(self.start_method)
         pool_kwargs = {"max_workers": self.workers, "mp_context": context}
         if self.max_tasks_per_child is not None:
             pool_kwargs["max_tasks_per_child"] = self.max_tasks_per_child
         pool = ProcessPoolExecutor(**pool_kwargs)
         try:
-            pending = {pool.submit(execute_trial, task): task for task in tasks}
+            pending = {pool.submit(execute_batch, batch): batch
+                       for batch in batches}
             while pending:
                 done, _ = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
-                    task = pending.pop(future)
-                    _, _, payload = future.result()
-                    yield task, payload
+                    batch = pending.pop(future)
+                    yield batch, future.result()
         except BaseException:
             # Abort (consumer raised/abandoned the generator, or a trial
             # failed): drop everything still queued instead of letting

@@ -1,0 +1,161 @@
+"""Batched trial execution shared by every backend.
+
+A :class:`TrialBatch` groups :class:`TrialTask` work
+units that share a cache-locality prefix -- the same DUT configuration
+(processor + injected bug set) -- so one worker executes them back to back:
+the first trial warms the process-level DUT-run cache and the shared
+golden-trace cache, and every later trial of the batch replays repeated
+programs out of them.  Batches are also the unit of *distribution*: one
+pool submission, one spool-queue file.
+
+Batching is pure scheduling.  Trial results are derived from the spec
+content alone, so grouping (or not grouping) tasks can never change a
+``FuzzCampaignResult`` -- only wall-clock and cache traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exec.cache import (
+    configure_process_caches,
+    process_cache_stats,
+    process_dut_cache,
+    process_golden_cache,
+)
+from repro.harness.campaign import CampaignSpec, run_campaign
+
+#: default cap on tasks per batch: large enough to amortize warm-up, small
+#: enough that a grid still spreads across a handful of workers.
+DEFAULT_BATCH_SIZE = 4
+
+
+@dataclass(frozen=True)
+class TrialTask:
+    """One unit of backend work: trial ``trial_index`` of ``spec``.
+
+    ``spec_index`` is the spec's position in the submitted grid; backends
+    carry it through untouched so the engine can reassemble results
+    without re-deriving fingerprints.
+    """
+
+    spec_index: int
+    trial_index: int
+    spec: CampaignSpec
+
+
+@dataclass(frozen=True)
+class TrialBatch:
+    """A group of tasks one worker executes back to back.
+
+    Attributes:
+        index: position of this batch in the planned sequence (also its
+            identity on the spool queue).
+        tasks: the grouped tasks, in grid submission order.
+        cache_entries: process-cache capacity to apply before executing
+            (``None`` = the default bound,
+            :data:`~repro.exec.cache.DEFAULT_CACHE_ENTRIES` -- a previous
+            grid's bound never leaks into this batch).
+    """
+
+    index: int
+    tasks: Tuple[TrialTask, ...]
+    cache_entries: Optional[int] = None
+
+
+def batch_key(task: TrialTask) -> Tuple:
+    """Cache-locality key: tasks sharing it warm each other's caches.
+
+    The DUT-run cache is keyed on the full DUT identity, so only tasks
+    with the same (processor, bug set) can serve each other's DUT runs;
+    the shared golden cache is keyed on the executor config, which those
+    tasks share too.
+    """
+    spec = task.spec
+    bugs = tuple(sorted(spec.bugs)) if spec.bugs is not None else None
+    return (spec.processor, bugs)
+
+
+def plan_batches(tasks: Sequence[TrialTask],
+                 batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
+                 cache_entries: Optional[int] = None) -> List[TrialBatch]:
+    """Group ``tasks`` into batches by :func:`batch_key`, preserving order.
+
+    Groups are emitted in order of first appearance and chunked to at most
+    ``batch_size`` tasks (``None`` = unbounded), so the plan is a pure
+    function of the task list -- every backend produces the same batches
+    for the same grid.
+    """
+    if batch_size is not None and batch_size < 1:
+        raise ValueError("batch_size must be >= 1 or None")
+    groups: Dict[Tuple, List[TrialTask]] = {}
+    for task in tasks:
+        groups.setdefault(batch_key(task), []).append(task)
+    batches: List[TrialBatch] = []
+    for group in groups.values():
+        size = batch_size or len(group)
+        for start in range(0, len(group), size):
+            batches.append(TrialBatch(index=len(batches),
+                                      tasks=tuple(group[start:start + size]),
+                                      cache_entries=cache_entries))
+    return batches
+
+
+def execute_batch(batch: TrialBatch) -> Dict[str, object]:
+    """Run every task of ``batch`` in this process; return the wire payload.
+
+    The payload is JSON-safe (it crosses pickle *and* the spool queue)::
+
+        {"results": [{"spec_index": 0, "trial_index": 1, "result": {...}},
+                     ...],
+         "cache_stats": {"dut_cache_hits": 3, ...}}  # deltas for this batch
+
+    Cache-stat *deltas* (not cumulative process counters) are reported so
+    a dispatcher can sum them across batches and workers without double
+    counting.
+    """
+    configure_process_caches(batch.cache_entries)
+    before = process_cache_stats()
+    dut_cache = process_dut_cache()
+    golden_fallback = process_golden_cache()
+    results = []
+    for task in batch.tasks:
+        result = run_campaign(task.spec, task.trial_index,
+                              dut_cache=dut_cache,
+                              golden_fallback=golden_fallback)
+        results.append({"spec_index": task.spec_index,
+                        "trial_index": task.trial_index,
+                        "result": result.to_dict()})
+    after = process_cache_stats()
+    return {"results": results,
+            "cache_stats": {name: after[name] - before[name]
+                            for name in after}}
+
+
+# ----------------------------------------------------------------- wire format
+def batch_to_wire(batch: TrialBatch) -> Dict[str, object]:
+    """Serialize a batch for the spool queue (inverse of :func:`batch_from_wire`)."""
+    return {
+        "kind": "batch",
+        "batch": batch.index,
+        "cache_entries": batch.cache_entries,
+        "tasks": [{"spec_index": task.spec_index,
+                   "trial_index": task.trial_index,
+                   "spec": task.spec.to_dict()} for task in batch.tasks],
+    }
+
+
+def batch_from_wire(data: Dict[str, object]) -> TrialBatch:
+    """Rebuild a batch a worker pulled off the spool queue."""
+    if data.get("kind") != "batch":
+        raise ValueError(f"not a batch payload: kind={data.get('kind')!r}")
+    cache_entries = data.get("cache_entries")
+    tasks = tuple(
+        TrialTask(spec_index=int(task["spec_index"]),
+                  trial_index=int(task["trial_index"]),
+                  spec=CampaignSpec.from_dict(task["spec"]))
+        for task in data["tasks"])
+    return TrialBatch(index=int(data["batch"]), tasks=tasks,
+                      cache_entries=(int(cache_entries)
+                                     if cache_entries is not None else None))

@@ -24,11 +24,15 @@ payloads must stay bit-identical between serial and parallel backends.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.isa.program import TestProgram
 from repro.rtl.harness import DutModel, DutRunResult
-from repro.sim.golden import KeyedRunCache
+from repro.sim.golden import GoldenTraceCache, KeyedRunCache
+
+#: default capacity of the process-level caches; the engine-level
+#: ``cache_entries`` knob overrides it per grid run.
+DEFAULT_CACHE_ENTRIES = 4096
 
 
 class DutRunCache(KeyedRunCache):
@@ -58,6 +62,7 @@ class DutRunCache(KeyedRunCache):
 
 
 _PROCESS_CACHE: Optional[DutRunCache] = None
+_PROCESS_GOLDEN_CACHE: Optional[GoldenTraceCache] = None
 
 
 def process_dut_cache() -> DutRunCache:
@@ -70,5 +75,47 @@ def process_dut_cache() -> DutRunCache:
     """
     global _PROCESS_CACHE
     if _PROCESS_CACHE is None:
-        _PROCESS_CACHE = DutRunCache()
+        _PROCESS_CACHE = DutRunCache(DEFAULT_CACHE_ENTRIES)
     return _PROCESS_CACHE
+
+
+def process_golden_cache() -> GoldenTraceCache:
+    """The calling process's shared golden-trace cache (created lazily).
+
+    Installed as the *fallback* of every trial's session-level
+    :class:`~repro.sim.golden.GoldenTraceCache` by the batch executor, so
+    one golden run of a repeated program serves every trial a worker
+    executes -- without touching the per-trial session counters that go
+    into result metadata (see :class:`~repro.sim.golden.KeyedRunCache`).
+    """
+    global _PROCESS_GOLDEN_CACHE
+    if _PROCESS_GOLDEN_CACHE is None:
+        _PROCESS_GOLDEN_CACHE = GoldenTraceCache(DEFAULT_CACHE_ENTRIES)
+    return _PROCESS_GOLDEN_CACHE
+
+
+def configure_process_caches(cache_entries: Optional[int]) -> None:
+    """Re-bound both process caches (``None`` = :data:`DEFAULT_CACHE_ENTRIES`).
+
+    Called by the batch executor before every batch with the engine's
+    ``cache_entries`` knob, so a worker always runs a batch under exactly
+    the capacity that batch was planned with -- a previous grid's bound
+    never leaks into the next.  Shrinking spills LRU entries immediately.
+    """
+    bound = DEFAULT_CACHE_ENTRIES if cache_entries is None else cache_entries
+    process_dut_cache().configure(bound)
+    process_golden_cache().configure(bound)
+
+
+def process_cache_stats() -> Dict[str, int]:
+    """Cumulative hit/miss/eviction counters of this process's caches."""
+    dut = process_dut_cache().stats()
+    golden = process_golden_cache().stats()
+    return {
+        "dut_cache_hits": dut["hits"],
+        "dut_cache_misses": dut["misses"],
+        "dut_cache_evictions": dut["evictions"],
+        "shared_golden_hits": golden["hits"],
+        "shared_golden_misses": golden["misses"],
+        "shared_golden_evictions": golden["evictions"],
+    }

@@ -12,13 +12,18 @@ Trials are keyed by *spec fingerprint*, not by grid position, so a resumed
 run matches completed work even if the grid is re-assembled in a different
 order (or a superset grid is launched later).  A half-written final line --
 the normal aftermath of killing a run mid-append -- is skipped on load.
+
+Concurrent writers are supported: each record is appended with a single
+``write(2)`` on an ``O_APPEND`` descriptor, so records from two processes
+sharing one journal (as distributed dispatchers may) interleave only at
+line granularity, never inside a line.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import IO, Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.fuzzing.results import FuzzCampaignResult
 from repro.harness.campaign import CampaignSpec
@@ -34,7 +39,7 @@ class CheckpointJournal:
 
     def __init__(self, path: str) -> None:
         self.path = str(path)
-        self._handle: Optional[IO[str]] = None
+        self._fd: Optional[int] = None
 
     # ------------------------------------------------------------------ loading
     def load(self) -> Dict[TrialKey, FuzzCampaignResult]:
@@ -78,11 +83,19 @@ class CheckpointJournal:
 
     # ------------------------------------------------------------------ writing
     def _append(self, record: dict) -> None:
-        if self._handle is None:
-            self._handle = open(self.path, "a", encoding="utf-8")
-        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+        if self._fd is None:
+            self._fd = os.open(self.path,
+                               os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+        # One write(2) per record: O_APPEND makes concurrent appends from
+        # several processes land whole, in some order, never interleaved.
+        data = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+        written = os.write(self._fd, data)
+        if written != len(data):
+            # A short write (ENOSPC edge, RLIMIT_FSIZE) would silently
+            # corrupt this record and swallow the next one on load.
+            raise OSError(f"short write to checkpoint journal {self.path}: "
+                          f"{written}/{len(data)} bytes")
+        os.fsync(self._fd)
 
     def record_grid(self, specs: Sequence[CampaignSpec]) -> None:
         """Append an informational header describing the grid being run."""
@@ -111,9 +124,9 @@ class CheckpointJournal:
         })
 
     def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
 
     def __enter__(self) -> "CheckpointJournal":
         return self

@@ -1,0 +1,202 @@
+"""Distributed campaign execution over a spool-directory queue.
+
+:class:`DistributedBackend` is the dispatcher half: it serializes trial
+batches through the :mod:`~repro.exec.batching` wire format into a
+:class:`~repro.exec.queue.SpoolQueue` and streams results back as workers
+publish them.  :func:`run_worker` is the worker half, attached to the same
+queue directory by ``repro.cli worker`` -- launched independently of the
+dispatcher as separate invocations, containers or machines sharing a
+filesystem.
+
+Failure semantics (see ``docs/distributed.md``):
+
+* A worker that dies mid-batch leaves a claim file behind; once its lease
+  expires the dispatcher (or an idle worker) requeues it and another
+  worker re-executes the batch.  Trials are deterministic, so re-execution
+  reproduces the lost results bit for bit.
+* A worker that *fails* a batch (broken spec, bug in the fuzzer) publishes
+  an error payload; the dispatcher raises it, exactly as a process-pool
+  worker exception would propagate.
+* A dispatcher that dies is covered one level up by the engine's
+  checkpoint journal: re-running the grid restores journaled trials and
+  enqueues only the missing ones.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+import traceback
+from typing import Dict, Iterator, Optional, Sequence, Tuple
+
+from repro.exec.backends import ExecutionBackend
+from repro.exec.batching import (
+    DEFAULT_BATCH_SIZE,
+    TrialBatch,
+    batch_from_wire,
+    batch_to_wire,
+    execute_batch,
+)
+from repro.exec.queue import DEFAULT_LEASE_TIMEOUT, SpoolQueue
+
+#: orphan results older than this are swept at dispatcher startup; any
+#: dispatcher still alive polls its results orders of magnitude faster.
+STALE_RESULT_SECONDS = 86400.0
+
+
+class DistributedBackend(ExecutionBackend):
+    """Dispatches trial batches to external workers through a spool queue.
+
+    Attributes:
+        queue_dir: spool directory shared with the workers.
+        poll_interval: seconds between result-directory scans.
+        lease_timeout: seconds before an in-flight batch claimed by a
+            silent worker is requeued for another worker.
+        stop_workers_on_exit: write the ``STOP`` sentinel when the grid
+            finishes (or aborts), telling workers to drain and exit.
+        max_wait_seconds: abort with ``TimeoutError`` if the grid has not
+            finished within this budget (``None`` waits forever) -- a
+            guard against waiting on a queue no worker is serving.
+    """
+
+    def __init__(
+        self,
+        queue_dir: str,
+        poll_interval: float = 0.1,
+        lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+        stop_workers_on_exit: bool = False,
+        max_wait_seconds: Optional[float] = None,
+        batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
+        cache_entries: Optional[int] = None,
+    ) -> None:
+        super().__init__(batch_size=batch_size, cache_entries=cache_entries)
+        if poll_interval <= 0:
+            raise ValueError("poll_interval must be > 0")
+        if lease_timeout <= 0:
+            raise ValueError("lease_timeout must be > 0")
+        self.queue_dir = str(queue_dir)
+        self.poll_interval = poll_interval
+        self.lease_timeout = lease_timeout
+        self.stop_workers_on_exit = stop_workers_on_exit
+        self.max_wait_seconds = max_wait_seconds
+
+    def _run_batches(
+        self,
+        batches: Sequence[TrialBatch],
+    ) -> Iterator[Tuple[TrialBatch, Dict[str, object]]]:
+        queue = SpoolQueue(self.queue_dir).ensure()
+        # A leftover sentinel from a previous --stop-workers run would make
+        # freshly attached workers exit on their first poll; this grid
+        # wants the queue live again.
+        queue.clear_stop()
+        queue.sweep_stale_results(STALE_RESULT_SECONDS)
+        run_id = os.urandom(4).hex()  # results namespace: one queue, many grids
+        pending: Dict[str, TrialBatch] = {}
+        try:
+            for batch in batches:
+                task_id = f"{run_id}-{batch.index:06d}"
+                queue.enqueue(task_id, batch_to_wire(batch))
+                pending[task_id] = batch
+            deadline = None
+            if self.max_wait_seconds is not None:
+                deadline = time.monotonic() + self.max_wait_seconds
+            while pending:
+                # One directory scan per pass, not one open() per batch.
+                finished = sorted(set(queue.result_ids()) & set(pending))
+                for task_id in finished:
+                    payload = queue.collect(task_id)
+                    if payload is None:
+                        continue  # vanished between scan and read
+                    queue.discard_result(task_id)
+                    if "error" in payload:
+                        worker = payload.get("worker", "?")
+                        raise RuntimeError(
+                            f"worker {worker} failed batch {task_id}:\n{payload['error']}"
+                        )
+                    yield pending.pop(task_id), payload
+                if pending and not finished:
+                    queue.requeue_stale(self.lease_timeout)
+                    if deadline is not None and time.monotonic() > deadline:
+                        raise TimeoutError(
+                            f"distributed grid stalled: {len(pending)} batches "
+                            f"outstanding after {self.max_wait_seconds:.0f}s "
+                            f"(is a worker attached to {self.queue_dir}?)"
+                        )
+                    time.sleep(self.poll_interval)
+        finally:
+            # Withdraw anything not yet claimed (abort path), sweep results
+            # of this run that will never be read (aborted batches, late
+            # duplicates from lease-expired workers), then optionally tell
+            # the workers to drain and exit.
+            for task_id in pending:
+                # A False return means the batch was already claimed; the
+                # worker's eventual result goes unread and is swept by a
+                # later dispatcher's stale-results pass.
+                queue.discard_task(task_id)
+            for task_id in queue.result_ids():
+                if task_id.startswith(run_id):
+                    queue.discard_result(task_id)
+            if self.stop_workers_on_exit:
+                queue.request_stop()
+
+    def describe(self) -> str:
+        return f"distributed(queue={self.queue_dir})"
+
+
+def run_worker(
+    queue_dir: str,
+    worker_id: Optional[str] = None,
+    poll_interval: float = 0.2,
+    lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+    max_tasks: Optional[int] = None,
+    log=None,
+) -> int:
+    """Serve ``queue_dir`` until the stop sentinel appears; return batches done.
+
+    The worker claims one batch at a time, executes it with the shared
+    process caches warm across batches, publishes the result and moves on.
+    While idle it also rescues batches whose claim lease has expired
+    (another worker died mid-batch).  A batch that raises publishes an
+    error payload for the dispatcher and the worker keeps serving -- one
+    poisoned spec must not take the whole fleet down.
+
+    ``max_tasks`` bounds how many batches this worker executes (worker
+    recycling for long-lived fleets); ``log`` receives one progress line
+    per event when given.
+    """
+    if max_tasks is not None and max_tasks < 1:
+        raise ValueError("max_tasks must be >= 1 or None")
+    if poll_interval <= 0:
+        raise ValueError("poll_interval must be > 0")
+    if lease_timeout <= 0:
+        # A zero lease would make this worker's idle polls yank every
+        # other worker's in-flight claim straight back into tasks/.
+        raise ValueError("lease_timeout must be > 0")
+    queue = SpoolQueue(queue_dir).ensure()
+    name = worker_id or f"{socket.gethostname()}-{os.getpid()}"
+    emit = log or (lambda line: None)
+    emit(f"worker {name}: serving {queue_dir}")
+    executed = 0
+    while max_tasks is None or executed < max_tasks:
+        claim = queue.claim(name)
+        if claim is None:
+            if queue.stop_requested():
+                break
+            queue.requeue_stale(lease_timeout)
+            time.sleep(poll_interval)
+            continue
+        try:
+            batch = batch_from_wire(claim.payload)
+            outcome = execute_batch(batch)
+        except Exception:
+            error = {"error": traceback.format_exc(), "worker": name}
+            queue.complete(claim, error)
+            emit(f"worker {name}: batch {claim.task_id} failed")
+        else:
+            outcome["worker"] = name
+            queue.complete(claim, outcome)
+            emit(f"worker {name}: batch {claim.task_id} done ({len(batch.tasks)} trials)")
+        executed += 1
+    emit(f"worker {name}: exiting after {executed} batches")
+    return executed

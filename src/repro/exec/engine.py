@@ -5,10 +5,14 @@
 :class:`~repro.harness.campaign.TrialSet` results":
 
 * expands the grid into (spec, trial) tasks,
-* drops tasks already completed in the checkpoint journal (resume),
-* shards the remainder across the configured backend,
+* drops tasks already completed in the checkpoint journal (resume) or in
+  an earlier grid run through the same engine (in-memory reuse),
+* shards the remainder across the configured backend (which batches
+  cache-compatible tasks and applies the engine's ``cache_entries`` bound
+  inside every worker),
 * journals each result the moment it arrives (kill-safe), and
-* feeds a :class:`~repro.core.monitor.ProgressMonitor` throughout.
+* feeds a :class:`~repro.core.monitor.ProgressMonitor` throughout,
+  including the workers' cache-traffic deltas.
 
 Determinism contract: trial ``i`` of a spec seeds itself from the spec
 content alone (:func:`~repro.harness.campaign.trial_seed`), so the engine
@@ -23,7 +27,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.monitor import ProgressMonitor
 from repro.exec.backends import ExecutionBackend, SerialBackend, TrialTask
-from repro.exec.checkpoint import CheckpointJournal
+from repro.exec.checkpoint import CheckpointJournal, TrialKey
 from repro.fuzzing.results import FuzzCampaignResult
 from repro.harness.campaign import CampaignSpec, TrialSet
 
@@ -35,14 +39,33 @@ class CampaignEngine:
         backend: trial executor (defaults to :class:`SerialBackend`).
         checkpoint_path: JSONL journal path; ``None`` disables journaling.
         monitor: progress monitor; a silent one is created when omitted.
+        cache_entries: capacity bound applied to the per-process golden
+            and DUT run caches inside every worker (``None`` keeps the
+            backend's default, currently 4096).  Capacity never changes
+            results -- the per-trial counters that enter result metadata
+            come from the session-level cache, which this knob does not
+            touch (see ``docs/parallel.md``).
+        reuse_results: serve (spec, trial) cells already completed by an
+            earlier ``run_grid`` call on this engine from memory instead
+            of re-running them -- trials are deterministic, so the replay
+            would be bit-identical anyway.  ``mabfuzz report`` runs the
+            Table I grid and the coverage grid through one engine and
+            overlaps on every shared cell.
     """
 
     def __init__(self, backend: Optional[ExecutionBackend] = None,
                  checkpoint_path: Optional[str] = None,
-                 monitor: Optional[ProgressMonitor] = None) -> None:
+                 monitor: Optional[ProgressMonitor] = None,
+                 cache_entries: Optional[int] = None,
+                 reuse_results: bool = True) -> None:
         self.backend = backend or SerialBackend()
         self.checkpoint_path = checkpoint_path
         self.monitor = monitor or ProgressMonitor()
+        if cache_entries is not None and cache_entries < 1:
+            raise ValueError("cache_entries must be >= 1 or None")
+        self.cache_entries = cache_entries
+        self.reuse_results = reuse_results
+        self._completed: Dict[TrialKey, Dict[str, object]] = {}
 
     def run_grid(self, specs: Sequence[CampaignSpec]) -> List[TrialSet]:
         """Run every trial of every spec; return one TrialSet per spec, in order.
@@ -61,14 +84,20 @@ class CampaignEngine:
         journal = (CheckpointJournal(self.checkpoint_path)
                    if self.checkpoint_path else None)
         restored = 0
-        if journal is not None:
-            completed = journal.load()
-            for spec_index, spec in enumerate(specs):
-                for trial in range(spec.trials):
-                    result = completed.get((fingerprints[spec_index], trial))
-                    if result is not None:
-                        grids[spec_index][trial] = result
-                        restored += 1
+        journaled = journal.load() if journal is not None else {}
+        for spec_index, spec in enumerate(specs):
+            for trial in range(spec.trials):
+                key = (fingerprints[spec_index], trial)
+                result = journaled.get(key)
+                if result is None and self.reuse_results:
+                    payload = self._completed.get(key)
+                    if payload is not None:
+                        result = FuzzCampaignResult.from_dict(payload)
+                        if journal is not None:
+                            journal.record_trial(spec, trial, payload)
+                if result is not None:
+                    grids[spec_index][trial] = result
+                    restored += 1
 
         tasks = [TrialTask(spec_index, trial, spec)
                  for spec_index, spec in enumerate(specs)
@@ -78,20 +107,37 @@ class CampaignEngine:
         self.monitor.start(total_trials=total, restored_trials=restored,
                            backend=self.backend.describe())
 
+        # The knob is scoped to this run: a backend shared between engines
+        # must not inherit another engine's bound.
+        previous_cache_entries = self.backend.cache_entries
+        if self.cache_entries is not None:
+            self.backend.cache_entries = self.cache_entries
         try:
             if journal is not None and tasks:
                 journal.record_grid(specs)
             for task, payload in self.backend.run(tasks):
                 result = FuzzCampaignResult.from_dict(payload)
                 grids[task.spec_index][task.trial_index] = result
+                key = (fingerprints[task.spec_index], task.trial_index)
+                if self.reuse_results:
+                    self._completed[key] = payload
                 if journal is not None:
                     journal.record_trial(task.spec, task.trial_index, payload)
+                self.monitor.update_cache_stats(self.backend.cache_stats)
                 self.monitor.trial_completed(
                     label=f"{task.spec.describe()} trial {task.trial_index}",
                     metadata=result.metadata)
         finally:
+            self.backend.cache_entries = previous_cache_entries
             if journal is not None:
                 journal.close()
+
+        if self.reuse_results:
+            for spec_index, fingerprint in enumerate(fingerprints):
+                for trial, result in enumerate(grids[spec_index]):
+                    key = (fingerprint, trial)
+                    if result is not None and key not in self._completed:
+                        self._completed[key] = result.to_dict()
 
         return [TrialSet(spec=spec, results=grids[spec_index])
                 for spec_index, spec in enumerate(specs)]
@@ -104,10 +150,12 @@ class CampaignEngine:
 def run_grid(specs: Sequence[CampaignSpec],
              backend: Optional[ExecutionBackend] = None,
              checkpoint_path: Optional[str] = None,
-             monitor: Optional[ProgressMonitor] = None) -> List[TrialSet]:
+             monitor: Optional[ProgressMonitor] = None,
+             cache_entries: Optional[int] = None) -> List[TrialSet]:
     """Functional one-shot form of :meth:`CampaignEngine.run_grid`."""
     engine = CampaignEngine(backend=backend, checkpoint_path=checkpoint_path,
-                            monitor=monitor)
+                            monitor=monitor, cache_entries=cache_entries,
+                            reuse_results=False)  # one-shot: a memo would never be hit
     return engine.run_grid(specs)
 
 

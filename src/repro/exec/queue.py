@@ -1,0 +1,234 @@
+"""File-based (spool-directory) work queue for distributed campaign grids.
+
+The queue is a directory on a filesystem shared by one dispatcher and any
+number of workers -- separate invocations, containers or machines::
+
+    <root>/
+        tasks/      pending batch files     <batch>.json
+        claimed/    in-flight batch files   <batch>.json.<worker>
+        results/    finished batch payloads <batch>.json
+        STOP        sentinel: workers drain remaining tasks, then exit
+
+Every operation is built from two primitives that are atomic on POSIX
+filesystems: ``rename`` within a filesystem (claiming, requeueing and
+publishing results) and write-to-temp-then-rename (so a reader never sees
+a half-written JSON file).  Claiming is race-free by construction: two
+workers renaming the same task file can only have one winner; the loser
+gets ``FileNotFoundError`` and moves on.
+
+Crash recovery: a claimed file whose mtime is older than the lease timeout
+belongs to a dead (or wedged) worker; :meth:`SpoolQueue.requeue_stale`
+renames it back into ``tasks/`` so a live worker picks it up again.  If
+the original worker was merely slow and completes anyway, both executions
+produced the same deterministic payload and the duplicate result overwrite
+is harmless.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+#: default seconds after which a claimed task is considered abandoned.
+DEFAULT_LEASE_TIMEOUT = 300.0
+
+_TASK_SUFFIX = ".json"
+
+
+@dataclass(frozen=True)
+class ClaimedTask:
+    """A task this worker has exclusive (lease-based) ownership of."""
+
+    task_id: str
+    path: str
+    payload: Dict[str, object]
+
+
+class SpoolQueue:
+    """One campaign work queue rooted at a spool directory."""
+
+    def __init__(self, root: str) -> None:
+        self.root = str(root)
+        self.tasks_dir = os.path.join(self.root, "tasks")
+        self.claimed_dir = os.path.join(self.root, "claimed")
+        self.results_dir = os.path.join(self.root, "results")
+        self.stop_path = os.path.join(self.root, "STOP")
+
+    def ensure(self) -> "SpoolQueue":
+        """Create the queue layout (dispatcher and workers both call it)."""
+        for directory in (self.tasks_dir, self.claimed_dir, self.results_dir):
+            os.makedirs(directory, exist_ok=True)
+        return self
+
+    # ------------------------------------------------------------- dispatcher
+    def enqueue(self, task_id: str, payload: Dict[str, object]) -> None:
+        """Publish one pending task file (atomically, via temp + rename)."""
+        path = os.path.join(self.tasks_dir, task_id + _TASK_SUFFIX)
+        self._write_atomic(path, payload)
+
+    def collect(self, task_id: str) -> Optional[Dict[str, object]]:
+        """Read the result of ``task_id`` if a worker has published it."""
+        path = os.path.join(self.results_dir, task_id + _TASK_SUFFIX)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except FileNotFoundError:
+            return None
+
+    def requeue_stale(self, lease_timeout: float = DEFAULT_LEASE_TIMEOUT) -> List[str]:
+        """Return abandoned claims (older than ``lease_timeout``) to ``tasks/``."""
+        requeued = []
+        now = time.time()
+        for name in self._listdir(self.claimed_dir):
+            claimed_path = os.path.join(self.claimed_dir, name)
+            try:
+                age = now - os.path.getmtime(claimed_path)
+            except OSError:
+                continue  # completed or re-claimed under us
+            if age < lease_timeout:
+                continue
+            task_id = name.split(_TASK_SUFFIX)[0]
+            target = os.path.join(self.tasks_dir, task_id + _TASK_SUFFIX)
+            try:
+                os.rename(claimed_path, target)
+            except OSError:
+                continue
+            requeued.append(task_id)
+        return requeued
+
+    def discard_task(self, task_id: str) -> bool:
+        """Withdraw a pending task (abort path); False if already claimed."""
+        try:
+            os.unlink(os.path.join(self.tasks_dir, task_id + _TASK_SUFFIX))
+        except OSError:
+            return False
+        return True
+
+    def discard_result(self, task_id: str) -> bool:
+        """Remove a collected (or never-to-be-read) result file."""
+        try:
+            os.unlink(os.path.join(self.results_dir, task_id + _TASK_SUFFIX))
+        except OSError:
+            return False
+        return True
+
+    def sweep_stale_results(self, older_than: float) -> List[str]:
+        """Remove orphan results older than ``older_than`` seconds.
+
+        Results are namespaced per dispatcher run and normally deleted the
+        moment they are collected (plus a same-run sweep on exit), so the
+        only files this can touch are leftovers of dispatchers that died
+        long ago -- any live dispatcher polls its results far faster than
+        the horizon used here.
+        """
+        removed = []
+        now = time.time()
+        for name in self._listdir(self.results_dir):
+            path = os.path.join(self.results_dir, name)
+            try:
+                if now - os.path.getmtime(path) < older_than:
+                    continue
+                os.unlink(path)
+            except OSError:
+                continue
+            removed.append(name.split(_TASK_SUFFIX)[0])
+        return removed
+
+    def request_stop(self) -> None:
+        """Write the sentinel: workers finish the remaining tasks and exit."""
+        self._write_atomic(self.stop_path, {"stop": True})
+
+    def clear_stop(self) -> None:
+        """Remove the sentinel so re-attached workers keep serving the queue."""
+        try:
+            os.unlink(self.stop_path)
+        except FileNotFoundError:
+            pass
+
+    # ----------------------------------------------------------------- worker
+    def claim(self, worker_id: str) -> Optional[ClaimedTask]:
+        """Atomically claim the oldest pending task (or ``None`` if empty).
+
+        The claim moves the task file to ``claimed/<task>.json.<worker>``;
+        losing a rename race to another worker just moves on to the next
+        pending file.
+        """
+        for name in sorted(self._listdir(self.tasks_dir)):
+            source = os.path.join(self.tasks_dir, name)
+            target = os.path.join(self.claimed_dir, f"{name}.{worker_id}")
+            try:
+                os.rename(source, target)
+            except OSError:
+                continue  # another worker won this file
+            try:
+                # rename preserves mtime; the lease clock starts at *claim*
+                # time, not at enqueue time, or a batch that waited in
+                # tasks/ longer than the lease would be "stale" on arrival.
+                os.utime(target, None)
+            except OSError:
+                pass
+            try:
+                with open(target, "r", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                continue  # requeued/compromised under us; try the next file
+            task_id = name.split(_TASK_SUFFIX)[0]
+            return ClaimedTask(task_id=task_id, path=target, payload=payload)
+        return None
+
+    def complete(self, claim: ClaimedTask, result: Dict[str, object]) -> None:
+        """Publish ``result`` for a claimed task and release the claim."""
+        path = os.path.join(self.results_dir, claim.task_id + _TASK_SUFFIX)
+        self._write_atomic(path, result)
+        try:
+            os.unlink(claim.path)
+        except FileNotFoundError:
+            pass  # lease expired and the claim was requeued; result stands
+
+    def stop_requested(self) -> bool:
+        return os.path.exists(self.stop_path)
+
+    # ---------------------------------------------------------------- queries
+    def result_ids(self) -> List[str]:
+        """Task ids with a published result (one directory scan)."""
+        names = self._listdir(self.results_dir)
+        return [name.split(_TASK_SUFFIX)[0] for name in names]
+
+    def pending_count(self) -> int:
+        return len(self._listdir(self.tasks_dir))
+
+    def claimed_count(self) -> int:
+        return len(self._listdir(self.claimed_dir))
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "pending": self.pending_count(),
+            "claimed": self.claimed_count(),
+            "results": len(self._listdir(self.results_dir)),
+        }
+
+    # ---------------------------------------------------------------- helpers
+    @staticmethod
+    def _listdir(directory: str) -> List[str]:
+        try:
+            names = os.listdir(directory)
+        except FileNotFoundError:
+            return []
+        return [name for name in names if not name.startswith(".")]
+
+    @staticmethod
+    def _write_atomic(path: str, payload: Dict[str, object]) -> None:
+        # The random suffix matters: pids collide across hosts/containers
+        # sharing the filesystem, and two workers finishing a requeued
+        # batch concurrently must not interleave into one temp file.
+        unique = f"{os.getpid()}.{os.urandom(4).hex()}"
+        tmp_name = f".{os.path.basename(path)}.tmp.{unique}"
+        tmp_path = os.path.join(os.path.dirname(path), tmp_name)
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.rename(tmp_path, path)

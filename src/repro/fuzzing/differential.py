@@ -10,8 +10,8 @@ the paper's authors performed on the real RTL).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import FrozenSet, Optional, Tuple
+from dataclasses import dataclass
+from typing import FrozenSet, Optional
 
 from repro.rtl.harness import DutRunResult
 from repro.sim.trace import CommitRecord, ExecutionResult

@@ -23,11 +23,14 @@ from repro.api import make_fuzzer, make_processor
 from repro.core.config import MABFuzzConfig
 from repro.fuzzing.base import FuzzerConfig
 from repro.fuzzing.results import FuzzCampaignResult
+from repro.isa.encoding import InstrClass
+from repro.isa.generator import GeneratorConfig
 from repro.isa.program import program_id_scope
 
 if TYPE_CHECKING:  # avoid a cycle: repro.exec imports this module.
     from repro.exec.backends import ExecutionBackend
     from repro.exec.cache import DutRunCache
+    from repro.sim.golden import GoldenTraceCache
 
 
 @dataclass(frozen=True)
@@ -82,6 +85,40 @@ class CampaignSpec:
         return (f"{self.fuzzer}@{self.processor}"
                 f" tests={self.num_tests} trials={self.trials} seed={self.seed}")
 
+    # ------------------------------------------------------------- wire format
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe representation (inverse of :meth:`from_dict`).
+
+        This is the *task* side of the distributed wire format: the spool
+        queue ships specs to workers as these dictionaries, the mirror
+        image of ``FuzzCampaignResult.to_dict()`` on the result side.
+        """
+        return {
+            "processor": self.processor,
+            "fuzzer": self.fuzzer,
+            "num_tests": self.num_tests,
+            "trials": self.trials,
+            "seed": self.seed,
+            "bugs": list(self.bugs) if self.bugs is not None else None,
+            "fuzzer_config": _fuzzer_config_to_dict(self.fuzzer_config),
+            "mab_config": _mab_config_to_dict(self.mab_config),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CampaignSpec":
+        """Rebuild a spec from :meth:`to_dict` output (fingerprint-stable)."""
+        bugs = data.get("bugs")
+        return cls(
+            processor=str(data["processor"]),
+            fuzzer=str(data["fuzzer"]),
+            num_tests=int(data["num_tests"]),
+            trials=int(data["trials"]),
+            seed=int(data["seed"]),
+            bugs=[str(bug) for bug in bugs] if bugs is not None else None,
+            fuzzer_config=_fuzzer_config_from_dict(data.get("fuzzer_config")),
+            mab_config=_mab_config_from_dict(data.get("mab_config")),
+        )
+
 
 def _canonical(obj: object) -> object:
     """Reduce ``obj`` to a JSON-serializable canonical form for hashing."""
@@ -98,6 +135,87 @@ def _canonical(obj: object) -> object:
         items = [_canonical(item) for item in obj]
         return sorted(items, key=repr) if isinstance(obj, (set, frozenset)) else items
     return obj
+
+
+def _generator_config_to_dict(config: Optional[GeneratorConfig]
+                              ) -> Optional[Dict[str, object]]:
+    if config is None:
+        return None
+    return {
+        "min_instructions": config.min_instructions,
+        "max_instructions": config.max_instructions,
+        "class_weights": {cls.name: weight
+                          for cls, weight in config.class_weights.items()},
+        "register_pool": list(config.register_pool),
+        "wide_register_prob": config.wide_register_prob,
+        "valid_memory_prob": config.valid_memory_prob,
+        "illegal_word_prob": config.illegal_word_prob,
+        "profile_concentration": config.profile_concentration,
+        "randomize_profile": config.randomize_profile,
+    }
+
+
+def _generator_config_from_dict(data: Optional[Dict[str, object]]
+                                ) -> Optional[GeneratorConfig]:
+    if data is None:
+        return None
+    return GeneratorConfig(
+        min_instructions=int(data["min_instructions"]),
+        max_instructions=int(data["max_instructions"]),
+        class_weights={InstrClass[name]: float(weight)
+                       for name, weight in data["class_weights"].items()},
+        register_pool=tuple(int(reg) for reg in data["register_pool"]),
+        wide_register_prob=float(data["wide_register_prob"]),
+        valid_memory_prob=float(data["valid_memory_prob"]),
+        illegal_word_prob=float(data["illegal_word_prob"]),
+        profile_concentration=float(data["profile_concentration"]),
+        randomize_profile=bool(data["randomize_profile"]),
+    )
+
+
+def _fuzzer_config_to_dict(config: Optional[FuzzerConfig]
+                           ) -> Optional[Dict[str, object]]:
+    if config is None:
+        return None
+    return {
+        "num_seeds": config.num_seeds,
+        "mutants_per_test": config.mutants_per_test,
+        "generator_config": _generator_config_to_dict(config.generator_config),
+        "mutation_weights": (dict(config.mutation_weights)
+                             if config.mutation_weights is not None else None),
+        "max_program_steps": config.max_program_steps,
+    }
+
+
+def _fuzzer_config_from_dict(data: Optional[Dict[str, object]]
+                             ) -> Optional[FuzzerConfig]:
+    if data is None:
+        return None
+    steps = data.get("max_program_steps")
+    weights = data.get("mutation_weights")
+    return FuzzerConfig(
+        num_seeds=int(data["num_seeds"]),
+        mutants_per_test=int(data["mutants_per_test"]),
+        generator_config=_generator_config_from_dict(data.get("generator_config")),
+        mutation_weights=({str(op): float(w) for op, w in weights.items()}
+                          if weights is not None else None),
+        max_program_steps=int(steps) if steps is not None else None,
+    )
+
+
+def _mab_config_to_dict(config: Optional[MABFuzzConfig]
+                        ) -> Optional[Dict[str, object]]:
+    if config is None:
+        return None
+    return {f.name: getattr(config, f.name)
+            for f in dataclasses.fields(config)}
+
+
+def _mab_config_from_dict(data: Optional[Dict[str, object]]
+                          ) -> Optional[MABFuzzConfig]:
+    if data is None:
+        return None
+    return MABFuzzConfig(**data)
 
 
 def trial_seed(spec: CampaignSpec, trial_index: int) -> int:
@@ -183,12 +301,17 @@ class TrialSet:
 
 
 def run_campaign(spec: CampaignSpec, trial_index: int = 0,
-                 dut_cache: Optional["DutRunCache"] = None) -> FuzzCampaignResult:
+                 dut_cache: Optional["DutRunCache"] = None,
+                 golden_fallback: Optional["GoldenTraceCache"] = None
+                 ) -> FuzzCampaignResult:
     """Run a single trial of ``spec`` and return its result.
 
     ``dut_cache`` optionally routes DUT runs through a
     :class:`~repro.exec.cache.DutRunCache` (the parallel workers install a
-    process-local one); it never changes results, only wall-clock.
+    process-local one), and ``golden_fallback`` chains a shared golden-trace
+    cache behind the trial's own session cache; neither ever changes
+    results -- only wall-clock -- and the session's golden-cache counters
+    (which *are* result metadata) stay per-trial either way.
     """
     seed = trial_seed(spec, trial_index)
     with program_id_scope():  # ids restart at 0: results are process-independent
@@ -201,6 +324,8 @@ def run_campaign(spec: CampaignSpec, trial_index: int = 0,
         )
         if dut_cache is not None:
             fuzzer.session.dut_cache = dut_cache
+        if golden_fallback is not None:
+            fuzzer.session.golden_cache.fallback = golden_fallback
         return fuzzer.run(spec.num_tests,
                           metadata={"trial": trial_index, "seed": seed})
 

@@ -8,9 +8,15 @@ that the renderers in :mod:`repro.harness.tables` /
 Each experiment first assembles its full grid of
 :class:`~repro.harness.campaign.CampaignSpec` cells and then hands the
 grid to a :class:`~repro.exec.engine.CampaignEngine` in one call, so an
-``engine`` configured with a process-pool backend parallelises across the
-*whole* grid (every processor × fuzzer × trial cell at once), not merely
-within one campaign -- and a checkpointed engine resumes any of them.
+``engine`` configured with a process-pool or distributed backend
+parallelises across the *whole* grid (every processor × fuzzer × trial
+cell at once), not merely within one campaign -- and a checkpointed
+engine resumes any of them.
+
+Passing the *same* engine to several experiments compounds: the engine
+replays (spec, trial) cells it has already completed from memory, so
+``run_table1`` followed by ``run_coverage_study`` (the ``mabfuzz report``
+path) executes their overlapping cells once.
 """
 
 from __future__ import annotations

@@ -16,7 +16,7 @@ the generator matter for reproducing the paper's behaviour:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np

@@ -16,7 +16,7 @@ mutation); the raw word is preserved so it can still be re-encoded, executed
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 ILLEGAL_MNEMONIC = "illegal"

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import hashlib
 import itertools
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Iterator, Optional, Sequence, Tuple
 
 from repro.isa.assembler import assemble_program

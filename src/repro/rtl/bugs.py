@@ -30,9 +30,8 @@ mismatches to bug identifiers (Sec. IV-B bookkeeping).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
-from repro.isa.decoder import decode_word
 from repro.isa.encoding import OPCODE_OP
 from repro.isa.exceptions import Trap, TrapCause
 from repro.isa.instruction import Instruction

@@ -14,7 +14,6 @@ cycle accuracy: the fuzzers only consume coverage and architectural state.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.coverage.points import coverage_point

@@ -10,6 +10,7 @@ construction -- exactly the property differential testing relies on.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
 from repro.isa.program import TestProgram
@@ -87,49 +88,92 @@ class GoldenModel(ModelBase):
 
 
 class KeyedRunCache:
-    """Bounded cache of deterministic model runs, keyed by subclasses.
+    """Bounded LRU cache of deterministic model runs, keyed by subclasses.
 
     Both the golden reference and the DUT models are deterministic
     functions of (program, step limit, model configuration), so their runs
     can be cached and shared.  Subclasses define what "model configuration"
-    means by overriding :meth:`key`; everything else -- hit/miss counters,
-    the eviction policy, stats -- is shared here so the two caches cannot
-    drift apart.
+    means by overriding :meth:`key`; everything else -- hit/miss/eviction
+    counters, the LRU spill policy, stats -- is shared here so the two
+    caches cannot drift apart.
+
+    ``fallback`` optionally chains a second (usually longer-lived, e.g.
+    process-level) cache behind this one: a miss here is served from the
+    fallback before the model is actually run, and freshly computed runs
+    are inserted into both levels.  The fallback keeps its own counters;
+    this cache's ``hits``/``misses`` are unaffected by where a miss was
+    ultimately served from, which is what keeps per-trial counter metadata
+    independent of worker history (see ``docs/parallel.md``).
 
     Cached results are shared objects -- callers must treat them as
     read-only (every consumer does: the differential tester and the
     coverage database only read).
     """
 
-    def __init__(self, max_entries: int = 4096) -> None:
+    def __init__(self, max_entries: int = 4096,
+                 fallback: Optional["KeyedRunCache"] = None) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = max_entries
-        self._entries: Dict[Tuple, object] = {}
+        self.fallback = fallback
+        self._entries: "OrderedDict[Tuple, object]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     @staticmethod
     def key(model: ModelBase, program: TestProgram, step_limit: int) -> Tuple:
         """Cache key for one run (overridden per cache flavour)."""
         raise NotImplementedError
 
+    # ------------------------------------------------------------- primitives
+    def lookup(self, key: Tuple):
+        """Return the entry for ``key`` (or ``None``), updating counters/LRU."""
+        cached = self._entries.get(key)
+        if cached is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return cached
+        self.misses += 1
+        return None
+
+    def insert(self, key: Tuple, result: object) -> None:
+        """Store ``result`` under ``key``, spilling the LRU entry if full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self._entries[key] = result
+            return
+        while len(self._entries) >= self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        self._entries[key] = result
+
+    def configure(self, max_entries: int) -> None:
+        """Re-bound the cache, spilling LRU entries down to the new capacity."""
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    # ------------------------------------------------------------------- runs
     def get_or_run(self, model: ModelBase, program: TestProgram,
                    max_steps: Optional[int] = None):
         """Return the cached run for ``program``, running ``model`` on a miss."""
         limit = max_steps or model.executor_config.step_limit
         key = self.key(model, program, limit)
-        cached = self._entries.get(key)
+        cached = self.lookup(key)
         if cached is not None:
-            self.hits += 1
             return cached
-        self.misses += 1
-        result = model.run(program, max_steps)
-        if len(self._entries) >= self.max_entries:
-            # Simple wholesale eviction: campaigns cycle working sets far
-            # smaller than the bound, so this triggers rarely (if ever).
-            self._entries.clear()
-        self._entries[key] = result
+        result = None
+        if self.fallback is not None:
+            result = self.fallback.lookup(key)
+        if result is None:
+            result = model.run(program, max_steps)
+            if self.fallback is not None:
+                self.fallback.insert(key, result)
+        self.insert(key, result)
         return result
 
     def clear(self) -> None:
@@ -137,7 +181,8 @@ class KeyedRunCache:
 
     def stats(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
-                "entries": len(self._entries), "max_entries": self.max_entries}
+                "evictions": self.evictions, "entries": len(self._entries),
+                "max_entries": self.max_entries}
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -11,7 +11,7 @@ randomness does not silently change the stream seen by existing consumers.
 from __future__ import annotations
 
 import zlib
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.arms import Arm, ArmSet
-from repro.fuzzing.testpool import TestPool
 from repro.isa.generator import SeedGenerator
 from repro.isa.instruction import Instruction
 from repro.isa.program import TestProgram

@@ -1,7 +1,5 @@
 """Tests for the baseline scheduling policies and the mutation-operator bandit."""
 
-import pytest
-
 from repro.core.bandit.baselines import GreedyPolicy, RoundRobinPolicy, UniformRandomPolicy
 from repro.core.config import MABFuzzConfig
 from repro.core.mutation_bandit import MutationBanditFuzzer

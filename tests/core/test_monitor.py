@@ -146,6 +146,35 @@ class TestProgressMonitor:
     def test_render_without_start(self):
         assert "trials 0/0" in ProgressMonitor().render()
 
+    def test_worker_cache_stats_snapshot(self):
+        monitor = self._monitor()
+        monitor.start(total_trials=2)
+        assert monitor.dut_cache_hit_rate() is None
+        monitor.update_cache_stats({"dut_cache_hits": 3,
+                                    "dut_cache_misses": 1,
+                                    "dut_cache_evictions": 2,
+                                    "shared_golden_evictions": 1})
+        assert monitor.dut_cache_hit_rate() == pytest.approx(0.75)
+        assert monitor.cache_evictions() == 3
+        line = monitor.render()
+        assert "dut-cache 75% hit" in line
+        assert "3 evicted" in line
+        # Snapshot semantics: the engine passes running totals, so a new
+        # update replaces rather than accumulates.
+        monitor.update_cache_stats({"dut_cache_hits": 4,
+                                    "dut_cache_misses": 4})
+        assert monitor.dut_cache_hit_rate() == pytest.approx(0.5)
+        assert monitor.cache_evictions() == 0
+
+    def test_worker_cache_stats_reset_between_grids(self):
+        monitor = self._monitor()
+        monitor.start(total_trials=1)
+        monitor.update_cache_stats({"dut_cache_hits": 5,
+                                    "dut_cache_misses": 5})
+        monitor.start(total_trials=1)
+        assert monitor.dut_cache_hit_rate() is None
+        assert "dut-cache" not in monitor.render()
+
 
 @given(counts=st.lists(st.integers(0, 5), min_size=1, max_size=30),
        gamma=st.integers(1, 5))

@@ -1,0 +1,16 @@
+"""Shared helpers for the execution-subsystem tests."""
+
+from repro.exec.backends import SerialBackend
+
+
+class CountingBackend(SerialBackend):
+    """Serial backend that records which (spec_index, trial) it actually ran."""
+
+    def __init__(self):
+        super().__init__()
+        self.executed = []
+
+    def run(self, tasks):
+        for task, payload in super().run(tasks):
+            self.executed.append((task.spec_index, task.trial_index))
+            yield task, payload

@@ -106,3 +106,45 @@ class TestSerialVsParallelDeterminism:
         first = run_grid(specs, backend=SerialBackend())
         second = run_grid(specs, backend=SerialBackend())
         assert _canonical(first) == _canonical(second)
+
+    def test_batch_shape_cannot_change_results(self):
+        # One trial per batch, unbounded batches and the default grouping
+        # must all be bit-identical: batching is pure scheduling.
+        specs = _grid()
+        reference = run_grid(specs, backend=SerialBackend())
+        for batch_size in (1, None):
+            shaped = run_grid(specs,
+                              backend=SerialBackend(batch_size=batch_size))
+            assert _canonical(shaped) == _canonical(reference)
+
+    def test_tiny_cache_capacity_cannot_change_results(self):
+        # cache_entries=1 forces constant LRU spill in the process caches;
+        # results (including the metadata counters) must not move.
+        specs = _grid()
+        reference = run_grid(specs, backend=SerialBackend())
+        starved = run_grid(specs, backend=SerialBackend(), cache_entries=1)
+        assert _canonical(starved) == _canonical(reference)
+
+
+class TestBackendBatching:
+    def test_cache_stats_accumulate_over_run(self):
+        backend = SerialBackend()
+        specs = _grid()[:1]
+        list(backend.run([TrialTask(0, trial, specs[0])
+                          for trial in range(2)]))
+        assert "dut_cache_misses" in backend.cache_stats
+        total = (backend.cache_stats["dut_cache_hits"]
+                 + backend.cache_stats["dut_cache_misses"])
+        assert total > 0
+
+    def test_invalid_batch_size_rejected(self):
+        with pytest.raises(ValueError):
+            SerialBackend(batch_size=0)
+
+    def test_invalid_cache_entries_rejected(self):
+        with pytest.raises(ValueError):
+            SerialBackend(cache_entries=0)
+
+    def test_empty_task_list_is_a_noop(self):
+        backend = SerialBackend()
+        assert list(backend.run([])) == []

@@ -1,10 +1,17 @@
-"""Tests for the per-process DUT-run cache."""
+"""Tests for the per-process DUT-run cache and the shared golden cache."""
 
 import pytest
 
 from repro.api import make_processor
-from repro.exec.cache import DutRunCache, process_dut_cache
+from repro.exec.cache import (
+    DutRunCache,
+    configure_process_caches,
+    process_cache_stats,
+    process_dut_cache,
+    process_golden_cache,
+)
 from repro.isa.generator import SeedGenerator
+from repro.sim.golden import GoldenModel, GoldenTraceCache
 
 
 @pytest.fixture()
@@ -55,6 +62,32 @@ class TestDutRunCache:
         for program in programs:
             cache.get_or_run(dut, program)
         assert len(cache) <= 2
+        assert cache.evictions == 1  # 3 programs through a 2-entry cache
+
+    def test_lru_spills_least_recently_used(self, programs):
+        cache = DutRunCache(max_entries=2)
+        dut = make_processor("rocket", bugs=[])
+        cache.get_or_run(dut, programs[0])
+        cache.get_or_run(dut, programs[1])
+        cache.get_or_run(dut, programs[0])  # touch 0: now 1 is LRU
+        cache.get_or_run(dut, programs[2])  # spills 1, keeps 0
+        hits_before = cache.hits
+        cache.get_or_run(dut, programs[0])
+        assert cache.hits == hits_before + 1  # 0 survived the spill
+        cache.get_or_run(dut, programs[1])  # 1 was spilled: a miss
+        assert cache.misses == 4
+
+    def test_configure_shrinks_and_respills(self, programs):
+        cache = DutRunCache(max_entries=8)
+        dut = make_processor("rocket", bugs=[])
+        for program in programs:
+            cache.get_or_run(dut, program)
+        cache.configure(1)
+        assert len(cache) == 1
+        assert cache.max_entries == 1
+        assert cache.evictions == 2
+        with pytest.raises(ValueError):
+            cache.configure(0)
 
     def test_stats_and_clear(self, programs):
         cache = DutRunCache()
@@ -62,10 +95,58 @@ class TestDutRunCache:
         cache.get_or_run(dut, programs[0])
         stats = cache.stats()
         assert stats["misses"] == 1 and stats["entries"] == 1
+        assert stats["evictions"] == 0
         cache.clear()
         assert len(cache) == 0
 
 
-def test_process_cache_is_a_singleton():
-    assert process_dut_cache() is process_dut_cache()
-    assert isinstance(process_dut_cache(), DutRunCache)
+class TestGoldenFallback:
+    def test_fallback_serves_miss_without_changing_counters(self, programs):
+        shared = GoldenTraceCache()
+        golden = GoldenModel()
+        first = GoldenTraceCache(fallback=shared)
+        result = first.get_or_run(golden, programs[0])
+        assert (first.hits, first.misses) == (0, 1)
+        assert shared.misses == 1  # populated through the first session
+
+        second = GoldenTraceCache(fallback=shared)
+        served = second.get_or_run(golden, programs[0])
+        assert served is result  # one golden run amortized across sessions
+        # The session-level counters look exactly like a cold run: where
+        # the miss was served from is invisible to result metadata.
+        assert (second.hits, second.misses) == (0, 1)
+        assert shared.hits == 1
+
+    def test_no_fallback_runs_the_model(self, programs):
+        cache = GoldenTraceCache()
+        golden = GoldenModel()
+        a = cache.get_or_run(golden, programs[0])
+        b = cache.get_or_run(golden, programs[0])
+        assert a is b and cache.hits == 1
+
+
+class TestProcessCaches:
+    def test_process_caches_are_singletons(self):
+        assert process_dut_cache() is process_dut_cache()
+        assert isinstance(process_dut_cache(), DutRunCache)
+        assert process_golden_cache() is process_golden_cache()
+        assert isinstance(process_golden_cache(), GoldenTraceCache)
+
+    def test_configure_process_caches(self):
+        from repro.exec.cache import DEFAULT_CACHE_ENTRIES
+
+        try:
+            configure_process_caches(77)
+            assert process_dut_cache().max_entries == 77
+            assert process_golden_cache().max_entries == 77
+        finally:
+            configure_process_caches(None)  # None restores the default bound
+        assert process_dut_cache().max_entries == DEFAULT_CACHE_ENTRIES
+        assert process_golden_cache().max_entries == DEFAULT_CACHE_ENTRIES
+
+    def test_process_cache_stats_keys(self):
+        stats = process_cache_stats()
+        assert set(stats) == {"dut_cache_hits", "dut_cache_misses",
+                              "dut_cache_evictions", "shared_golden_hits",
+                              "shared_golden_misses",
+                              "shared_golden_evictions"}

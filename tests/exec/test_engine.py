@@ -1,9 +1,14 @@
 """Tests for the campaign execution engine."""
 
+import pytest
+
 from repro.core.monitor import ProgressMonitor
+from repro.exec.backends import SerialBackend
 from repro.exec.engine import CampaignEngine, grid_summary, run_grid
 from repro.fuzzing.base import FuzzerConfig
 from repro.harness.campaign import CampaignSpec
+
+from tests.exec.helpers import CountingBackend
 
 SMALL_CONFIG = FuzzerConfig(num_seeds=3, mutants_per_test=2)
 
@@ -40,6 +45,67 @@ class TestCampaignEngine:
         assert monitor.completed_trials == monitor.total_trials == 2
         assert len(lines) == 3  # start + one per trial
         assert "trials 2/2" in lines[-1]
+
+
+class TestResultReuse:
+    def test_overlapping_grids_run_shared_cells_once(self):
+        # `mabfuzz report` runs the Table I grid and then the coverage
+        # grid through one engine; shared (spec, trial) cells replay from
+        # memory because trials are deterministic.
+        backend = CountingBackend()
+        engine = CampaignEngine(backend=backend)
+        shared, extra = _spec(processor="rocket"), _spec(processor="boom")
+        first = engine.run_grid([shared])
+        assert len(backend.executed) == 2
+        second = engine.run_grid([shared, extra])
+        assert sorted(backend.executed) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+        assert ([r.canonical_dict() for r in second[0].results]
+                == [r.canonical_dict() for r in first[0].results])
+
+    def test_reuse_can_be_disabled(self):
+        backend = CountingBackend()
+        engine = CampaignEngine(backend=backend, reuse_results=False)
+        spec = _spec()
+        engine.run_grid([spec])
+        engine.run_grid([spec])
+        assert len(backend.executed) == 4  # everything re-ran
+
+    def test_reused_results_are_journaled(self, tmp_path):
+        # A grid resumed from engine memory must still leave a complete
+        # journal behind for the *next* process.
+        engine = CampaignEngine(backend=CountingBackend())
+        spec = _spec()
+        engine.run_grid([spec])
+        path = str(tmp_path / "grid.jsonl")
+        engine.checkpoint_path = path
+        engine.run_grid([spec])
+        fresh_backend = CountingBackend()
+        CampaignEngine(backend=fresh_backend,
+                       checkpoint_path=path).run_grid([spec])
+        assert fresh_backend.executed == []
+
+
+class TestCacheEntriesKnob:
+    def test_knob_is_scoped_to_the_run(self):
+        # The bound applies while this engine's grids execute, but a
+        # backend shared with another engine is restored afterwards.
+        planned = []
+        backend = SerialBackend()
+        original_run = backend.run
+
+        def spying_run(tasks):
+            planned.append(backend.cache_entries)
+            yield from original_run(tasks)
+
+        backend.run = spying_run
+        engine = CampaignEngine(backend=backend, cache_entries=123)
+        engine.run_grid([_spec(trials=1)])
+        assert planned == [123]
+        assert backend.cache_entries is None  # restored for other engines
+
+    def test_invalid_knob_rejected(self):
+        with pytest.raises(ValueError):
+            CampaignEngine(cache_entries=0)
 
 
 class TestGridSummary:

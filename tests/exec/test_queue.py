@@ -1,0 +1,148 @@
+"""Tests for the spool-directory work queue (no campaigns involved)."""
+
+import json
+import os
+
+from repro.exec.queue import SpoolQueue
+
+
+def _queue(tmp_path):
+    return SpoolQueue(str(tmp_path / "spool")).ensure()
+
+
+class TestEnqueueClaim:
+    def test_claim_empty_queue(self, tmp_path):
+        assert _queue(tmp_path).claim("w0") is None
+
+    def test_claim_returns_payload_and_moves_file(self, tmp_path):
+        queue = _queue(tmp_path)
+        queue.enqueue("t0", {"kind": "batch", "batch": 0})
+        claim = queue.claim("w0")
+        assert claim is not None
+        assert claim.task_id == "t0"
+        assert claim.payload["batch"] == 0
+        assert queue.pending_count() == 0
+        assert queue.claimed_count() == 1
+        assert os.path.basename(claim.path).endswith(".w0")
+
+    def test_oldest_task_claimed_first(self, tmp_path):
+        queue = _queue(tmp_path)
+        for index in range(3):
+            queue.enqueue(f"t{index}", {"index": index})
+        assert queue.claim("w0").task_id == "t0"
+        assert queue.claim("w0").task_id == "t1"
+
+    def test_two_claimants_cannot_share_a_task(self, tmp_path):
+        queue = _queue(tmp_path)
+        queue.enqueue("t0", {"index": 0})
+        first = queue.claim("w0")
+        second = queue.claim("w1")
+        assert first is not None
+        assert second is None
+
+
+class TestCompleteCollect:
+    def test_result_round_trip(self, tmp_path):
+        queue = _queue(tmp_path)
+        queue.enqueue("t0", {"index": 0})
+        claim = queue.claim("w0")
+        assert queue.collect("t0") is None
+        queue.complete(claim, {"results": [1, 2, 3]})
+        assert queue.collect("t0") == {"results": [1, 2, 3]}
+        assert queue.claimed_count() == 0
+
+    def test_complete_after_requeue_is_harmless(self, tmp_path):
+        # Lease expired, the task was requeued, then the original (slow,
+        # not dead) worker finished anyway: its claim file is gone but the
+        # result must still land.
+        queue = _queue(tmp_path)
+        queue.enqueue("t0", {"index": 0})
+        claim = queue.claim("w0")
+        os.utime(claim.path, (1, 1))
+        assert queue.requeue_stale(lease_timeout=1.0) == ["t0"]
+        queue.complete(claim, {"done": True})
+        assert queue.collect("t0") == {"done": True}
+        assert queue.pending_count() == 1  # the requeued copy still exists
+
+    def test_results_are_written_atomically(self, tmp_path):
+        queue = _queue(tmp_path)
+        queue.enqueue("t0", {"index": 0})
+        queue.complete(queue.claim("w0"), {"big": "x" * 4096})
+        # No temp droppings left behind, and the file parses whole.
+        assert all(not name.startswith(".")
+                   for name in os.listdir(queue.results_dir))
+        with open(os.path.join(queue.results_dir, "t0.json")) as handle:
+            assert json.load(handle)["big"]
+
+
+class TestRequeueStale:
+    def test_fresh_claims_are_left_alone(self, tmp_path):
+        queue = _queue(tmp_path)
+        queue.enqueue("t0", {"index": 0})
+        queue.claim("w0")
+        assert queue.requeue_stale(lease_timeout=60.0) == []
+        assert queue.claimed_count() == 1
+
+    def test_lease_clock_starts_at_claim_time(self, tmp_path):
+        # A batch may sit in tasks/ far longer than the lease before a
+        # worker frees up (rename preserves mtime); claiming must restart
+        # the clock or a busy grid would requeue every in-flight batch.
+        queue = _queue(tmp_path)
+        queue.enqueue("t0", {"index": 0})
+        task_path = os.path.join(queue.tasks_dir, "t0.json")
+        os.utime(task_path, (1, 1))  # enqueued "ages" ago
+        queue.claim("w0")
+        assert queue.requeue_stale(lease_timeout=60.0) == []
+        assert queue.claimed_count() == 1
+
+    def test_stale_claim_returns_to_pending(self, tmp_path):
+        queue = _queue(tmp_path)
+        queue.enqueue("t0", {"index": 0})
+        claim = queue.claim("w0")
+        os.utime(claim.path, (1, 1))
+        assert queue.requeue_stale(lease_timeout=5.0) == ["t0"]
+        assert queue.pending_count() == 1
+        rescued = queue.claim("w1")
+        assert rescued.task_id == "t0"
+        assert rescued.payload == {"index": 0}
+
+
+class TestDiscardAndSweep:
+    def test_discard_task_and_result(self, tmp_path):
+        queue = _queue(tmp_path)
+        queue.enqueue("t0", {})
+        assert queue.discard_task("t0")
+        assert not queue.discard_task("t0")  # already gone (or claimed)
+        queue.enqueue("t1", {})
+        queue.complete(queue.claim("w0"), {"done": True})
+        assert queue.discard_result("t1")
+        assert queue.stats() == {"pending": 0, "claimed": 0, "results": 0}
+
+    def test_sweep_removes_only_ancient_results(self, tmp_path):
+        queue = _queue(tmp_path)
+        for task_id in ("old", "new"):
+            queue.enqueue(task_id, {})
+            queue.complete(queue.claim("w0"), {})
+        old_path = os.path.join(queue.results_dir, "old.json")
+        os.utime(old_path, (1, 1))
+        assert queue.sweep_stale_results(older_than=3600.0) == ["old"]
+        assert queue.collect("new") == {}
+        assert queue.collect("old") is None
+
+
+class TestStopSentinel:
+    def test_stop_round_trip(self, tmp_path):
+        queue = _queue(tmp_path)
+        assert not queue.stop_requested()
+        queue.request_stop()
+        assert queue.stop_requested()
+        queue.clear_stop()
+        assert not queue.stop_requested()
+        queue.clear_stop()  # idempotent
+
+    def test_stats(self, tmp_path):
+        queue = _queue(tmp_path)
+        queue.enqueue("t0", {})
+        queue.enqueue("t1", {})
+        queue.complete(queue.claim("w0"), {})
+        assert queue.stats() == {"pending": 1, "claimed": 0, "results": 1}

@@ -54,6 +54,52 @@ class TestCampaignSpec:
         assert spec.fingerprint() != deeper.fingerprint()
 
 
+class TestSpecWireFormat:
+    def _full_spec(self):
+        from repro.core.config import MABFuzzConfig
+        from repro.isa.generator import GeneratorConfig
+
+        return CampaignSpec(
+            processor="rocket", fuzzer="mabfuzz:exp3", num_tests=40,
+            trials=2, seed=9, bugs=["V8", "V9"],
+            fuzzer_config=FuzzerConfig(
+                num_seeds=4, mutants_per_test=3,
+                generator_config=GeneratorConfig(min_instructions=8,
+                                                 max_instructions=16,
+                                                 illegal_word_prob=0.05),
+                mutation_weights={"bitflip": 2.0},
+                max_program_steps=500),
+            mab_config=MABFuzzConfig(num_arms=5, alpha=0.5, gamma=None),
+        )
+
+    def test_round_trip_preserves_spec_and_fingerprint(self):
+        spec = self._full_spec()
+        rebuilt = CampaignSpec.from_dict(spec.to_dict())
+        assert rebuilt == spec
+        assert rebuilt.fingerprint() == spec.fingerprint()
+
+    def test_round_trip_survives_json(self):
+        import json
+
+        spec = self._full_spec()
+        rebuilt = CampaignSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert rebuilt.fingerprint() == spec.fingerprint()
+
+    def test_none_fields_round_trip(self):
+        spec = CampaignSpec(processor="cva6", fuzzer="thehuzz")
+        rebuilt = CampaignSpec.from_dict(spec.to_dict())
+        assert rebuilt == spec
+        assert rebuilt.bugs is None
+        assert rebuilt.fuzzer_config is None
+        assert rebuilt.mab_config is None
+
+    def test_trial_seeds_survive_the_wire(self):
+        spec = self._full_spec()
+        rebuilt = CampaignSpec.from_dict(spec.to_dict())
+        assert [trial_seed(spec, i) for i in range(3)] \
+            == [trial_seed(rebuilt, i) for i in range(3)]
+
+
 class TestTrialSeed:
     def test_deterministic(self):
         spec = CampaignSpec(processor="cva6", fuzzer="thehuzz", **SMALL)

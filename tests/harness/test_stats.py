@@ -1,7 +1,5 @@
 """Tests for the trial-aggregation statistics helpers."""
 
-import math
-
 import pytest
 from hypothesis import example, given, strategies as st
 

@@ -96,8 +96,6 @@ class TestFigureRenderers:
 
 class TestReport:
     def test_full_report(self):
-        from repro.harness.experiments import CoverageStudy
-
         # A report built only from Table I still renders.
         report = build_experiments_report(table1=_table1(), notes="scaled runs")
         assert report.startswith("# MABFuzz reproduction")

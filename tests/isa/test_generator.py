@@ -1,6 +1,5 @@
 """Tests for random instruction and seed generation."""
 
-import numpy as np
 import pytest
 
 from repro.isa.decoder import decode_word

@@ -10,7 +10,6 @@ import pytest
 
 from repro.fuzzing.differential import DifferentialTester
 from repro.isa import csr as csrdefs
-from repro.isa.assembler import encode_instruction
 from repro.isa.exceptions import TrapCause
 from repro.isa.instruction import Instruction
 from repro.isa.program import TestProgram

@@ -7,11 +7,9 @@ from repro.coverage.points import point_module
 from repro.fuzzing.differential import compare_traces
 from repro.isa.generator import SeedGenerator
 from repro.isa.instruction import Instruction
-from repro.isa.program import TestProgram
 from repro.rtl.cva6 import CVA6Model
 from repro.rtl.harness import (
     DutConfig,
-    DutModel,
     common_space,
     decode_points,
     decode_space,

@@ -1,8 +1,7 @@
 """Per-processor structural model tests (CVA6 / Rocket / BOOM specifics)."""
 
-import pytest
 
-from repro.coverage.points import point_module, parse_point
+from repro.coverage.points import parse_point
 from repro.isa.generator import SeedGenerator
 from repro.rtl.boom import BoomModel
 from repro.rtl.cva6 import CVA6Model

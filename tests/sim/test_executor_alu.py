@@ -1,6 +1,5 @@
 """ALU semantics tests: fixed cases plus property tests against a Python oracle."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.isa.instruction import Instruction

@@ -1,6 +1,5 @@
 """Executor tests for memory, control-flow, CSR, system and atomic instructions."""
 
-import pytest
 
 from repro.isa import csr as csrdefs
 from repro.isa.exceptions import TrapCause

@@ -1,6 +1,5 @@
 """Tests for the golden model's program run loop."""
 
-import pytest
 
 from repro.isa import csr as csrdefs
 from repro.isa.exceptions import TrapCause

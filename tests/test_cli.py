@@ -54,6 +54,57 @@ class TestParser:
                 main(["ablation", "arms", "--tests", "6", "--trials", "1",
                       "--workers", workers])
 
+    def test_backend_flags_parse(self):
+        args = build_parser().parse_args(
+            ["table1", "--backend", "distributed", "--queue", "spool",
+             "--stop-workers", "--batch-size", "8", "--cache-entries", "512"])
+        assert args.backend == "distributed"
+        assert args.queue == "spool"
+        assert args.stop_workers
+        assert args.batch_size == 8
+        assert args.cache_entries == 512
+
+    def test_distributed_requires_queue(self):
+        with pytest.raises(SystemExit, match="--queue"):
+            main(["ablation", "arms", "--tests", "6", "--trials", "1",
+                  "--backend", "distributed"])
+
+    def test_queue_requires_distributed_backend(self):
+        with pytest.raises(SystemExit, match="--backend distributed"):
+            main(["ablation", "arms", "--tests", "6", "--trials", "1",
+                  "--queue", "spool"])
+
+    def test_distributed_rejects_pool_recycling_flag(self):
+        with pytest.raises(SystemExit, match="worker --max-tasks"):
+            main(["ablation", "arms", "--tests", "6", "--trials", "1",
+                  "--backend", "distributed", "--queue", "spool",
+                  "--max-tasks-per-child", "8"])
+
+    def test_negative_batch_size_rejected_up_front(self):
+        with pytest.raises(SystemExit, match="--batch-size"):
+            main(["ablation", "arms", "--tests", "6", "--trials", "1",
+                  "--batch-size", "-2"])
+
+    def test_nonpositive_cache_entries_rejected_up_front(self):
+        with pytest.raises(SystemExit, match="--cache-entries"):
+            main(["ablation", "arms", "--tests", "6", "--trials", "1",
+                  "--cache-entries", "0"])
+
+    def test_serial_backend_rejects_workers(self):
+        with pytest.raises(SystemExit, match="incompatible"):
+            main(["ablation", "arms", "--tests", "6", "--trials", "1",
+                  "--backend", "serial", "--workers", "3"])
+
+    def test_worker_command_parses(self):
+        args = build_parser().parse_args(
+            ["worker", "--queue", "spool", "--max-tasks", "3",
+             "--worker-id", "w7", "--poll-interval", "0.5"])
+        assert args.queue == "spool"
+        assert args.max_tasks == 3
+        assert args.worker_id == "w7"
+        with pytest.raises(SystemExit):  # --queue is required
+            build_parser().parse_args(["worker"])
+
 
 class TestCommands:
     def test_list(self, capsys):
