@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Render a pytest-cov JSON report as a Markdown table and gate on a threshold.
+
+CI runs the fast suite with ``--cov=repro --cov-report=json:coverage.json``
+and then::
+
+    python benchmarks/coverage_summary.py \
+        --json coverage.json --fail-under 80 >> "$GITHUB_STEP_SUMMARY"
+
+The table groups files by top-level package (``repro.isa``, ``repro.exec``
+...), which is the granularity a reviewer actually scans; the exit code
+enforces the repo-wide line-coverage floor so the job fails loudly instead
+of letting coverage rot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+
+def package_of(path: str) -> str:
+    """``src/repro/exec/engine.py`` -> ``repro.exec`` (files at the root: ``repro``)."""
+    parts = Path(path).parts
+    if "repro" not in parts:
+        return parts[0] if parts else path
+    index = parts.index("repro")
+    package = parts[index:index + 2]
+    if len(package) == 2 and package[1].endswith(".py"):
+        return "repro"
+    return ".".join(package)
+
+
+def summarize(report: dict) -> list:
+    """Per-package (name, covered, statements, percent) rows, sorted by name."""
+    grouped = defaultdict(lambda: [0, 0])
+    for path, data in report.get("files", {}).items():
+        summary = data["summary"]
+        bucket = grouped[package_of(path)]
+        bucket[0] += summary["covered_lines"]
+        bucket[1] += summary["num_statements"]
+    rows = []
+    for name in sorted(grouped):
+        covered, statements = grouped[name]
+        percent = 100.0 * covered / statements if statements else 100.0
+        rows.append((name, covered, statements, percent))
+    return rows
+
+
+def render_markdown(report: dict, fail_under: float) -> str:
+    totals = report["totals"]
+    total_percent = float(totals["percent_covered"])
+    status = "✅" if total_percent >= fail_under else "❌"
+    lines = [
+        "## Line coverage",
+        "",
+        f"**Total: {total_percent:.1f}%** (threshold {fail_under:.0f}%) {status}",
+        "",
+        "| Package | Lines covered | Coverage |",
+        "| --- | ---: | ---: |",
+    ]
+    for name, covered, statements, percent in summarize(report):
+        lines.append(f"| `{name}` | {covered}/{statements} | {percent:.1f}% |")
+    lines.append(f"| **total** | {totals['covered_lines']}/"
+                 f"{totals['num_statements']} | {total_percent:.1f}% |")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", type=Path, required=True,
+                        help="coverage.json written by --cov-report=json")
+    parser.add_argument("--fail-under", type=float, default=0.0,
+                        help="exit non-zero when total line coverage is below "
+                             "this percentage")
+    args = parser.parse_args(argv)
+
+    report = json.loads(args.json.read_text())
+    print(render_markdown(report, args.fail_under))
+    total = float(report["totals"]["percent_covered"])
+    if total < args.fail_under:
+        print(f"coverage {total:.2f}% is below the {args.fail_under:.2f}% floor",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

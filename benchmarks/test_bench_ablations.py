@@ -9,6 +9,12 @@ Each sweep reports end-of-campaign coverage (and V5 detection where
 relevant) per setting on CVA6 with the UCB scheduler.
 """
 
+import pytest
+
+# Paper-experiment regeneration: minutes per run, excluded from
+# tier-1 by the `slow` marker (see pytest.ini).
+pytestmark = pytest.mark.slow
+
 from repro.harness.experiments import (
     run_alpha_ablation,
     run_arm_count_ablation,

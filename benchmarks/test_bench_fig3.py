@@ -7,6 +7,12 @@ or above the TheHuzz curve on CVA6 and Rocket, while on BOOM -- whose
 reachable space both fuzzers nearly saturate -- the curves converge.
 """
 
+import pytest
+
+# Paper-experiment regeneration: minutes per run, excluded from
+# tier-1 by the `slow` marker (see pytest.ini).
+pytestmark = pytest.mark.slow
+
 from repro.harness.experiments import figure3_series, run_coverage_study
 from repro.harness.figures import figure3_csv, render_figure3
 

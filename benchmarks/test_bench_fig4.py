@@ -8,6 +8,12 @@ gains on the hardest-to-cover core (CVA6) and the smallest on the nearly
 saturated BOOM, mirroring the paper.
 """
 
+import pytest
+
+# Paper-experiment regeneration: minutes per run, excluded from
+# tier-1 by the `slow` marker (see pytest.ini).
+pytestmark = pytest.mark.slow
+
 from repro.harness.experiments import figure4_summary, run_coverage_study
 from repro.harness.figures import figure4_csv
 from repro.harness.tables import render_figure4_table

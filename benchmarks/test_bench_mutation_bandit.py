@@ -6,6 +6,12 @@ paper proposes this avenue as future work; the benchmark quantifies it on
 the same substrate used for the headline results.
 """
 
+import pytest
+
+# Paper-experiment regeneration: minutes per run, excluded from
+# tier-1 by the `slow` marker (see pytest.ini).
+pytestmark = pytest.mark.slow
+
 from repro.harness.experiments import run_mutation_bandit_comparison
 from repro.harness.tables import render_ablation_table
 

@@ -9,6 +9,12 @@ vulnerabilities faster (speedup > 1), with the trivially-detected V5 as the
 paper-matching exception.
 """
 
+import pytest
+
+# Paper-experiment regeneration: minutes per run, excluded from
+# tier-1 by the `slow` marker (see pytest.ini).
+pytestmark = pytest.mark.slow
+
 from repro.harness.experiments import run_table1
 from repro.harness.tables import render_table1
 

@@ -136,3 +136,32 @@ def test_campaign_grid_batched_bug_sweep_throughput(benchmark):
     assert summary["specs"] == 3
     assert summary["trials_completed"] == 6
     assert summary["tests_executed"] == 6 * 120
+
+
+# ----------------------------------------------------------- trap/CSR workload
+# The trap-scenario campaign: mixed user/trap arms under the "csr" coverage
+# model (docs/coverage.md).  Tracks what the richer coverage signal costs
+# per campaign -- the CSR-transition tracker rides the observe-commit hot
+# path -- and gives the CI regression gate a number for the new workload.
+def _trap_specs():
+    seed = next(_GRID_SEEDS)
+    return [
+        CampaignSpec(processor=processor, fuzzer="mabfuzz:ucb", num_tests=120,
+                     trials=2, seed=seed, bugs=[],
+                     fuzzer_config=FuzzerConfig(num_seeds=4, mutants_per_test=2,
+                                                scenario="mixed"),
+                     coverage_model="csr")
+        for processor in ("cva6", "rocket")
+    ]
+
+
+def test_trap_scenario_campaign_throughput(benchmark):
+    trialsets = benchmark.pedantic(
+        lambda: run_grid(_trap_specs(), backend=SerialBackend()),
+        rounds=2, iterations=1)
+    summary = grid_summary(trialsets)
+    assert summary["specs"] == 2
+    assert summary["trials_completed"] == 4
+    assert summary["tests_executed"] == 4 * 120
+    results = [r for ts in trialsets for r in ts.completed_results()]
+    assert any(r.metadata["csr_transition_points"] > 0 for r in results)

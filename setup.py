@@ -13,10 +13,11 @@ from setuptools import find_packages, setup
 
 setup(
     name="mabfuzz-repro",
-    version="0.3.0",
+    version="0.4.0",
     description=("Reproduction of MABFuzz: multi-armed-bandit scheduling "
                  "for hardware fuzzing, with a parallel/distributed "
-                 "campaign execution engine"),
+                 "campaign execution engine and trap/CSR-transition "
+                 "coverage scenarios"),
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.11",
@@ -33,6 +34,11 @@ setup(
         ],
         "lint": [
             "ruff==0.12.5",
+        ],
+        # Only the CI coverage job needs the plugin; keeping it out of
+        # [test] keeps the other jobs' environments byte-identical.
+        "cov": [
+            "pytest-cov==7.0.0",
         ],
     },
     entry_points={

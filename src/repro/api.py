@@ -45,12 +45,16 @@ def available_fuzzers() -> Tuple[str, ...]:
     return _FUZZER_NAMES
 
 
-def make_processor(name: str, bugs=None, config=None) -> DutModel:
+def make_processor(name: str, bugs=None, config=None,
+                   coverage_model: str = "base") -> DutModel:
     """Build a processor model by name (``"cva6"``, ``"rocket"``, ``"boom"``).
 
     ``bugs=None`` injects the paper's default vulnerabilities for that core.
+    ``coverage_model="csr"`` additionally tracks CSR value-class transitions
+    (see docs/coverage.md).
     """
-    return make_dut(name, config=config, bugs=bugs)
+    return make_dut(name, config=config, bugs=bugs,
+                    coverage_model=coverage_model)
 
 
 def make_fuzzer(name: str,
@@ -86,9 +90,10 @@ def quick_campaign(processor: str = "cva6",
                    seed: Optional[int] = 0,
                    bugs=None,
                    fuzzer_config: Optional[FuzzerConfig] = None,
-                   mab_config: Optional[MABFuzzConfig] = None) -> FuzzCampaignResult:
+                   mab_config: Optional[MABFuzzConfig] = None,
+                   coverage_model: str = "base") -> FuzzCampaignResult:
     """Run a small end-to-end fuzzing campaign and return its result."""
-    dut = make_processor(processor, bugs=bugs)
+    dut = make_processor(processor, bugs=bugs, coverage_model=coverage_model)
     fuzz = make_fuzzer(fuzzer, dut, fuzzer_config=fuzzer_config,
                        mab_config=mab_config, rng=seed)
     return fuzz.run(num_tests)

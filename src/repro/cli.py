@@ -6,6 +6,7 @@ Installed as the ``mabfuzz`` console script::
     mabfuzz fuzz --processor cva6 --fuzzer mabfuzz:ucb --tests 500
     mabfuzz table1 --tests 800 --trials 2         # Table I reproduction
     mabfuzz coverage --tests 500 --trials 2       # Fig. 3 + Fig. 4 reproduction
+    mabfuzz trapcov --tests 400 --trials 2        # trap/CSR-transition study
     mabfuzz ablation gamma --tests 300            # ablation sweeps
     mabfuzz report --workers 4 --resume grid.jsonl   # parallel + resumable
     mabfuzz worker --queue spool/                 # serve a distributed queue
@@ -37,6 +38,7 @@ from repro.exec import (
 from repro.fuzzing.base import FuzzerConfig
 from repro.harness.experiments import (
     ExperimentConfig,
+    TRAP_SCENARIOS,
     figure3_series,
     figure4_summary,
     run_alpha_ablation,
@@ -44,6 +46,7 @@ from repro.harness.experiments import (
     run_coverage_study,
     run_gamma_ablation,
     run_table1,
+    run_trap_coverage_study,
 )
 from repro.harness.figures import render_figure3
 from repro.harness.report import build_experiments_report
@@ -51,7 +54,10 @@ from repro.harness.tables import (
     render_ablation_table,
     render_figure4_table,
     render_table1,
+    render_trap_coverage_table,
 )
+from repro.coverage.csr_transitions import COVERAGE_MODELS
+from repro.isa.scenarios import SCENARIOS
 from repro.rtl.bugs import BUGS_BY_ID
 
 
@@ -147,9 +153,14 @@ def _cmd_fuzz(args) -> int:
         num_tests=args.tests,
         seed=args.seed,
         fuzzer_config=FuzzerConfig(num_seeds=args.seeds,
-                                   mutants_per_test=args.mutants),
+                                   mutants_per_test=args.mutants,
+                                   scenario=args.scenario),
+        coverage_model=args.coverage_model,
     )
     lines = [result.summary()]
+    if args.coverage_model == "csr":
+        lines.append(f"  csr transitions covered: "
+                     f"{result.metadata.get('csr_transition_points', 0)}")
     for bug_id, detection in sorted(result.bug_detections.items()):
         lines.append(f"  {bug_id}: detected after {detection.tests_to_detection} tests")
     _emit("\n".join(lines), args.output)
@@ -183,6 +194,16 @@ def _cmd_report(args) -> int:
                                     notes=f"Scaled runs: {args.tests} tests x "
                                           f"{args.trials} trials per campaign.")
     _emit(text, args.output)
+    return 0
+
+
+def _cmd_trapcov(args) -> int:
+    config = _experiment_config(args, algorithms=(args.algorithm,),
+                                processors=args.processors)
+    study = run_trap_coverage_study(config, engine=_engine(args),
+                                    algorithm=args.algorithm,
+                                    scenarios=tuple(args.scenarios))
+    _emit(render_trap_coverage_table(study), args.output)
     return 0
 
 
@@ -282,6 +303,13 @@ def build_parser() -> argparse.ArgumentParser:
                              choices=available_processors())
     fuzz_parser.add_argument("--fuzzer", default="mabfuzz:ucb",
                              choices=available_fuzzers())
+    fuzz_parser.add_argument("--scenario", default="user", choices=SCENARIOS,
+                             help="seed workload family: user-level, "
+                                  "trap/CSR scenarios, or an alternating mix")
+    fuzz_parser.add_argument("--coverage-model", default="base",
+                             choices=COVERAGE_MODELS,
+                             help="'csr' adds CSR-transition coverage points "
+                                  "(docs/coverage.md)")
     _add_common_campaign_arguments(fuzz_parser)
     fuzz_parser.set_defaults(func=_cmd_fuzz)
 
@@ -307,6 +335,22 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_campaign_arguments(report_parser)
     _add_execution_arguments(report_parser)
     report_parser.set_defaults(func=_cmd_report)
+
+    trapcov_parser = subparsers.add_parser(
+        "trapcov", help="trap/CSR scenario study: CSR-transition coverage "
+                        "per seed scenario")
+    trapcov_parser.add_argument("--processors", nargs="+",
+                                default=["cva6", "rocket", "boom"],
+                                choices=["cva6", "rocket", "boom"])
+    trapcov_parser.add_argument("--algorithm", default="ucb",
+                                choices=("egreedy", "ucb", "exp3"))
+    trapcov_parser.add_argument("--scenarios", nargs="+",
+                                default=list(TRAP_SCENARIOS),
+                                choices=list(SCENARIOS),
+                                help="seed scenarios to compare")
+    _add_common_campaign_arguments(trapcov_parser)
+    _add_execution_arguments(trapcov_parser)
+    trapcov_parser.set_defaults(func=_cmd_trapcov)
 
     ablation_parser = subparsers.add_parser("ablation", help="run an ablation sweep")
     ablation_parser.add_argument("which", choices=sorted(_ABLATIONS))

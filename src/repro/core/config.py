@@ -8,7 +8,7 @@ reset threshold γ = 3, EXP3 learning rate η = 0.1.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
 
 @dataclass(frozen=True)
@@ -30,6 +30,11 @@ class MABFuzzConfig:
             pull (the fuzzer's objective); ``"local"`` monitors arm-locally
             new points.
         arm_pool_max: cap on each arm's pending-test pool.
+        reward_weights: optional ``dotted-prefix -> weight`` table applied
+            to coverage points inside the reward (longest-prefix match,
+            unmatched points weigh 1.0); ``None`` reproduces the paper's
+            pure counts.  Used to weight the CSR-transition family above
+            plain hit-set points (see docs/coverage.md).
     """
 
     num_arms: int = 10
@@ -40,6 +45,7 @@ class MABFuzzConfig:
     ucb_exploration: float = 1.0
     saturation_metric: str = "global"
     arm_pool_max: Optional[int] = 128
+    reward_weights: Optional[Dict[str, float]] = None
 
     def __post_init__(self) -> None:
         if self.num_arms < 1:
@@ -56,3 +62,8 @@ class MABFuzzConfig:
             raise ValueError("saturation_metric must be 'global' or 'local'")
         if self.arm_pool_max is not None and self.arm_pool_max < 1:
             raise ValueError("arm_pool_max must be >= 1 or None")
+        if self.reward_weights is not None:
+            for prefix, weight in self.reward_weights.items():
+                if weight < 0.0:
+                    raise ValueError(
+                        f"reward weight for {prefix!r} must be non-negative")

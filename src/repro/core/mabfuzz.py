@@ -58,7 +58,8 @@ class MABFuzz(Fuzzer):
         self.scheduler = MABScheduler(
             bandit=self.bandit,
             arms=self.arms,
-            reward=RewardComputer(self.mab_config.alpha),
+            reward=RewardComputer(self.mab_config.alpha,
+                                  point_weights=self.mab_config.reward_weights),
             monitor=SaturationMonitor(self.mab_config.gamma),
             seed_provider=self.seed_generator.generate,
             saturation_metric=self.mab_config.saturation_metric,

@@ -11,21 +11,38 @@ subset of the global history, ``cov_G ⊆ cov_L`` always holds, and with the
 paper's α = 0.25 a globally-new point contributes α + (1 - α) = 1.0 while an
 arm-only-new point contributes α = 0.25 -- i.e. globally-new points are
 worth 3x more ((1)/(0.25) − … as the paper phrases it, "3x importance").
+
+Coverage-point *weights* extend the formula for richer coverage models:
+``|cov|`` generalises to ``Σ w(p)`` over the new points, where ``w`` is
+resolved per point by longest dotted-prefix match against a weight table
+(``{"csr.mcause": 3.0, "trap": 2.0}``).  With no table configured every
+weight is 1.0 and the reward collapses to the paper's counts exactly.
+The CSR-transition coverage family (``csr.<reg>.<old>-><new>``, see
+docs/coverage.md) is the intended consumer: weighting it above the hit-set
+families steers the bandit toward arms that move the privileged state
+machine, not just arms that touch new decode points.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, Set
+from typing import FrozenSet, Iterable, Mapping, Optional, Set
 
 
 @dataclass(frozen=True)
 class RewardBreakdown:
-    """The reward of one pull, together with its coverage components."""
+    """The reward of one pull, together with its coverage components.
+
+    ``local_value`` / ``global_value`` hold the *weighted* sums when the
+    computer was configured with point weights; ``None`` means unweighted
+    (the value falls back to the plain counts).
+    """
 
     local_new: FrozenSet[str]
     global_new: FrozenSet[str]
     alpha: float
+    local_value: Optional[float] = None
+    global_value: Optional[float] = None
 
     @property
     def local_count(self) -> int:
@@ -37,18 +54,58 @@ class RewardBreakdown:
 
     @property
     def value(self) -> float:
-        """R_t(a) = α |cov_L| + (1 − α) |cov_G|."""
-        return self.alpha * self.local_count + (1.0 - self.alpha) * self.global_count
+        """R_t(a) = α Σw(cov_L) + (1 − α) Σw(cov_G) (weights default to 1)."""
+        local = self.local_count if self.local_value is None else self.local_value
+        global_ = (self.global_count if self.global_value is None
+                   else self.global_value)
+        return self.alpha * local + (1.0 - self.alpha) * global_
 
 
 class RewardComputer:
-    """Computes the MABFuzz reward from per-test coverage observations."""
+    """Computes the MABFuzz reward from per-test coverage observations.
 
-    def __init__(self, alpha: float = 0.25) -> None:
+    Args:
+        alpha: weight of arm-locally new coverage (the paper's α).
+        point_weights: optional ``dotted-prefix -> weight`` table.  A
+            point's weight is the entry with the longest matching prefix
+            (``"csr.mcause"`` beats ``"csr"`` for ``csr.mcause.none->...``);
+            unmatched points weigh 1.0.
+    """
+
+    def __init__(self, alpha: float = 0.25,
+                 point_weights: Optional[Mapping[str, float]] = None) -> None:
         if not 0.0 <= alpha <= 1.0:
             raise ValueError("alpha must be in [0, 1]")
         self.alpha = alpha
+        if point_weights:
+            for prefix, weight in point_weights.items():
+                if weight < 0.0:
+                    raise ValueError(
+                        f"point weight for {prefix!r} must be non-negative")
+            self.point_weights = dict(point_weights)
+        else:
+            self.point_weights = None
 
+    # ------------------------------------------------------------------ weights
+    def point_weight(self, point: str) -> float:
+        """Weight of one coverage point (longest dotted-prefix match)."""
+        weights = self.point_weights
+        if weights is None:
+            return 1.0
+        prefix = point
+        while True:
+            weight = weights.get(prefix)
+            if weight is not None:
+                return weight
+            cut = prefix.rfind(".")
+            if cut < 0:
+                return 1.0
+            prefix = prefix[:cut]
+
+    def _weighted_sum(self, points: Iterable[str]) -> float:
+        return sum(self.point_weight(point) for point in points)
+
+    # ------------------------------------------------------------------ compute
     def compute(self,
                 arm_coverage: Set[str],
                 test_coverage: Iterable[str],
@@ -64,5 +121,11 @@ class RewardComputer:
         test_points = set(test_coverage)
         local_new = frozenset(test_points - arm_coverage)
         global_new = frozenset(global_new_points) & local_new
-        return RewardBreakdown(local_new=local_new, global_new=global_new,
-                               alpha=self.alpha)
+        if self.point_weights is None:
+            return RewardBreakdown(local_new=local_new, global_new=global_new,
+                                   alpha=self.alpha)
+        return RewardBreakdown(
+            local_new=local_new, global_new=global_new, alpha=self.alpha,
+            local_value=self._weighted_sum(local_new),
+            global_value=self._weighted_sum(global_new),
+        )

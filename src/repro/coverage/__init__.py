@@ -9,6 +9,15 @@ coverage is the set of points its execution hit.
 from repro.coverage.points import coverage_point, parse_point
 from repro.coverage.map import CoverageMap
 from repro.coverage.collector import CoverageCollector
+from repro.coverage.csr_transitions import (
+    COVERAGE_MODELS,
+    CsrTransitionTracker,
+    count_transition_points,
+    is_transition_point,
+    transition_point,
+    transition_space,
+    transitions_of_records,
+)
 from repro.coverage.database import CoverageDatabase, CoverageSample
 
 __all__ = [
@@ -16,6 +25,13 @@ __all__ = [
     "parse_point",
     "CoverageMap",
     "CoverageCollector",
+    "COVERAGE_MODELS",
+    "CsrTransitionTracker",
+    "count_transition_points",
+    "is_transition_point",
+    "transition_point",
+    "transition_space",
+    "transitions_of_records",
     "CoverageDatabase",
     "CoverageSample",
 ]

@@ -1,0 +1,225 @@
+"""ProcessorFuzz-style CSR-transition coverage.
+
+Hit-set coverage (the ``decode.*``/``alu.*``/... families) says *where* a
+test went; it says nothing about how the privileged state machine moved.
+ProcessorFuzz's observation is that the sequence of *value-class
+transitions* of the control CSRs (mcause, mepc, mtval, mstatus ...) is the
+signal that separates trap-reaching stimuli from straight-line user code,
+so this module adds exactly that as a coverage family:
+
+* every tracked CSR has a small, total *classifier* mapping its 64-bit
+  value onto a handful of semantic classes (trap-cause names for mcause,
+  address regions for mepc/mtval, zero/non-zero for the mask registers),
+* a coverage point is one observed class change, named
+  ``csr.<reg>.<old-class>-><new-class>`` via the normal
+  :func:`~repro.coverage.points.coverage_point` scheme, and
+* the space is the full set of ordered class pairs per register, so the
+  usual "emitted ⊆ enumerated" property tests apply unchanged.
+
+Transitions are a pure function of the architectural commit trace: the
+:class:`CsrTransitionTracker` consumes :class:`~repro.sim.trace.
+CommitRecord` objects one by one (this is how the DUT harness emits them,
+see :meth:`repro.rtl.harness.DutExecutor._observe_commit`), and
+:func:`transitions_of_records` replays a finished golden trace through the
+same tracker -- which is what lets tests assert that a defect-free DUT
+emits exactly the transitions derivable from the golden commit records.
+
+Like the other emission helpers, the tracker returns *shared memoised
+tuples*, so observing a commit allocates nothing on the hot path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional, Set, Tuple
+
+from repro.coverage.points import coverage_point
+from repro.isa import csr as csrdefs
+from repro.isa.exceptions import TrapCause
+from repro.sim.memory import DEFAULT_LAYOUT, MemoryLayout
+from repro.sim.trace import CommitRecord
+from repro.utils.bits import MASK64
+
+#: coverage-model names accepted by the DUT models / campaign specs.
+COVERAGE_MODELS = ("base", "csr")
+
+#: reset value of mstatus (MPP = M); mirrored from repro.sim.state to keep
+#: the classifier self-contained (the two are pinned together by a test).
+_MSTATUS_RESET = 0x0000_0000_0000_1800
+
+#: mcause value -> class name for every architecturally producible cause.
+_CAUSE_CLASSES: Dict[int, str] = {
+    int(cause): cause.name.lower() for cause in TrapCause
+}
+
+
+def _classify_cause(value: int, layout: MemoryLayout) -> str:
+    """mcause classes: one per trap cause, ``other`` for software-written junk.
+
+    The reset value 0 shares INSTRUCTION_ADDRESS_MISALIGNED's class (both
+    are the value 0; a classifier is a function of the value alone).
+    """
+    return _CAUSE_CLASSES.get(value, "other")
+
+
+def _classify_address(value: int, layout: MemoryLayout) -> str:
+    """Region classes for address-carrying CSRs (mepc, mtval)."""
+    if value == 0:
+        return "zero"
+    if layout.dram_base <= value < layout.data_base:
+        return "code"
+    if layout.data_base <= value < layout.dram_end:
+        return "data"
+    return "outside"
+
+
+def _classify_mstatus(value: int, layout: MemoryLayout) -> str:
+    if value == _MSTATUS_RESET:
+        return "reset"
+    return "zero" if value == 0 else "other"
+
+
+def _classify_zero(value: int, layout: MemoryLayout) -> str:
+    return "zero" if value == 0 else "nonzero"
+
+
+_Classifier = Callable[[int, MemoryLayout], str]
+
+#: tracked CSR -> (class enumeration, classifier).  The enumeration and the
+#: classifier range must agree -- the property tests assert emitted ⊆ space.
+TRACKED_CSRS: Dict[int, Tuple[Tuple[str, ...], _Classifier]] = {
+    csrdefs.MCAUSE: (tuple(sorted(set(_CAUSE_CLASSES.values()))) + ("other",),
+                     _classify_cause),
+    csrdefs.MEPC: (("zero", "code", "data", "outside"), _classify_address),
+    csrdefs.MTVAL: (("zero", "code", "data", "outside"), _classify_address),
+    csrdefs.MSTATUS: (("reset", "zero", "other"), _classify_mstatus),
+    csrdefs.MTVEC: (("zero", "nonzero"), _classify_zero),
+    csrdefs.MSCRATCH: (("zero", "nonzero"), _classify_zero),
+    csrdefs.MIE: (("zero", "nonzero"), _classify_zero),
+    csrdefs.MIP: (("zero", "nonzero"), _classify_zero),
+}
+
+#: marker that distinguishes transition points from the csr read/write
+#: family sharing the ``csr.`` module prefix.
+TRANSITION_MARKER = "->"
+
+
+def transition_point(csr_address: int, old_class: str, new_class: str) -> str:
+    """The canonical name of one CSR class transition."""
+    return coverage_point("csr", csrdefs.csr_name(csr_address),
+                          f"{old_class}{TRANSITION_MARKER}{new_class}")
+
+
+def transition_space() -> Set[str]:
+    """Every enumerable transition point: ordered class pairs per CSR."""
+    points: Set[str] = set()
+    for address, (classes, _) in TRACKED_CSRS.items():
+        for old_class in classes:
+            for new_class in classes:
+                if old_class != new_class:
+                    points.add(transition_point(address, old_class, new_class))
+    return points
+
+
+def is_transition_point(point: str) -> bool:
+    """Whether ``point`` belongs to the CSR-transition family."""
+    return point.startswith("csr.") and TRANSITION_MARKER in point
+
+
+def count_transition_points(points: Iterable[str]) -> int:
+    """Number of CSR-transition points in ``points``."""
+    return sum(1 for point in points if is_transition_point(point))
+
+
+#: (csr address, old class, new class) -> shared 1-tuple of the point name.
+_POINT_MEMO: Dict[Tuple[int, str, str], Tuple[str, ...]] = {}
+
+_NO_POINTS: Tuple[str, ...] = ()
+
+
+class CsrTransitionTracker:
+    """Tracks CSR value classes across one program run, emitting transitions.
+
+    The tracker starts from the architectural reset classes and consumes
+    commit records in order.  Two kinds of commits move tracked CSRs:
+
+    * a trapping commit updates mcause/mepc/mtval (the executor's
+      ``_commit_trap`` semantics, with the faulting ``tval`` carried on the
+      record), and
+    * an explicit CSR write commit (``csr_addr``/``csr_value``) updates
+      whichever CSR the instruction addressed, including direct software
+      writes to mcause/mepc/mtval themselves.
+
+    A commit can therefore emit up to three transition points (a trap that
+    moves all three trap CSRs across class boundaries), and usually emits
+    none -- the common straight-line case is a few dict reads.
+    """
+
+    __slots__ = ("_layout", "_classes")
+
+    def __init__(self, layout: MemoryLayout = DEFAULT_LAYOUT) -> None:
+        self._layout = layout
+        self._classes: Dict[int, str] = {}
+        self.reset()
+
+    def reset(self) -> None:
+        """Return every tracked CSR to its architectural reset class."""
+        layout = self._layout
+        self._classes = {
+            address: classifier(_MSTATUS_RESET if address == csrdefs.MSTATUS else 0,
+                                layout)
+            for address, (_, classifier) in TRACKED_CSRS.items()
+        }
+
+    def current_class(self, csr_address: int) -> Optional[str]:
+        """The current class of ``csr_address`` (``None`` if untracked)."""
+        return self._classes.get(csr_address)
+
+    # ------------------------------------------------------------------ observe
+    def _move(self, address: int, value: int) -> Optional[Tuple[str, ...]]:
+        entry = TRACKED_CSRS.get(address)
+        if entry is None:
+            return None
+        new_class = entry[1](value & MASK64, self._layout)
+        old_class = self._classes[address]
+        if new_class == old_class:
+            return None
+        self._classes[address] = new_class
+        key = (address, old_class, new_class)
+        points = _POINT_MEMO.get(key)
+        if points is None:
+            points = _POINT_MEMO[key] = (
+                transition_point(address, old_class, new_class),)
+        return points
+
+    def observe(self, record: CommitRecord) -> Tuple[str, ...]:
+        """Transition points produced by one commit (possibly empty)."""
+        if record.trap is not None:
+            emitted = []
+            for address, value in ((csrdefs.MCAUSE, int(record.trap)),
+                                   (csrdefs.MEPC, record.pc),
+                                   (csrdefs.MTVAL, record.trap_tval or 0)):
+                moved = self._move(address, value)
+                if moved is not None:
+                    emitted.extend(moved)
+            return tuple(emitted) if emitted else _NO_POINTS
+        if record.csr_addr is not None and record.csr_value is not None:
+            moved = self._move(record.csr_addr, record.csr_value)
+            if moved is not None:
+                return moved
+        return _NO_POINTS
+
+
+def transitions_of_records(records: Iterable[CommitRecord],
+                           layout: MemoryLayout = DEFAULT_LAYOUT) -> Set[str]:
+    """Replay a commit trace; return the set of transition points it produces.
+
+    This is the golden-trace collection path: the commit records of a
+    :class:`~repro.sim.trace.ExecutionResult` (golden *or* DUT) fully
+    determine the CSR transitions, so coverage can be derived after the
+    fact from any stored trace.
+    """
+    tracker = CsrTransitionTracker(layout)
+    covered: Set[str] = set()
+    for record in records:
+        covered.update(tracker.observe(record))
+    return covered

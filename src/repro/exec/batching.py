@@ -68,13 +68,13 @@ def batch_key(task: TrialTask) -> Tuple:
     """Cache-locality key: tasks sharing it warm each other's caches.
 
     The DUT-run cache is keyed on the full DUT identity, so only tasks
-    with the same (processor, bug set) can serve each other's DUT runs;
-    the shared golden cache is keyed on the executor config, which those
-    tasks share too.
+    with the same (processor, bug set, coverage model) can serve each
+    other's DUT runs; the shared golden cache is keyed on the executor
+    config, which those tasks share too.
     """
     spec = task.spec
     bugs = tuple(sorted(spec.bugs)) if spec.bugs is not None else None
-    return (spec.processor, bugs)
+    return (spec.processor, bugs, spec.coverage_model)
 
 
 def plan_batches(tasks: Sequence[TrialTask],

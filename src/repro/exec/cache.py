@@ -49,11 +49,13 @@ class DutRunCache(KeyedRunCache):
 
         The bug set is part of the key (sorted ids), so one worker can
         interleave trials against differently-bugged instances of the same
-        core without cross-talk.
+        core without cross-talk.  The coverage model is part of the DUT
+        identity too: a ``"csr"`` run's coverage set is a strict superset
+        of the ``"base"`` run's, so the two must never serve each other.
         """
         return (program.fingerprint(), step_limit, dut.name, dut.config,
                 tuple(sorted(bug.bug_id for bug in dut.bugs)),
-                dut.executor_config, dut.layout)
+                dut.executor_config, dut.layout, dut.coverage_model)
 
     def get_or_run(self, dut: DutModel, program: TestProgram,
                    max_steps: Optional[int] = None) -> DutRunResult:

@@ -17,8 +17,9 @@ from typing import Dict, Optional
 from repro.fuzzing.mutation import MutationEngine
 from repro.fuzzing.results import FuzzCampaignResult, TestOutcome
 from repro.fuzzing.session import FuzzSession
-from repro.isa.generator import GeneratorConfig, SeedGenerator
+from repro.isa.generator import GeneratorConfig
 from repro.isa.program import TestProgram
+from repro.isa.scenarios import SCENARIOS, make_seed_provider
 from repro.rtl.harness import DutModel
 from repro.utils.rng import derive_rng, make_rng
 
@@ -34,6 +35,10 @@ class FuzzerConfig:
         generator_config: configuration of the random seed generator.
         mutation_weights: overrides for the static mutation-operator weights.
         max_program_steps: per-test execution step limit (``None`` = model default).
+        scenario: seed workload family -- ``"user"`` (the historical random
+            user-level seeds), ``"trap"`` (trap/CSR scenario seeds from
+            :mod:`repro.isa.scenarios`) or ``"mixed"`` (alternating, so
+            MABFuzz arms split between the two families).
     """
 
     num_seeds: int = 10
@@ -41,12 +46,15 @@ class FuzzerConfig:
     generator_config: Optional[GeneratorConfig] = None
     mutation_weights: Optional[Dict[str, float]] = None
     max_program_steps: Optional[int] = None
+    scenario: str = "user"
 
     def __post_init__(self) -> None:
         if self.num_seeds < 1:
             raise ValueError("num_seeds must be >= 1")
         if self.mutants_per_test < 1:
             raise ValueError("mutants_per_test must be >= 1")
+        if self.scenario not in SCENARIOS:
+            raise ValueError(f"scenario must be one of {SCENARIOS}")
 
 
 class Fuzzer(abc.ABC):
@@ -61,8 +69,12 @@ class Fuzzer(abc.ABC):
         self.config = config or FuzzerConfig()
         self.rng = make_rng(rng)
         self.session = FuzzSession(dut)
-        self.seed_generator = SeedGenerator(
-            self.config.generator_config, derive_rng(self.rng, "seeds"))
+        # For scenario="user" this builds the exact SeedGenerator the
+        # fuzzers always used (same derived rng), so historical campaigns
+        # stay bit-identical.
+        self.seed_generator = make_seed_provider(
+            self.config.scenario, self.config.generator_config,
+            derive_rng(self.rng, "seeds"))
         self.mutation_engine = MutationEngine(
             weights=self.config.mutation_weights,
             generator_config=self.config.generator_config,
@@ -122,5 +134,9 @@ class Fuzzer(abc.ABC):
         """Fuzzer-specific metadata attached to campaign results."""
         return {"num_seeds": self.config.num_seeds,
                 "mutants_per_test": self.config.mutants_per_test,
+                "scenario": self.config.scenario,
+                "coverage_model": self.dut.coverage_model,
+                "csr_transition_points": self.session.csr_transition_count,
+                "trap_points": self.session.trap_point_count,
                 "golden_cache_hits": self.session.golden_cache_hits,
                 "golden_cache_misses": self.session.golden_cache_misses}

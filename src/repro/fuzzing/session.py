@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, List, Optional
 
+from repro.coverage.csr_transitions import count_transition_points
 from repro.coverage.database import CoverageDatabase
 from repro.fuzzing.differential import DifferentialTester
 from repro.fuzzing.results import BugDetection, TestOutcome
@@ -93,6 +94,17 @@ class FuzzSession:
     @property
     def total_points(self) -> int:
         return len(self.coverage_db.space or ())
+
+    @property
+    def csr_transition_count(self) -> int:
+        """Covered CSR-transition points (0 under the base coverage model)."""
+        return count_transition_points(self.coverage_db.covered)
+
+    @property
+    def trap_point_count(self) -> int:
+        """Covered points of the ``trap.*`` family (trap-reaching evidence)."""
+        return sum(1 for point in self.coverage_db.covered
+                   if point.startswith("trap."))
 
     @property
     def golden_cache_hits(self) -> int:

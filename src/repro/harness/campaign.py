@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.api import make_fuzzer, make_processor
 from repro.core.config import MABFuzzConfig
+from repro.coverage.csr_transitions import COVERAGE_MODELS
 from repro.fuzzing.base import FuzzerConfig
 from repro.fuzzing.results import FuzzCampaignResult
 from repro.isa.encoding import InstrClass
@@ -44,8 +45,11 @@ class CampaignSpec:
         trials: number of repeated trials.
         seed: base RNG seed; trial ``i`` uses :func:`trial_seed`.
         bugs: bug ids to inject (``None`` = the paper's defaults for the DUT).
-        fuzzer_config: shared fuzzer configuration.
+        fuzzer_config: shared fuzzer configuration (incl. the seed
+            ``scenario``: user / trap / mixed workloads).
         mab_config: MABFuzz configuration (ignored by non-MAB fuzzers).
+        coverage_model: DUT coverage model -- ``"base"`` (hit sets only) or
+            ``"csr"`` (adds CSR-transition points, docs/coverage.md).
     """
 
     processor: str
@@ -56,12 +60,15 @@ class CampaignSpec:
     bugs: Optional[Sequence[str]] = None
     fuzzer_config: Optional[FuzzerConfig] = None
     mab_config: Optional[MABFuzzConfig] = None
+    coverage_model: str = "base"
 
     def __post_init__(self) -> None:
         if self.num_tests < 1:
             raise ValueError("num_tests must be >= 1")
         if self.trials < 1:
             raise ValueError("trials must be >= 1")
+        if self.coverage_model not in COVERAGE_MODELS:
+            raise ValueError(f"coverage_model must be one of {COVERAGE_MODELS}")
 
     def fingerprint(self) -> str:
         """Stable content hash of this spec (process-independent).
@@ -74,9 +81,23 @@ class CampaignSpec:
         regardless of how many trials the spec asks for (see
         :func:`trial_seed`), so re-running a grid with a *larger* trial
         count must still restore the trials already journaled.
+
+        Fields added after the wire format shipped (``coverage_model``,
+        ``FuzzerConfig.scenario``, ``MABFuzzConfig.reward_weights``) are
+        stripped at their default values, so a spec that does not use them
+        fingerprints exactly as it did before they existed -- journals
+        written by earlier versions keep resuming.
         """
         canonical = _canonical(self)
         del canonical["trials"]
+        if canonical.get("coverage_model") == "base":
+            del canonical["coverage_model"]
+        fuzzer_config = canonical.get("fuzzer_config")
+        if isinstance(fuzzer_config, dict) and fuzzer_config.get("scenario") == "user":
+            del fuzzer_config["scenario"]
+        mab_config = canonical.get("mab_config")
+        if isinstance(mab_config, dict) and mab_config.get("reward_weights") is None:
+            del mab_config["reward_weights"]
         payload = json.dumps(canonical, sort_keys=True, separators=(",", ":"))
         return hashlib.blake2b(payload.encode("utf-8"), digest_size=16).hexdigest()
 
@@ -102,6 +123,7 @@ class CampaignSpec:
             "bugs": list(self.bugs) if self.bugs is not None else None,
             "fuzzer_config": _fuzzer_config_to_dict(self.fuzzer_config),
             "mab_config": _mab_config_to_dict(self.mab_config),
+            "coverage_model": self.coverage_model,
         }
 
     @classmethod
@@ -117,6 +139,8 @@ class CampaignSpec:
             bugs=[str(bug) for bug in bugs] if bugs is not None else None,
             fuzzer_config=_fuzzer_config_from_dict(data.get("fuzzer_config")),
             mab_config=_mab_config_from_dict(data.get("mab_config")),
+            # Absent in payloads written before the trap/CSR subsystem.
+            coverage_model=str(data.get("coverage_model", "base")),
         )
 
 
@@ -184,6 +208,7 @@ def _fuzzer_config_to_dict(config: Optional[FuzzerConfig]
         "mutation_weights": (dict(config.mutation_weights)
                              if config.mutation_weights is not None else None),
         "max_program_steps": config.max_program_steps,
+        "scenario": config.scenario,
     }
 
 
@@ -200,6 +225,8 @@ def _fuzzer_config_from_dict(data: Optional[Dict[str, object]]
         mutation_weights=({str(op): float(w) for op, w in weights.items()}
                           if weights is not None else None),
         max_program_steps=int(steps) if steps is not None else None,
+        # Absent in payloads written before the trap/CSR subsystem.
+        scenario=str(data.get("scenario", "user")),
     )
 
 
@@ -315,7 +342,8 @@ def run_campaign(spec: CampaignSpec, trial_index: int = 0,
     """
     seed = trial_seed(spec, trial_index)
     with program_id_scope():  # ids restart at 0: results are process-independent
-        dut = make_processor(spec.processor, bugs=spec.bugs)
+        dut = make_processor(spec.processor, bugs=spec.bugs,
+                             coverage_model=spec.coverage_model)
         fuzzer = make_fuzzer(
             spec.fuzzer, dut,
             fuzzer_config=spec.fuzzer_config,

@@ -275,6 +275,69 @@ def run_arm_count_ablation(config: Optional[ExperimentConfig] = None,
     return _run_sweep(arm_counts, specs, engine)
 
 
+# ===================================================== trap/CSR coverage (E8)
+#: scenario mix evaluated by the trap-coverage experiment.
+TRAP_SCENARIOS: Tuple[str, ...] = ("user", "trap", "mixed")
+
+
+@dataclass
+class TrapCoverageStudy:
+    """The trap/CSR-transition coverage experiment.
+
+    For every processor and every seed scenario (user / trap / mixed) one
+    MABFuzz campaign runs under the ``"csr"`` coverage model, so the
+    results quantify how much of the CSR-transition space each workload
+    family reaches -- the coverage dimension the ProcessorFuzz line of work
+    showed separates trap-reaching inputs from plain user-level code.
+    """
+
+    config: ExperimentConfig
+    fuzzer: str
+    scenarios: Tuple[str, ...] = TRAP_SCENARIOS
+    trialsets: Dict[Tuple[str, str], TrialSet] = field(default_factory=dict)
+
+    def get(self, processor: str, scenario: str) -> TrialSet:
+        return self.trialsets[(processor, scenario)]
+
+    def mean_metadata(self, processor: str, scenario: str, key: str) -> float:
+        """Mean of one numeric metadata entry over completed trials."""
+        completed = self.get(processor, scenario).completed_results()
+        if not completed:
+            return 0.0
+        return sum(float(r.metadata.get(key, 0)) for r in completed) / len(completed)
+
+
+def run_trap_coverage_study(config: Optional[ExperimentConfig] = None,
+                            engine: Optional["CampaignEngine"] = None,
+                            algorithm: str = "ucb",
+                            scenarios: Sequence[str] = TRAP_SCENARIOS
+                            ) -> TrapCoverageStudy:
+    """E8: user vs trap vs mixed seed arms under CSR-transition coverage.
+
+    Every cell is a MABFuzz campaign whose DUT runs the ``"csr"`` coverage
+    model; the ``scenario`` only changes which seed family the arms draw
+    from, so differences in ``csr_transition_points`` are attributable to
+    the workload mix the bandit schedules over.
+    """
+    config = config or ExperimentConfig()
+    runner = _resolve_engine(engine)
+    fuzzer = f"mabfuzz:{algorithm}"
+    study = TrapCoverageStudy(config=config, fuzzer=fuzzer,
+                              scenarios=tuple(scenarios))
+    cells = [(processor, scenario)
+             for processor in config.processors for scenario in study.scenarios]
+    specs = []
+    for processor, scenario in cells:
+        fuzzer_config = replace(config.fuzzer_config or FuzzerConfig(),
+                                scenario=scenario)
+        specs.append(config.spec(processor, fuzzer,
+                                 fuzzer_config=fuzzer_config,
+                                 coverage_model="csr"))
+    trialsets = runner.run_grid(specs)
+    study.trialsets = dict(zip(cells, trialsets))
+    return study
+
+
 def run_mutation_bandit_comparison(config: Optional[ExperimentConfig] = None,
                                    processor: str = "cva6",
                                    algorithm: str = "exp3",

@@ -9,8 +9,9 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from repro.coverage.csr_transitions import transition_space
 from repro.harness.campaign import TrialSet
-from repro.harness.experiments import Table1Result
+from repro.harness.experiments import Table1Result, TrapCoverageStudy
 
 
 def _format_speedup(value: Optional[float]) -> str:
@@ -83,6 +84,37 @@ def render_figure4_table(summary: Dict[str, Dict[str, Dict[str, float]]]) -> str
                 f"{metrics['baseline_coverage']:.0f}",
             ])
     title = "Fig. 4 reproduction: coverage speedup and increment vs TheHuzz"
+    return f"{title}\n{_render_rows(header, rows)}"
+
+
+def render_trap_coverage_table(study: TrapCoverageStudy) -> str:
+    """Render the trap/CSR-transition coverage experiment.
+
+    One row per (processor, seed scenario): overall coverage, how many of
+    the enumerable CSR-transition points the campaigns reached, and how
+    many ``trap.*`` points fired -- the evidence that trap arms buy
+    coverage user-level arms cannot reach.
+    """
+    space_size = len(transition_space())
+    header = ["Processor", "Scenario", "Coverage %", "CSR transitions",
+              "Transition %", "Trap points"]
+    rows: List[List[str]] = []
+    for processor in study.config.processors:
+        for scenario in study.scenarios:
+            trialset = study.get(processor, scenario)
+            transitions = study.mean_metadata(processor, scenario,
+                                              "csr_transition_points")
+            trap_points = study.mean_metadata(processor, scenario, "trap_points")
+            rows.append([
+                processor,
+                scenario,
+                f"{trialset.mean_coverage_percent():.1f}%",
+                f"{transitions:.1f}/{space_size}",
+                f"{100.0 * transitions / space_size:.1f}%",
+                f"{trap_points:.1f}",
+            ])
+    title = (f"Trap/CSR scenario study: CSR-transition coverage by seed "
+             f"scenario ({study.fuzzer})")
     return f"{title}\n{_render_rows(header, rows)}"
 
 

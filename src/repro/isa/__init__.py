@@ -38,6 +38,12 @@ from repro.isa.decoder import decode_instruction, decode_word, is_legal_word
 from repro.isa.disassembler import disassemble, disassemble_program
 from repro.isa.program import TestProgram
 from repro.isa.generator import InstructionGenerator, SeedGenerator
+from repro.isa.scenarios import (
+    SCENARIOS,
+    MixedSeedGenerator,
+    TrapScenarioGenerator,
+    make_seed_provider,
+)
 
 __all__ = [
     "NUM_REGISTERS",
@@ -72,4 +78,8 @@ __all__ = [
     "TestProgram",
     "InstructionGenerator",
     "SeedGenerator",
+    "SCENARIOS",
+    "MixedSeedGenerator",
+    "TrapScenarioGenerator",
+    "make_seed_provider",
 ]

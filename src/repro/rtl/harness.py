@@ -21,6 +21,11 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.coverage.collector import CoverageCollector
+from repro.coverage.csr_transitions import (
+    COVERAGE_MODELS,
+    CsrTransitionTracker,
+    transition_space,
+)
 from repro.coverage.points import coverage_point
 from repro.isa import csr as csrdefs
 from repro.isa.decoder import decode_word
@@ -399,6 +404,12 @@ class DutExecutor(Executor):
         self.hazards = HazardTracker("hazard", dut_config.hazard_window)
         self.fu = FunctionalUnitMonitor("fu")
         self.bugs: List[InjectedBug] = dut.bugs
+        #: CSR-transition tracker (``None`` under the base coverage model).
+        #: Executors are built fresh per run, so the tracker starts every
+        #: program from the architectural reset classes.
+        self.csr_tracker: Optional[CsrTransitionTracker] = (
+            CsrTransitionTracker(memory.layout)
+            if dut.coverage_model == "csr" else None)
         # Bug / run bookkeeping the bug hooks rely on.
         self.stores_executed = 0
         self.last_store_step: Optional[int] = None
@@ -529,6 +540,8 @@ class DutExecutor(Executor):
                 spec.cls, self._operand_values[0], self._operand_values[1],
                 record.rd_value))
         collector.hit_many(self.dut.structural_points(record, instr, self))
+        if self.csr_tracker is not None:
+            collector.hit_many(self.csr_tracker.observe(record))
         if record.trap is not None:
             self.last_trap_step = self._step_index
             self.last_trap_cause = record.trap
@@ -544,10 +557,17 @@ class DutModel(ModelBase):
 
     def __init__(self, config: Optional[DutConfig] = None,
                  bugs: Sequence[Union[str, InjectedBug]] = (),
-                 executor_config: Optional[ExecutorConfig] = None) -> None:
+                 executor_config: Optional[ExecutorConfig] = None,
+                 coverage_model: str = "base") -> None:
         super().__init__(executor_config)
+        if coverage_model not in COVERAGE_MODELS:
+            raise ValueError(f"unknown coverage model {coverage_model!r}; "
+                             f"available: {COVERAGE_MODELS}")
         self.config = config or self.default_config
         self.bugs = make_bugs(bugs)
+        #: ``"base"`` = hit-set coverage only; ``"csr"`` additionally tracks
+        #: ProcessorFuzz-style CSR value-class transitions (docs/coverage.md).
+        self.coverage_model = coverage_model
         self._space: Optional[FrozenSet[str]] = None
         self._last_executor: Optional[DutExecutor] = None
 
@@ -576,6 +596,8 @@ class DutModel(ModelBase):
             space |= HazardTracker("hazard", config.hazard_window).space()
             space |= FunctionalUnitMonitor("fu").space()
             space |= self.structural_space()
+            if self.coverage_model == "csr":
+                space |= transition_space()
             self._space = frozenset(space)
         return self._space
 

@@ -26,13 +26,18 @@ def available_duts() -> Tuple[str, ...]:
 def make_dut(name: str,
              config: Optional[DutConfig] = None,
              bugs: Union[Sequence[Union[str, InjectedBug]], None] = None,
-             executor_config: Optional[ExecutorConfig] = None) -> DutModel:
+             executor_config: Optional[ExecutorConfig] = None,
+             coverage_model: str = "base") -> DutModel:
     """Instantiate a processor model by name (``"cva6"``, ``"rocket"``, ``"boom"``).
 
     ``bugs=None`` selects the paper's default bug set for that processor;
     pass an explicit (possibly empty) sequence to override.
+    ``coverage_model="csr"`` additionally tracks CSR value-class
+    transitions (see :mod:`repro.coverage.csr_transitions`).
     """
     key = name.lower()
     if key not in _DUT_CLASSES:
         raise KeyError(f"unknown DUT {name!r}; available: {available_duts()}")
-    return _DUT_CLASSES[key](config=config, bugs=bugs, executor_config=executor_config)
+    return _DUT_CLASSES[key](config=config, bugs=bugs,
+                             executor_config=executor_config,
+                             coverage_model=coverage_model)

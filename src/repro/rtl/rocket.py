@@ -40,10 +40,12 @@ class RocketModel(DutModel):
 
     def __init__(self, config: Optional[DutConfig] = None,
                  bugs: Union[Sequence[Union[str, InjectedBug]], None] = None,
-                 executor_config: Optional[ExecutorConfig] = None) -> None:
+                 executor_config: Optional[ExecutorConfig] = None,
+                 coverage_model: str = "base") -> None:
         if bugs is None:
             bugs = ROCKET_BUG_IDS
-        super().__init__(config, bugs, executor_config)
+        super().__init__(config, bugs, executor_config,
+                         coverage_model=coverage_model)
 
     # ------------------------------------------------------------------- space
     def structural_space(self) -> Set[str]:

@@ -238,6 +238,7 @@ class Executor:
         return CommitRecord(
             step=self._step_index, pc=pc, word=word, mnemonic=instr.mnemonic,
             trap=trap.cause, next_pc=(pc + 4) & MASK64,
+            trap_tval=trap.tval & MASK64,
         )
 
     def _commit_suppressed_trap(self, pc: int, word: int,

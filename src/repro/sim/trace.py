@@ -37,6 +37,8 @@ class CommitRecord:
         rd: destination register written, or ``None``.
         rd_value: value written to ``rd``.
         trap: trap cause raised by this instruction, or ``None``.
+        trap_tval: value written to ``mtval`` when the trap committed
+            (the faulting address/word), or ``None`` for trap-free commits.
         mem_addr: effective address of a committed store, or ``None``.
         mem_value: value stored.
         mem_size: store size in bytes.
@@ -58,6 +60,7 @@ class CommitRecord:
     csr_addr: Optional[int] = None
     csr_value: Optional[int] = None
     next_pc: int = 0
+    trap_tval: Optional[int] = None
 
     def arch_key(self) -> Tuple:
         """The tuple compared by the differential tester."""

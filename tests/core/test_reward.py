@@ -84,3 +84,39 @@ def test_reward_monotone_in_alpha_when_local_exceeds_global(arm, test):
     low = RewardComputer(0.1).compute(arm, test, global_new)
     high = RewardComputer(0.9).compute(arm, test, global_new)
     assert high.value >= low.value
+
+
+# ------------------------------------------------------------- point weights
+class TestPointWeights:
+    def test_no_weights_reproduces_plain_counts(self):
+        unweighted = RewardComputer(0.25)
+        weighted = RewardComputer(0.25, point_weights={})
+        arm, test = {"a.x"}, {"a.x", "b.y", "c.z"}
+        assert (weighted.compute(arm, test, {"b.y"}).value
+                == unweighted.compute(arm, test, {"b.y"}).value)
+
+    def test_longest_prefix_match(self):
+        computer = RewardComputer(0.25, point_weights={"csr": 2.0,
+                                                       "csr.mcause": 5.0})
+        assert computer.point_weight("csr.mcause.none->breakpoint") == 5.0
+        assert computer.point_weight("csr.mscratch.zero->nonzero") == 2.0
+        assert computer.point_weight("decode.addi") == 1.0
+
+    def test_weighted_reward_value(self):
+        computer = RewardComputer(0.5, point_weights={"csr": 3.0})
+        breakdown = computer.compute(set(), {"csr.mepc.zero->code", "decode.addi"},
+                                     {"csr.mepc.zero->code"})
+        # local = 3 + 1 = 4 weighted, global = 3 weighted
+        assert breakdown.local_value == pytest.approx(4.0)
+        assert breakdown.global_value == pytest.approx(3.0)
+        assert breakdown.value == pytest.approx(0.5 * 4.0 + 0.5 * 3.0)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            RewardComputer(0.25, point_weights={"csr": -1.0})
+
+    def test_breakdown_defaults_keep_count_semantics(self):
+        breakdown = RewardBreakdown(local_new=frozenset({"a", "b"}),
+                                    global_new=frozenset({"a"}), alpha=0.25)
+        assert breakdown.local_value is None
+        assert breakdown.value == pytest.approx(0.25 * 2 + 0.75 * 1)

@@ -1,0 +1,162 @@
+"""Cross-backend bit-identity of the trap/CSR scenario workload.
+
+The trap subsystem (mixed user/trap arms + the ``"csr"`` coverage model)
+is the first workload whose coverage signal is richer than hit sets, so
+this module re-proves the execution subsystem's hard guarantee for it:
+serial, process-pool and distributed backends produce bit-identical
+``FuzzCampaignResult`` payloads, including through a checkpoint journal
+interrupted mid-campaign.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.monitor import ProgressMonitor
+from repro.exec import (
+    CampaignEngine,
+    DistributedBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+)
+from repro.exec.backends import ExecutionBackend
+from repro.fuzzing.base import FuzzerConfig
+from repro.harness.campaign import CampaignSpec
+
+SRC_DIR = str(Path(__file__).resolve().parents[2] / "src")
+
+TRAP_CONFIG = FuzzerConfig(num_seeds=3, mutants_per_test=2, scenario="mixed")
+
+
+def _grid():
+    """Mixed user/trap MABFuzz campaigns on all three DUTs, CSR coverage."""
+    return [
+        CampaignSpec(processor=processor, fuzzer="mabfuzz:ucb", num_tests=6,
+                     trials=2, seed=31, fuzzer_config=TRAP_CONFIG,
+                     coverage_model="csr")
+        for processor in ("cva6", "rocket", "boom")
+    ]
+
+
+def _canonical(trialsets):
+    return [[r.canonical_dict() for r in ts.results] for ts in trialsets]
+
+
+@pytest.fixture(scope="module")
+def serial_reference():
+    return CampaignEngine(backend=SerialBackend()).run_grid(_grid())
+
+
+def _assert_trap_signal(trialsets):
+    """The new coverage family must actually appear in the results."""
+    results = [r for ts in trialsets for r in ts.completed_results()]
+    assert results
+    assert all(r.metadata["coverage_model"] == "csr" for r in results)
+    assert all(r.metadata["scenario"] == "mixed" for r in results)
+    assert any(r.metadata["csr_transition_points"] > 0 for r in results)
+    assert any(r.metadata["trap_points"] > 0 for r in results)
+
+
+class TestCrossBackendIdentity:
+    def test_serial_results_carry_the_trap_signal(self, serial_reference):
+        _assert_trap_signal(serial_reference)
+
+    def test_process_pool_matches_serial_bit_for_bit(self, serial_reference):
+        pool = CampaignEngine(
+            backend=ProcessPoolBackend(workers=2)).run_grid(_grid())
+        assert _canonical(pool) == _canonical(serial_reference)
+
+    def test_distributed_matches_serial_bit_for_bit(self, serial_reference,
+                                                    tmp_path):
+        queue_dir = tmp_path / "spool"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+        worker = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "worker", "--queue",
+             str(queue_dir), "--poll-interval", "0.05"],
+            env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        try:
+            backend = DistributedBackend(str(queue_dir), poll_interval=0.05,
+                                         max_wait_seconds=120.0,
+                                         stop_workers_on_exit=True)
+            distributed = CampaignEngine(backend=backend).run_grid(_grid())
+        finally:
+            try:
+                worker.wait(timeout=60)
+            except subprocess.TimeoutExpired:
+                worker.kill()
+                raise
+        assert _canonical(distributed) == _canonical(serial_reference)
+        _assert_trap_signal(distributed)
+
+
+class _InterruptedBackend(SerialBackend):
+    """Serial backend that dies after streaming ``limit`` trial results."""
+
+    def __init__(self, limit):
+        super().__init__()
+        self.limit = limit
+
+    def run(self, tasks):
+        yielded = 0
+        for task, payload in super().run(tasks):
+            if yielded >= self.limit:
+                raise KeyboardInterrupt("campaign killed mid-grid")
+            yielded += 1
+            yield task, payload
+
+
+class TestCheckpointResumeMidCampaign:
+    def test_resume_after_mid_grid_kill_is_bit_identical(self, serial_reference,
+                                                         tmp_path):
+        journal = tmp_path / "trap-grid.jsonl"
+        interrupted = CampaignEngine(backend=_InterruptedBackend(limit=2),
+                                     checkpoint_path=str(journal))
+        with pytest.raises(KeyboardInterrupt):
+            interrupted.run_grid(_grid())
+
+        monitor = ProgressMonitor()
+        resumed = CampaignEngine(backend=SerialBackend(),
+                                 checkpoint_path=str(journal),
+                                 monitor=monitor).run_grid(_grid())
+        assert monitor.restored_trials == 2   # the journaled prefix
+        assert _canonical(resumed) == _canonical(serial_reference)
+        _assert_trap_signal(resumed)
+
+    def test_trap_spec_fingerprint_distinguishes_coverage_model(self):
+        base = CampaignSpec(processor="cva6", fuzzer="mabfuzz:ucb",
+                            num_tests=6, trials=2, seed=31,
+                            fuzzer_config=TRAP_CONFIG)
+        csr = _grid()[0]
+        assert base.fingerprint() != csr.fingerprint()
+
+    def test_default_fields_do_not_change_legacy_fingerprints(self):
+        """Old-wire-format payloads must resume under the new code."""
+        spec = CampaignSpec(processor="cva6", fuzzer="mabfuzz:ucb",
+                            num_tests=6, trials=2, seed=31)
+        payload = spec.to_dict()
+        # Strip the fields the old wire format did not have.
+        del payload["coverage_model"]
+        del payload["fuzzer_config"]  # was None anyway
+        legacy = CampaignSpec.from_dict({**payload, "fuzzer_config": None})
+        assert legacy.fingerprint() == spec.fingerprint()
+
+
+class TestWireRoundTrip:
+    def test_trap_spec_round_trips_through_the_wire_format(self):
+        spec = _grid()[0]
+        restored = CampaignSpec.from_dict(spec.to_dict())
+        assert restored == spec
+        assert restored.fingerprint() == spec.fingerprint()
+        assert restored.coverage_model == "csr"
+        assert restored.fuzzer_config.scenario == "mixed"
+
+    def test_backend_knobs_cannot_change_trap_results(self, serial_reference):
+        for backend in (SerialBackend(batch_size=1),
+                        SerialBackend(batch_size=None)):
+            assert isinstance(backend, ExecutionBackend)
+            shaped = CampaignEngine(backend=backend).run_grid(_grid())
+            assert _canonical(shaped) == _canonical(serial_reference)

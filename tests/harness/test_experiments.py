@@ -19,6 +19,7 @@ from repro.harness.experiments import (
     run_gamma_ablation,
     run_mutation_bandit_comparison,
     run_table1,
+    run_trap_coverage_study,
 )
 
 TINY = ExperimentConfig(
@@ -108,3 +109,26 @@ class TestAblations:
     def test_mutation_bandit_comparison(self):
         comparison = run_mutation_bandit_comparison(TINY, processor="rocket")
         assert set(comparison) == {"thehuzz", "mutation-bandit:exp3"}
+
+
+class TestTrapCoverageStudy:
+    def test_structure_and_transition_signal(self):
+        study = run_trap_coverage_study(TINY, scenarios=("user", "mixed"))
+        assert set(study.trialsets) == {("rocket", "user"), ("rocket", "mixed")}
+        assert study.fuzzer == "mabfuzz:ucb"
+        for (_, scenario), trialset in study.trialsets.items():
+            for result in trialset.completed_results():
+                assert result.metadata["coverage_model"] == "csr"
+                assert result.metadata["scenario"] == scenario
+        # The mixed arms reach CSR transitions within even a tiny campaign.
+        assert study.mean_metadata("rocket", "mixed",
+                                   "csr_transition_points") > 0
+
+    def test_render_table(self):
+        from repro.harness.tables import render_trap_coverage_table
+
+        study = run_trap_coverage_study(TINY, scenarios=("mixed",))
+        table = render_trap_coverage_table(study)
+        assert "CSR transitions" in table
+        assert "mixed" in table
+        assert "rocket" in table

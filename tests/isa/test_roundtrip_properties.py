@@ -1,0 +1,214 @@
+"""Seeded property-style round-trip suite for the ISA substrate.
+
+Per seed, ~5k random instructions (plus random/mutated raw words and whole
+programs) are pushed through the full pipeline and three properties are
+asserted:
+
+1. **Round-trip fixed point**: ``assemble → decode`` is the identity on
+   generator-produced instructions, and for arbitrary words one
+   ``decode → assemble`` pass is a fixed point (re-decoding the canonical
+   word reproduces the same instruction, and its disassembly is stable).
+2. **Table/scan agreement**: the dense decode tables
+   (:mod:`repro.isa.decoder`) agree with an independent *linear scan* over
+   :data:`~repro.isa.encoding.SPECS` for every probed word -- the check
+   that guarded PR 1's table rewrite, now pinned as a regression property.
+3. **Totality**: decoding never raises, and every non-illegal decode
+   disassembles.
+
+The suite is deterministic (fixed seeds, no hypothesis shrinking) so a
+failure reproduces byte-for-byte from the seed printed in the assertion.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.decoder import decode_word
+from repro.isa.disassembler import disassemble
+from repro.isa.encoding import (
+    OPCODE_AMO,
+    OPCODE_MISC_MEM,
+    OPCODE_OP_IMM_32,
+    SPECS,
+    InstrFormat,
+    InstrSpec,
+)
+from repro.isa.generator import GeneratorConfig, InstructionGenerator, SeedGenerator
+from repro.isa.scenarios import TrapScenarioGenerator
+from repro.utils.bits import get_bits
+
+SEEDS = (2026, 2027)
+INSTRUCTIONS_PER_SEED = 5000
+RAW_WORDS_PER_SEED = 5000
+MUTATED_WORDS_PER_SEED = 2000
+
+#: generator tuned to emit only encodable instructions (no raw illegals).
+_LEGAL_CONFIG = GeneratorConfig(illegal_word_prob=0.0)
+
+
+# ------------------------------------------------------------- reference scan
+def _linear_match(word: int) -> Optional[InstrSpec]:
+    """Reference decoder: a straight scan over SPECS, no tables.
+
+    Mirrors the encoding constraints spec by spec -- deliberately written
+    as per-spec predicates (the pre-PR-1 shape) so it shares no code with
+    the dense-table construction it cross-checks.
+    """
+    opcode = word & 0x7F
+    funct3 = (word >> 12) & 0x7
+    funct7 = (word >> 25) & 0x7F
+    rd = (word >> 7) & 0x1F
+    rs1 = (word >> 15) & 0x1F
+    matches = []
+    for spec in SPECS.values():
+        if spec.opcode != opcode:
+            continue
+        if spec.funct3 is None:           # LUI / AUIPC / JAL
+            matches.append(spec)
+            continue
+        if spec.funct3 != funct3:
+            continue
+        fmt = spec.fmt
+        if fmt is InstrFormat.R:
+            if spec.funct7 == funct7:
+                matches.append(spec)
+        elif fmt is InstrFormat.I_SHIFT:
+            if spec.opcode == OPCODE_OP_IMM_32:
+                if spec.funct7 == funct7:
+                    matches.append(spec)
+            elif (spec.funct7 >> 1) == (word >> 26) & 0x3F:
+                matches.append(spec)
+        elif fmt is InstrFormat.SYSTEM:
+            if (spec.funct12 == (word >> 20) & 0xFFF
+                    and rd == 0 and rs1 == 0):
+                matches.append(spec)
+        elif fmt is InstrFormat.AMO:
+            if opcode == OPCODE_AMO and spec.funct5 == (word >> 27) & 0x1F:
+                matches.append(spec)
+        elif fmt is InstrFormat.FENCE and spec.mnemonic == "fence.i":
+            if opcode == OPCODE_MISC_MEM and rd == 0 and rs1 == 0:
+                matches.append(spec)
+        else:                              # I / S / B / CSR / CSR_IMM / fence
+            matches.append(spec)
+    if not matches:
+        return None
+    assert len(matches) == 1, (
+        f"ambiguous decode for word 0x{word:08x}: "
+        f"{[m.mnemonic for m in matches]}")
+    return matches[0]
+
+
+def _word_pool(seed: int) -> list:
+    """Raw words: uniform randoms plus bit-mutated legal encodings."""
+    rng = np.random.default_rng(seed)
+    words = [int(w) for w in rng.integers(0, 2**32, size=RAW_WORDS_PER_SEED)]
+    generator = InstructionGenerator(_LEGAL_CONFIG, np.random.default_rng(seed + 1))
+    for _ in range(MUTATED_WORDS_PER_SEED):
+        word = assemble(generator.random_instruction())
+        flips = rng.integers(1, 3)
+        for _ in range(int(flips)):
+            word ^= 1 << int(rng.integers(0, 32))
+        words.append(word)
+    return words
+
+
+# ------------------------------------------------------------------ properties
+@pytest.mark.parametrize("seed", SEEDS)
+def test_generated_instructions_roundtrip_exactly(seed):
+    """assemble → decode is the identity on canonical generator output."""
+    generator = InstructionGenerator(_LEGAL_CONFIG, np.random.default_rng(seed))
+    for index in range(INSTRUCTIONS_PER_SEED):
+        instr = generator.random_instruction()
+        word = assemble(instr)
+        decoded = decode_word(word)
+        assert decoded == instr, (
+            f"seed {seed}, instruction {index}: {instr} -> 0x{word:08x} "
+            f"-> {decoded}")
+        assert assemble(decoded) == word
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_decode_assemble_is_a_fixed_point_on_arbitrary_words(seed):
+    """One decode→assemble pass canonicalises; after that it's a fixed point."""
+    for word in _word_pool(seed):
+        instr = decode_word(word)          # totality: never raises
+        if instr.is_illegal:
+            assert instr.raw == word & 0xFFFF_FFFF
+            continue
+        canonical = assemble(instr)
+        redecoded = decode_word(canonical)
+        assert redecoded == instr, (
+            f"seed {seed}: 0x{word:08x} decoded to {instr} but its "
+            f"canonical word 0x{canonical:08x} re-decodes to {redecoded}")
+        assert assemble(redecoded) == canonical
+        # The textual rendering is a stable function of the fixed point.
+        assert disassemble(redecoded) == disassemble(instr)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_table_decode_matches_reference_linear_scan(seed):
+    """The dense decode tables agree with a straight SPECS scan everywhere."""
+    generator = InstructionGenerator(_LEGAL_CONFIG, np.random.default_rng(seed + 2))
+    probes = _word_pool(seed)
+    probes.extend(assemble(generator.random_instruction()) for _ in range(2000))
+    for word in probes:
+        reference = _linear_match(word)
+        decoded = decode_word(word)
+        if reference is None:
+            assert decoded.is_illegal, (
+                f"seed {seed}: table decoded 0x{word:08x} to "
+                f"{decoded.mnemonic!r}, linear scan says illegal")
+        else:
+            assert not decoded.is_illegal and decoded.mnemonic == reference.mnemonic, (
+                f"seed {seed}: table says "
+                f"{'illegal' if decoded.is_illegal else decoded.mnemonic!r} "
+                f"for 0x{word:08x}, linear scan says {reference.mnemonic!r}")
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("provider", [SeedGenerator, TrapScenarioGenerator])
+def test_whole_programs_roundtrip_through_words(seed, provider):
+    """program → words → decode → reassemble reproduces the same words."""
+    generator = provider(rng=np.random.default_rng(seed))
+    for program in generator.generate_many(25):
+        words = program.words()
+        decoded = [decode_word(word) for word in words]
+        reassembled = tuple(assemble(instr) for instr in decoded)
+        assert reassembled == words
+
+
+def test_every_spec_is_reachable_by_the_linear_scan():
+    """Sanity: each mnemonic's canonical encoding maps back to its spec."""
+    from repro.isa.instruction import Instruction
+
+    for mnemonic, spec in SPECS.items():
+        if spec.fmt is InstrFormat.CSR:
+            instr = Instruction(mnemonic, rd=1, rs1=2, csr=0x340)
+        elif spec.fmt is InstrFormat.CSR_IMM:
+            instr = Instruction(mnemonic, rd=1, imm=3, csr=0x340)
+        elif spec.fmt is InstrFormat.FENCE:
+            instr = Instruction(mnemonic)
+        elif spec.fmt is InstrFormat.SYSTEM:
+            instr = Instruction(mnemonic)
+        elif spec.fmt is InstrFormat.I_SHIFT:
+            instr = Instruction(mnemonic, rd=1, rs1=2, imm=5)
+        elif spec.fmt is InstrFormat.B:
+            instr = Instruction(mnemonic, rs1=1, rs2=2, imm=8)
+        elif spec.fmt is InstrFormat.S:
+            instr = Instruction(mnemonic, rs1=1, rs2=2, imm=8)
+        elif spec.fmt is InstrFormat.U:
+            instr = Instruction(mnemonic, rd=1, imm=0x12345)
+        elif spec.fmt is InstrFormat.J:
+            instr = Instruction(mnemonic, rd=1, imm=8)
+        elif spec.fmt is InstrFormat.AMO:
+            instr = Instruction(mnemonic, rd=1, rs1=2, rs2=3)
+        else:
+            instr = Instruction(mnemonic, rd=1, rs1=2, rs2=3, imm=4)
+        word = assemble(instr)
+        reference = _linear_match(word)
+        assert reference is not None and reference.mnemonic == mnemonic
+        assert get_bits(word, 1, 0) == 0b11  # all base encodings end in 11

@@ -25,9 +25,11 @@ from pathlib import Path
 import pytest
 
 from repro.fuzzing.mutation import MutationEngine
+from repro.isa import csr as csrdefs
 from repro.isa.generator import SeedGenerator
 from repro.isa.instruction import Instruction
 from repro.isa.program import TestProgram
+from repro.isa.scenarios import TrapScenarioGenerator
 from repro.rtl.registry import make_dut
 from repro.sim.golden import GoldenModel
 
@@ -40,6 +42,15 @@ MUTANTS_PER_PARENT = 2
 DUT_NAMES = ("cva6", "rocket", "boom")
 DUT_PROGRAMS = 25        # corpus prefix run through each clean DUT
 BUGGY_PROGRAMS = 15      # corpus prefix run through a fully-bugged rocket
+
+# Trap-heavy extension (recorded when the trap/CSR scenario subsystem
+# landed): dedicated corpus whose every program drives the
+# mcause/mepc/mtval update paths, pinned under separate fixture keys so
+# the original corpus digests stay untouched.
+TRAP_SEED = 20260729
+NUM_TRAP_SEEDS = 40
+TRAP_DUT_PROGRAMS = 20   # trap-corpus prefix run through each clean DUT
+TRAP_BUGGY_PROGRAMS = 12 # trap-corpus prefix through a fully-bugged rocket
 
 
 def _corner_programs() -> list:
@@ -104,6 +115,51 @@ def build_corpus() -> list:
     return programs
 
 
+def _trap_corner_programs() -> list:
+    """Hand-built programs pinning the mcause/mepc/mtval update semantics."""
+    I = Instruction
+    programs = [
+        # Back-to-back traps of different causes: every one must rewrite
+        # mcause/mepc/mtval (checked via the final-CSR digest) and resume
+        # at the next instruction.
+        [I.illegal(0x0000_0000),
+         I("lw", rd=3, rs1=0, imm=1),
+         I("ebreak"),
+         I("csrrs", rd=4, rs1=0, csr=csrdefs.MCAUSE),
+         I("csrrs", rd=5, rs1=0, csr=csrdefs.MEPC),
+         I("csrrs", rd=6, rs1=0, csr=csrdefs.MTVAL),
+         I("ecall")],
+        # Software writes mcause/mepc/mtval directly, then a real trap
+        # overwrites them -- the interleaving both orders.
+        [I("csrrwi", rd=0, imm=13, csr=csrdefs.MCAUSE),
+         I("csrrwi", rd=0, imm=8, csr=csrdefs.MEPC),
+         I("csrrwi", rd=0, imm=21, csr=csrdefs.MTVAL),
+         I.illegal(0xFFFF_FFFE),
+         I("csrrwi", rd=0, imm=5, csr=csrdefs.MTVAL),
+         I("ecall")],
+        # mret bounces through a software-seeded mepc (a misaligned one
+        # first: the jump target check must fire before the redirect).
+        [I("csrrwi", rd=0, imm=8, csr=csrdefs.MEPC),
+         I("ebreak"),
+         I("mret"),
+         I("ecall")],
+        # Misaligned branch target and jalr: mtval carries the bad target.
+        [I("beq", rs1=0, rs2=0, imm=6),
+         I("addi", rd=7, rs1=0, imm=6),
+         I("jalr", rd=1, rs1=7, imm=0),
+         I("ecall")],
+    ]
+    return [TestProgram(instructions=tuple(body)) for body in programs]
+
+
+def build_trap_corpus() -> list:
+    """Deterministic trap-heavy corpus: scenario seeds + trap corner cases."""
+    generator = TrapScenarioGenerator(rng=TRAP_SEED)
+    programs = list(generator.generate_many(NUM_TRAP_SEEDS))
+    programs.extend(_trap_corner_programs())
+    return programs
+
+
 def trace_digest(execution) -> str:
     """Digest every architecturally visible aspect of one program run."""
     h = hashlib.sha256()
@@ -137,6 +193,21 @@ def compute_digests() -> dict:
     buggy = make_dut("rocket")  # default (full) bug set
     digests["rocket_buggy"] = [
         trace_digest(buggy.run(p).execution) for p in corpus[:BUGGY_PROGRAMS]
+    ]
+
+    trap_corpus = build_trap_corpus()
+    digests["trap_corpus_size"] = len(trap_corpus)
+    digests["trap_golden"] = [trace_digest(golden.run(p)) for p in trap_corpus]
+    digests["trap_duts"] = {}
+    for name in DUT_NAMES:
+        dut = make_dut(name, bugs=[])
+        digests["trap_duts"][name] = [
+            trace_digest(dut.run(p).execution)
+            for p in trap_corpus[:TRAP_DUT_PROGRAMS]
+        ]
+    digests["trap_rocket_buggy"] = [
+        trace_digest(buggy.run(p).execution)
+        for p in trap_corpus[:TRAP_BUGGY_PROGRAMS]
     ]
     return digests
 
@@ -183,6 +254,50 @@ def test_dut_traces_match_fixtures(fixture_digests, current_digests, dut_name):
 def test_buggy_dut_traces_match_fixtures(fixture_digests, current_digests):
     assert current_digests["rocket_buggy"] == fixture_digests["rocket_buggy"], (
         "bug-injected rocket traces diverged from pre-rewrite fixtures")
+
+
+# ------------------------------------------------------- trap-heavy extension
+def test_trap_corpus_is_representative():
+    """Trap corpus must hit several distinct causes and the trap CSRs."""
+    corpus = build_trap_corpus()
+    golden = GoldenModel()
+    causes = set()
+    software_csr_writes = set()
+    for program in corpus:
+        execution = golden.run(program)
+        causes.update(r.trap.name for r in execution.trapped_steps())
+        software_csr_writes.update(
+            r.csr_addr for r in execution.records if r.csr_addr is not None)
+    assert len(causes) >= 5, f"only reached causes {sorted(causes)}"
+    # Direct software writes to the trap CSRs themselves are exercised too.
+    assert {csrdefs.MCAUSE, csrdefs.MEPC, csrdefs.MTVAL} <= software_csr_writes
+
+
+def test_trap_golden_traces_match_fixtures(fixture_digests, current_digests):
+    assert (current_digests["trap_corpus_size"]
+            == fixture_digests["trap_corpus_size"])
+    mismatches = [
+        index
+        for index, (new, old) in enumerate(
+            zip(current_digests["trap_golden"], fixture_digests["trap_golden"]))
+        if new != old
+    ]
+    assert not mismatches, (
+        f"golden trap traces (mcause/mepc/mtval update paths) diverged at "
+        f"programs {mismatches[:10]}")
+
+
+@pytest.mark.parametrize("dut_name", DUT_NAMES)
+def test_trap_dut_traces_match_fixtures(fixture_digests, current_digests, dut_name):
+    assert (current_digests["trap_duts"][dut_name]
+            == fixture_digests["trap_duts"][dut_name]), (
+        f"{dut_name} DUT trap traces diverged from recorded fixtures")
+
+
+def test_trap_buggy_dut_traces_match_fixtures(fixture_digests, current_digests):
+    assert (current_digests["trap_rocket_buggy"]
+            == fixture_digests["trap_rocket_buggy"]), (
+        "bug-injected rocket trap traces diverged from recorded fixtures")
 
 
 def record_hotpath_fixtures() -> None:  # pragma: no cover - manual tool

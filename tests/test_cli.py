@@ -149,3 +149,43 @@ class TestCommands:
         second = capsys.readouterr()
         assert second.out == first.out
         assert "restored from checkpoint" in second.err
+
+
+class TestTrapCommands:
+    def test_fuzz_scenario_and_coverage_model_flags(self, capsys):
+        code = main(["fuzz", "--processor", "rocket", "--fuzzer", "mabfuzz:ucb",
+                     "--tests", "8", "--seeds", "2", "--scenario", "mixed",
+                     "--coverage-model", "csr"])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "csr transitions covered:" in printed
+
+    def test_fuzz_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fuzz", "--scenario", "kernel"])
+
+    def test_trapcov_parses_execution_flags(self):
+        args = build_parser().parse_args(
+            ["trapcov", "--tests", "6", "--workers", "2",
+             "--scenarios", "user", "mixed"])
+        assert args.workers == 2
+        assert args.scenarios == ["user", "mixed"]
+
+    def test_trapcov_small_run(self, capsys, tmp_path):
+        output_file = tmp_path / "trapcov.txt"
+        code = main(["trapcov", "--processors", "rocket", "--tests", "6",
+                     "--trials", "1", "--seeds", "2", "--mutants", "2",
+                     "--scenarios", "mixed", "--output", str(output_file)])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "CSR transitions" in printed
+        assert output_file.read_text().strip() in printed
+
+    def test_trapcov_parallel_matches_serial(self, capsys):
+        common = ["trapcov", "--processors", "rocket", "--tests", "6",
+                  "--trials", "1", "--seeds", "2", "--mutants", "2",
+                  "--scenarios", "user", "trap"]
+        assert main(common) == 0
+        serial_out = capsys.readouterr().out
+        assert main(common + ["--workers", "2"]) == 0
+        assert capsys.readouterr().out == serial_out

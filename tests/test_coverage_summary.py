@@ -1,0 +1,74 @@
+"""Tests of the CI coverage-table renderer (benchmarks/coverage_summary.py)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "coverage_summary",
+    Path(__file__).resolve().parents[1] / "benchmarks" / "coverage_summary.py")
+coverage_summary = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(coverage_summary)
+
+
+def _report(percent=84.6):
+    return {
+        "files": {
+            "src/repro/isa/decoder.py":
+                {"summary": {"covered_lines": 90, "num_statements": 100}},
+            "src/repro/isa/assembler.py":
+                {"summary": {"covered_lines": 50, "num_statements": 50}},
+            "src/repro/exec/engine.py":
+                {"summary": {"covered_lines": 70, "num_statements": 100}},
+            "src/repro/api.py":
+                {"summary": {"covered_lines": 10, "num_statements": 10}},
+        },
+        "totals": {"covered_lines": 220, "num_statements": 260,
+                   "percent_covered": percent},
+    }
+
+
+class TestPackageGrouping:
+    def test_subpackage(self):
+        assert coverage_summary.package_of("src/repro/exec/engine.py") == "repro.exec"
+
+    def test_package_root_file(self):
+        assert coverage_summary.package_of("src/repro/api.py") == "repro"
+
+    def test_foreign_path_degrades_gracefully(self):
+        assert coverage_summary.package_of("weird.py") == "weird.py"
+
+
+class TestRendering:
+    def test_markdown_table_groups_by_package(self):
+        text = coverage_summary.render_markdown(_report(), fail_under=80.0)
+        assert "| `repro.isa` | 140/150 | 93.3% |" in text
+        assert "| `repro.exec` | 70/100 | 70.0% |" in text
+        assert "| **total** | 220/260 | 84.6% |" in text
+        assert "✅" in text
+
+    def test_failure_marker_below_threshold(self):
+        text = coverage_summary.render_markdown(_report(), fail_under=90.0)
+        assert "❌" in text
+
+
+class TestGate:
+    def test_exit_codes(self, tmp_path, capsys):
+        path = tmp_path / "coverage.json"
+        path.write_text(json.dumps(_report()))
+        assert coverage_summary.main(["--json", str(path),
+                                      "--fail-under", "80"]) == 0
+        capsys.readouterr()
+        assert coverage_summary.main(["--json", str(path),
+                                      "--fail-under", "90"]) == 1
+        assert "below" in capsys.readouterr().err
+
+    def test_empty_statement_package_counts_as_full(self):
+        report = {"files": {"src/repro/isa/__init__.py":
+                            {"summary": {"covered_lines": 0, "num_statements": 0}}},
+                  "totals": {"covered_lines": 0, "num_statements": 0,
+                             "percent_covered": 100.0}}
+        rows = coverage_summary.summarize(report)
+        assert rows == [("repro.isa", 0, 0, pytest.approx(100.0))]
