@@ -41,26 +41,29 @@ def load_summary(path: Path) -> dict:
 
 
 def compare(baseline: dict, current: dict, names: list, tolerance_pct: float) -> tuple:
-    """Return (markdown lines, regressed benchmark names)."""
+    """Return (markdown lines, {regressed name: human-readable reason})."""
     lines = [
         "| benchmark | baseline ops/s | current ops/s | change | verdict |",
         "|---|---:|---:|---:|---|",
     ]
-    regressed = []
+    regressed = {}
     for name in names:
         base = baseline.get("benchmarks", {}).get(name)
         cur = current.get("benchmarks", {}).get(name)
         if base is None or cur is None:
             missing = "baseline" if base is None else "current run"
             lines.append(f"| {name} | - | - | - | MISSING from {missing} |")
-            regressed.append(name)
+            regressed[name] = f"missing from the {missing}"
             continue
         base_ops = float(base["ops_per_second"])
         cur_ops = float(cur["ops_per_second"])
         change_pct = 100.0 * (cur_ops - base_ops) / base_ops
         if change_pct < -tolerance_pct:
             verdict = f"REGRESSED (> {tolerance_pct:.0f}% slower)"
-            regressed.append(name)
+            regressed[name] = (
+                f"{change_pct:+.1f}% ops/s ({base_ops:,.2f} -> {cur_ops:,.2f}, "
+                f"tolerance {tolerance_pct:.0f}%)"
+            )
         else:
             verdict = "ok"
         lines.append(
@@ -133,9 +136,16 @@ def main(argv=None) -> int:
             handle.write(report + "\n")
 
     if regressed:
-        names = ", ".join(regressed)
+        # One GitHub error annotation per offender: the failing benchmark is
+        # named on the PR itself, not buried in the job log.
+        if os.environ.get("GITHUB_ACTIONS"):
+            for name, reason in regressed.items():
+                print(f"::error title=Benchmark regression::{name}: {reason}")
+        for name, reason in regressed.items():
+            print(f"FAIL: {name}: {reason}", file=sys.stderr)
         print(
-            f"FAIL: {len(regressed)} benchmark(s) regressed or missing: {names}",
+            f"FAIL: {len(regressed)} benchmark(s) regressed or missing: "
+            f"{', '.join(regressed)}",
             file=sys.stderr,
         )
         return 1

@@ -147,6 +147,12 @@ def _cmd_list(args) -> int:
 
 
 def _cmd_fuzz(args) -> int:
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     result = quick_campaign(
         processor=args.processor,
         fuzzer=args.fuzzer,
@@ -157,6 +163,19 @@ def _cmd_fuzz(args) -> int:
                                    scenario=args.scenario),
         coverage_model=args.coverage_model,
     )
+    if profiler is not None:
+        import pstats
+
+        profiler.disable()
+        profiler.dump_stats(args.profile)
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative")
+        print(f"profile: top {args.profile_top} functions by cumulative time "
+              f"(full stats -> {args.profile})", file=sys.stderr)
+        stats.print_stats(args.profile_top)
+        print("profile: inspect offline with "
+              f"`python -m pstats {args.profile}` "
+              "(or snakeviz, if installed)", file=sys.stderr)
     lines = [result.summary()]
     if args.coverage_model == "csr":
         lines.append(f"  csr transitions covered: "
@@ -310,6 +329,14 @@ def build_parser() -> argparse.ArgumentParser:
                              choices=COVERAGE_MODELS,
                              help="'csr' adds CSR-transition coverage points "
                                   "(docs/coverage.md)")
+    fuzz_parser.add_argument("--profile", metavar="PATH", default=None,
+                             help="run the campaign under cProfile and dump "
+                                  "the stats to PATH (a hot-function summary "
+                                  "is printed to stderr); see "
+                                  "docs/performance.md")
+    fuzz_parser.add_argument("--profile-top", type=int, default=25,
+                             help="functions to show in the stderr profile "
+                                  "summary (default 25)")
     _add_common_campaign_arguments(fuzz_parser)
     fuzz_parser.set_defaults(func=_cmd_fuzz)
 

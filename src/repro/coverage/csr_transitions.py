@@ -32,6 +32,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, Optional, Set, Tuple
 
+from repro.coverage.bitset import mask_of
 from repro.coverage.points import coverage_point
 from repro.isa import csr as csrdefs
 from repro.isa.exceptions import TrapCause
@@ -133,6 +134,9 @@ def count_transition_points(points: Iterable[str]) -> int:
 #: (csr address, old class, new class) -> shared 1-tuple of the point name.
 _POINT_MEMO: Dict[Tuple[int, str, str], Tuple[str, ...]] = {}
 
+#: (csr address, old class, new class) -> bitset mask of that point.
+_MASK_MEMO: Dict[Tuple[int, str, str], int] = {}
+
 _NO_POINTS: Tuple[str, ...] = ()
 
 
@@ -175,7 +179,8 @@ class CsrTransitionTracker:
         return self._classes.get(csr_address)
 
     # ------------------------------------------------------------------ observe
-    def _move(self, address: int, value: int) -> Optional[Tuple[str, ...]]:
+    def _move(self, address: int, value: int) -> Optional[Tuple[int, str, str]]:
+        """Reclassify one CSR; return the transition key if the class moved."""
         entry = TRACKED_CSRS.get(address)
         if entry is None:
             return None
@@ -184,12 +189,22 @@ class CsrTransitionTracker:
         if new_class == old_class:
             return None
         self._classes[address] = new_class
-        key = (address, old_class, new_class)
+        return (address, old_class, new_class)
+
+    @staticmethod
+    def _points_for(key: Tuple[int, str, str]) -> Tuple[str, ...]:
         points = _POINT_MEMO.get(key)
         if points is None:
-            points = _POINT_MEMO[key] = (
-                transition_point(address, old_class, new_class),)
+            points = _POINT_MEMO[key] = (transition_point(*key),)
         return points
+
+    @staticmethod
+    def _mask_for(key: Tuple[int, str, str]) -> int:
+        mask = _MASK_MEMO.get(key)
+        if mask is None:
+            mask = _MASK_MEMO[key] = mask_of(
+                CsrTransitionTracker._points_for(key))
+        return mask
 
     def observe(self, record: CommitRecord) -> Tuple[str, ...]:
         """Transition points produced by one commit (possibly empty)."""
@@ -200,13 +215,35 @@ class CsrTransitionTracker:
                                    (csrdefs.MTVAL, record.trap_tval or 0)):
                 moved = self._move(address, value)
                 if moved is not None:
-                    emitted.extend(moved)
+                    emitted.extend(self._points_for(moved))
             return tuple(emitted) if emitted else _NO_POINTS
         if record.csr_addr is not None and record.csr_value is not None:
             moved = self._move(record.csr_addr, record.csr_value)
             if moved is not None:
-                return moved
+                return self._points_for(moved)
         return _NO_POINTS
+
+    def observe_mask(self, record: CommitRecord) -> int:
+        """Transition points of one commit as a bitset mask (hot path).
+
+        Identical state machine to :meth:`observe`; only the emission
+        representation differs (memoised integer masks instead of memoised
+        point tuples).
+        """
+        if record.trap is not None:
+            mask = 0
+            for address, value in ((csrdefs.MCAUSE, int(record.trap)),
+                                   (csrdefs.MEPC, record.pc),
+                                   (csrdefs.MTVAL, record.trap_tval or 0)):
+                moved = self._move(address, value)
+                if moved is not None:
+                    mask |= self._mask_for(moved)
+            return mask
+        if record.csr_addr is not None and record.csr_value is not None:
+            moved = self._move(record.csr_addr, record.csr_value)
+            if moved is not None:
+                return self._mask_for(moved)
+        return 0
 
 
 def transitions_of_records(records: Iterable[CommitRecord],

@@ -113,10 +113,20 @@ def execute_batch(batch: TrialBatch) -> Dict[str, object]:
 
     Cache-stat *deltas* (not cumulative process counters) are reported so
     a dispatcher can sum them across batches and workers without double
-    counting.
+    counting.  The snapshot is taken *before* the caches are re-bounded:
+    re-bounding can spill LRU entries, and those evictions belong to the
+    batch that requested the new bound (snapshotting after silently
+    dropped them from every delta whenever ``--cache-entries`` shrank a
+    worker's caches mid-grid).
+
+    Trials of one batch share a DUT configuration, so beyond the run
+    caches they also reuse **compiled traces**: identical programs
+    regenerated across trials (seed replays, bug-sweep variants, duplicate
+    mutants) compile once per worker and replay through the shared
+    golden/DUT fast loop; ``compiled_trace_*`` deltas account for it.
     """
-    configure_process_caches(batch.cache_entries)
     before = process_cache_stats()
+    configure_process_caches(batch.cache_entries)
     dut_cache = process_dut_cache()
     golden_fallback = process_golden_cache()
     results = []

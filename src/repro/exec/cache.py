@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
+from repro.isa.compiled import compiled_cache_stats, configure_compiled_cache
 from repro.isa.program import TestProgram
 from repro.rtl.harness import DutModel, DutRunResult
 from repro.sim.golden import GoldenTraceCache, KeyedRunCache
@@ -97,22 +98,28 @@ def process_golden_cache() -> GoldenTraceCache:
 
 
 def configure_process_caches(cache_entries: Optional[int]) -> None:
-    """Re-bound both process caches (``None`` = :data:`DEFAULT_CACHE_ENTRIES`).
+    """Re-bound the process caches (``None`` = :data:`DEFAULT_CACHE_ENTRIES`).
 
     Called by the batch executor before every batch with the engine's
     ``cache_entries`` knob, so a worker always runs a batch under exactly
     the capacity that batch was planned with -- a previous grid's bound
-    never leaks into the next.  Shrinking spills LRU entries immediately.
+    never leaks into the next.  Shrinking spills LRU entries immediately
+    (the spill's evictions still count: callers snapshot counters *before*
+    configuring, see :func:`repro.exec.batching.execute_batch`).  The
+    compiled-trace cache (:mod:`repro.isa.compiled`) is bounded alongside
+    the run caches so one knob governs all per-worker memory.
     """
     bound = DEFAULT_CACHE_ENTRIES if cache_entries is None else cache_entries
     process_dut_cache().configure(bound)
     process_golden_cache().configure(bound)
+    configure_compiled_cache(bound)
 
 
 def process_cache_stats() -> Dict[str, int]:
     """Cumulative hit/miss/eviction counters of this process's caches."""
     dut = process_dut_cache().stats()
     golden = process_golden_cache().stats()
+    compiled = compiled_cache_stats()
     return {
         "dut_cache_hits": dut["hits"],
         "dut_cache_misses": dut["misses"],
@@ -120,4 +127,7 @@ def process_cache_stats() -> Dict[str, int]:
         "shared_golden_hits": golden["hits"],
         "shared_golden_misses": golden["misses"],
         "shared_golden_evictions": golden["evictions"],
+        "compiled_trace_hits": compiled["hits"],
+        "compiled_trace_misses": compiled["misses"],
+        "compiled_trace_evictions": compiled["evictions"],
     }

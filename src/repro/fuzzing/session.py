@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.coverage.csr_transitions import count_transition_points
 from repro.coverage.database import CoverageDatabase
+from repro.isa.compiled import compiled_cache_stats
 from repro.fuzzing.differential import DifferentialTester
 from repro.fuzzing.results import BugDetection, TestOutcome
 from repro.isa.program import TestProgram
@@ -31,6 +32,17 @@ class FuzzSession:
     duplicate or unmutated programs (MABFuzz arms replay their seeds) never
     re-run the reference model within a campaign.  Cache hit/miss counters
     are part of :meth:`stats`.
+
+    Both halves of a test -- the golden reference and the instrumented DUT
+    -- execute the program's **compiled trace**
+    (:mod:`repro.isa.compiled`): the golden run compiles it (or pulls it
+    from the process-level fingerprint cache) and the DUT run replays the
+    very same threaded-code object, so fetch+decode work is paid once per
+    distinct program per process rather than once per model per run.
+    :meth:`stats` surfaces the process-level compiled-trace counters for
+    observability only; they are process-cumulative and therefore
+    deliberately kept out of campaign-result metadata (the same rule the
+    DUT-run cache follows, see ``docs/parallel.md``).
     """
 
     def __init__(self, dut: DutModel, golden: Optional[GoldenModel] = None,
@@ -132,6 +144,9 @@ class FuzzSession:
         if self.dut_cache is not None:
             stats["dut_cache_hits"] = self.dut_cache.hits
             stats["dut_cache_misses"] = self.dut_cache.misses
+        compiled = compiled_cache_stats()
+        stats["compiled_trace_hits"] = compiled["hits"]
+        stats["compiled_trace_misses"] = compiled["misses"]
         return stats
 
     def undetected_bugs(self) -> List[str]:

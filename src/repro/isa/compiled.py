@@ -1,0 +1,154 @@
+"""Per-program compiled traces: pre-decoded threaded code for the executors.
+
+Every run of a :class:`~repro.isa.program.TestProgram` -- golden *and* every
+DUT -- used to re-fetch and re-decode each instruction word on every step.
+Both are deterministic functions of the immutable program, so this module
+compiles a program **once** into a threaded-code list of per-instruction
+entries ``(word, instruction, handler)``:
+
+* ``word`` is the 32-bit encoding exactly as the memory image holds it (what
+  legacy ``fetch_word`` returned),
+* ``instruction`` is the shared decode result (the same object the
+  word->Instruction cache in :mod:`repro.isa.decoder` hands the legacy
+  path), and
+* ``handler`` is the executor's per-mnemonic execute closure, resolved at
+  compile time (``None`` for illegal words, which take the trap path).
+
+The shared run loop in :mod:`repro.sim.golden` indexes this list by
+``(pc - base) >> 2`` instead of fetching and decoding, falling back to the
+generic ``Executor.step`` for anything a compiled entry cannot represent:
+misaligned in-range program counters, and words a store has overwritten
+since load (self-modifying programs are legal here -- the ``mem.region.code``
+coverage point exists precisely because stores may hit the code window).
+
+Compiled traces are cached in a bounded process-global LRU keyed by the
+program *fingerprint* (content hash of words + base address), so trials
+that regenerate identical programs -- bug-set sweeps, MABFuzz arms
+replaying seeds, duplicate mutants -- share one compilation per process,
+and the execution subsystem's ``--cache-entries`` knob re-bounds it
+together with the golden/DUT run caches (see ``docs/performance.md``).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+from repro.isa.decoder import decode_word
+from repro.isa.program import TestProgram
+
+#: default capacity of the process-global fingerprint-keyed cache; the
+#: execution subsystem re-bounds it per batch together with the run caches.
+DEFAULT_COMPILED_ENTRIES = 4096
+
+
+class CompiledProgram:
+    """A program's threaded-code form: one ``(word, instr, handler)`` per slot."""
+
+    __slots__ = ("base_address", "end_address", "entries")
+
+    def __init__(self, base_address: int, entries: Tuple[Tuple, ...]) -> None:
+        self.base_address = base_address
+        self.end_address = base_address + 4 * len(entries)
+        self.entries = entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def _compile(program: TestProgram) -> CompiledProgram:
+    """Pre-decode ``program`` into a :class:`CompiledProgram` (uncached)."""
+    # Local import: the ISA layer only reaches into the executor's handler
+    # table at compile time, keeping ``import repro.isa`` free of the sim
+    # package at module-import time.
+    from repro.sim.executor import handler_for
+
+    entries = []
+    for word in program.words():
+        word &= 0xFFFF_FFFF
+        instr = decode_word(word)
+        entries.append((word, instr, handler_for(instr)))
+    return CompiledProgram(program.base_address, tuple(entries))
+
+
+class CompiledTraceCache:
+    """Bounded LRU of compiled traces keyed by program fingerprint."""
+
+    def __init__(self, max_entries: int = DEFAULT_COMPILED_ENTRIES) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, CompiledProgram]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get_or_compile(self, program: TestProgram) -> CompiledProgram:
+        key = program.fingerprint()
+        cached = self._entries.get(key)
+        if cached is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return cached
+        self.misses += 1
+        compiled = _compile(program)
+        while len(self._entries) >= self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        self._entries[key] = compiled
+        return compiled
+
+    def configure(self, max_entries: int) -> None:
+        """Re-bound the cache, spilling LRU entries down to the new capacity."""
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions, "entries": len(self._entries),
+                "max_entries": self.max_entries}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: the process-global compiled-trace cache (one per worker process).
+_PROCESS_COMPILED_CACHE: Optional[CompiledTraceCache] = None
+
+
+def process_compiled_cache() -> CompiledTraceCache:
+    """The calling process's shared compiled-trace cache (created lazily)."""
+    global _PROCESS_COMPILED_CACHE
+    if _PROCESS_COMPILED_CACHE is None:
+        _PROCESS_COMPILED_CACHE = CompiledTraceCache()
+    return _PROCESS_COMPILED_CACHE
+
+
+def compile_program(program: TestProgram) -> CompiledProgram:
+    """The compiled trace of ``program``, served from the process LRU.
+
+    Deliberately *not* memoised on the program object: live programs (test
+    pools, MABFuzz arms) would pin their traces outside the cache bound,
+    and the engine's ``--cache-entries`` knob could no longer reclaim the
+    memory.  A lookup is one memoised ``fingerprint()`` read plus an LRU
+    dict get -- negligible next to a run.
+    """
+    return process_compiled_cache().get_or_compile(program)
+
+
+def compiled_cache_stats() -> Dict[str, int]:
+    """Counters of the process-global compiled-trace cache."""
+    return process_compiled_cache().stats()
+
+
+def configure_compiled_cache(max_entries: Optional[int]) -> None:
+    """Re-bound the process cache (``None`` = :data:`DEFAULT_COMPILED_ENTRIES`)."""
+    process_compiled_cache().configure(
+        DEFAULT_COMPILED_ENTRIES if max_entries is None else max_entries)

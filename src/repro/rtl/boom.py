@@ -14,11 +14,12 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Set, Union
 
+from repro.coverage.bitset import point_mask
 from repro.coverage.points import coverage_point
 from repro.isa.encoding import SPECS, InstrClass, spec_for
 from repro.isa.instruction import Instruction
 from repro.rtl.bugs import InjectedBug
-from repro.rtl.harness import DutConfig, DutExecutor, DutModel
+from repro.rtl.harness import _INSTR_MEMO_MAX, DutConfig, DutExecutor, DutModel
 from repro.sim.executor import ExecutorConfig
 from repro.sim.trace import CommitRecord
 
@@ -150,3 +151,116 @@ class BoomModel(DutModel):
             if record.next_pc != record.pc + 4:
                 points.append(coverage_point("boom", "flush", "branch_mispredict"))
         return points
+
+    # ------------------------------------------------------------------- masks
+    # Table-driven twin of structural_points (see RocketModel): per-point
+    # masks precomputed once per model instance, emission is table lookups
+    # and ``|=`` only.  Parity with the string path is test-enforced.
+    def _structural_tables(self) -> dict:
+        tables = self.__dict__.get("_boom_tables")
+        if tables is None:
+            tables = {
+                "rob_alloc": [point_mask("boom", "rob", f"entry{e}", "alloc")
+                              for e in range(self.rob_entries)],
+                "rob_commit": [point_mask("boom", "rob", f"entry{e}", "commit")
+                               for e in range(self.rob_entries)],
+                "rob_exception": [point_mask("boom", "rob", f"entry{e}", "exception")
+                                  for e in range(self.rob_entries)],
+                "occupancy": [point_mask("boom", "rob", "occupancy", f"b{b}")
+                              for b in range(self.occupancy_buckets)],
+                "flush_exception": point_mask("boom", "flush", "exception"),
+                "flush_mispredict": point_mask("boom", "flush", "branch_mispredict"),
+                "uop": {mnemonic: point_mask("boom", "uop", mnemonic,
+                                    _ISSUE_QUEUES[spec.cls])
+                        for mnemonic, spec in SPECS.items()},
+                "iq": {queue: [point_mask("boom", "iq", queue, f"slot{slot}")
+                               for slot in range(self.issue_queue_slots)]
+                       for queue in ("int", "mem", "fp")},
+                "rename": {cls: [point_mask("boom", "rename", cls.value, f"x{reg}")
+                                 for reg in range(32)]
+                           for cls in InstrClass},
+                "wakeup": {mnemonic: point_mask("boom", "wakeup", mnemonic)
+                           for mnemonic, spec in SPECS.items()
+                           if spec.writes_rd},
+                "prf": [point_mask("boom", "prf", f"p{preg}")
+                        for preg in range(self.physical_registers)],
+                "busy_rs1": {cls: [point_mask("boom", "busytable", cls.value,
+                                     f"rs1_x{reg}") for reg in range(32)]
+                             for cls in InstrClass},
+                "busy_rs2": {cls: [point_mask("boom", "busytable", cls.value,
+                                     f"rs2_x{reg}") for reg in range(32)]
+                             for cls in InstrClass},
+                "lsq_load": [point_mask("boom", "lsq", f"entry{e}", "load")
+                             for e in range(self.lsq_entries)],
+                "lsq_store": [point_mask("boom", "lsq", f"entry{e}", "store")
+                              for e in range(self.lsq_entries)],
+                "dualissue": {(a, b): point_mask("boom", "dualissue",
+                                        f"{a.value}_{b.value}")
+                              for a in InstrClass for b in InstrClass},
+                "commit_lane": [{cls: point_mask("boom", "commit", f"lane{lane}",
+                                        cls.value) for cls in InstrClass}
+                                for lane in range(self.coreswidth)],
+                "plans": {},  # per-instruction static plans, filled lazily
+            }
+            self.__dict__["_boom_tables"] = tables
+        return tables
+
+    def structural_mask(self, record: CommitRecord, instr: Instruction,
+                        executor: DutExecutor) -> int:
+        tables = self._structural_tables()
+        step = record.step
+        rob_entry = step % self.rob_entries
+        mask = tables["rob_alloc"][rob_entry]
+        mask |= tables["occupancy"][min(step, self.occupancy_buckets - 1)]
+        if record.trap is not None:
+            mask |= tables["rob_exception"][rob_entry]
+            mask |= tables["flush_exception"]
+        else:
+            mask |= tables["rob_commit"][rob_entry]
+
+        if instr.is_illegal:
+            return mask
+
+        # Per-instruction plan: uop/wakeup/rename/busytable masks and the
+        # issue-queue slot table are static per decoded instruction.
+        plans = tables["plans"]
+        plan = plans.get(instr)
+        if plan is None:
+            spec = spec_for(instr.mnemonic)
+            cls = spec.cls
+            static = tables["uop"][instr.mnemonic]
+            if spec.writes_rd:
+                static |= tables["rename"][cls][instr.rd]
+                static |= tables["wakeup"][instr.mnemonic]
+            if spec.reads_rs1:
+                static |= tables["busy_rs1"][cls][instr.rs1]
+            if spec.reads_rs2:
+                static |= tables["busy_rs2"][cls][instr.rs2]
+            if len(plans) >= _INSTR_MEMO_MAX:
+                plans.clear()
+            plan = plans[instr] = (
+                static, cls, tables["iq"][_ISSUE_QUEUES[cls]],
+                instr.rd if spec.writes_rd else None,
+                cls is InstrClass.LOAD or cls is InstrClass.ATOMIC,
+                cls is InstrClass.STORE or cls is InstrClass.ATOMIC,
+            )
+        static, cls, iq_slots, rd, lsq_load, lsq_store = plan
+        mask |= static
+        mask |= iq_slots[step % self.issue_queue_slots]
+        if rd is not None:
+            mask |= tables["prf"][(step * 7 + rd) % self.physical_registers]
+        if lsq_load:
+            mask |= tables["lsq_load"][step % self.lsq_entries]
+        if lsq_store:
+            mask |= tables["lsq_store"][step % self.lsq_entries]
+
+        prev_cls = executor.dut_scratch.get("boom_prev_cls")
+        if isinstance(prev_cls, InstrClass):
+            mask |= tables["dualissue"][prev_cls, cls]
+        executor.dut_scratch["boom_prev_cls"] = cls
+
+        mask |= tables["commit_lane"][step % self.coreswidth][cls]
+        if (cls is InstrClass.BRANCH and record.trap is None
+                and record.next_pc != record.pc + 4):
+            mask |= tables["flush_mispredict"]
+        return mask

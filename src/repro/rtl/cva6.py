@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Set, Union
 
+from repro.coverage.bitset import point_mask
 from repro.coverage.points import coverage_point
 from repro.isa.encoding import InstrClass, spec_for
 from repro.isa.instruction import Instruction
@@ -124,3 +125,44 @@ class CVA6Model(DutModel):
             if record.csr_addr == csrdefs.MSTATUS:
                 points.append(coverage_point("cva6", "fpu", "fs_dirty"))
         return points
+
+    # ------------------------------------------------------------------- masks
+    # Table-driven twin of structural_points (see RocketModel): per-point
+    # masks precomputed once per model instance, emission is table lookups
+    # and ``|=`` only.  Parity with the string path is test-enforced.
+    def _structural_tables(self) -> dict:
+        tables = self.__dict__.get("_cva6_tables")
+        if tables is None:
+            tables = {
+                "sb_issue": [point_mask("cva6", "scoreboard", f"entry{e}", "issue")
+                             for e in range(self.scoreboard_entries)],
+                "sb_writeback": [point_mask("cva6", "scoreboard", f"entry{e}", "writeback")
+                                 for e in range(self.scoreboard_entries)],
+                "frontend": [point_mask("cva6", "frontend", f"fetch_bucket{b}")
+                             for b in range(self.frontend_buckets)],
+                "issue_port": {cls: point_mask("cva6", "issue", port)
+                               for cls, port in _ISSUE_PORTS.items()},
+                "commit_port": [{cls: point_mask("cva6", "commit", f"port{port}",
+                                        cls.value) for cls in InstrClass}
+                                for port in range(self.commit_ports)],
+                "fs_dirty": point_mask("cva6", "fpu", "fs_dirty"),
+            }
+            self.__dict__["_cva6_tables"] = tables
+        return tables
+
+    def structural_mask(self, record: CommitRecord, instr: Instruction,
+                        executor: DutExecutor) -> int:
+        tables = self._structural_tables()
+        step = record.step
+        entry = step % self.scoreboard_entries
+        mask = tables["sb_issue"][entry]
+        if record.rd is not None:
+            mask |= tables["sb_writeback"][entry]
+        mask |= tables["frontend"][(record.pc >> 2) % self.frontend_buckets]
+        if not instr.is_illegal:
+            cls = spec_for(instr.mnemonic).cls
+            mask |= tables["issue_port"][cls]
+            mask |= tables["commit_port"][step % self.commit_ports][cls]
+            if record.csr_addr == csrdefs.MSTATUS:
+                mask |= tables["fs_dirty"]
+        return mask

@@ -13,6 +13,17 @@ Because the DUT executor inherits the golden executor's functional
 semantics, a DUT with no injected bugs produces a commit trace identical to
 the golden model -- the invariant the differential tester relies on (and
 which the test-suite checks property-style).
+
+Coverage is recorded as an **integer bitset** on the hot path: every point
+name owns a process-global bit (:mod:`repro.coverage.bitset`), each
+emission family memoises *masks* keyed by the same bounded situation keys
+the string helpers use, and a commit's observation collapses to a few dict
+gets plus ``cov |= mask``.  The point-name tuples are only materialised
+once per run, when :class:`DutRunResult` is built -- nothing downstream of
+the run result changes.  The string-tuple helpers below remain the
+reference implementation: :class:`LegacyCoverageExecutor` still drives a
+full run through them, and the parity tests assert that both emissions
+produce identical coverage sets on user and trap corpora.
 """
 
 from __future__ import annotations
@@ -20,6 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
 
+from repro.coverage.bitset import mask_of, point_bit, points_of
 from repro.coverage.collector import CoverageCollector
 from repro.coverage.csr_transitions import (
     COVERAGE_MODELS,
@@ -28,7 +40,6 @@ from repro.coverage.csr_transitions import (
 )
 from repro.coverage.points import coverage_point
 from repro.isa import csr as csrdefs
-from repro.isa.decoder import decode_word
 from repro.isa.encoding import InstrClass, InstrFormat, SPECS, spec_for
 from repro.isa.exceptions import Trap, TrapCause
 from repro.isa.instruction import Instruction
@@ -40,7 +51,7 @@ from repro.rtl.microarch import (
     FunctionalUnitMonitor,
     HazardTracker,
 )
-from repro.sim.executor import Executor, ExecutorConfig
+from repro.sim.executor import _LOAD_SIZES, _STORE_SIZES, Executor, ExecutorConfig
 from repro.sim.golden import ModelBase
 from repro.sim.memory import Memory
 from repro.sim.state import ArchState
@@ -169,18 +180,21 @@ def alu_space() -> Set[str]:
 _ALU_MEMO: Dict[Tuple[str, str], Tuple[str, ...]] = {}
 
 
+def _alu_bucket(rd_value: int) -> str:
+    signed = to_signed(rd_value)
+    return "zero" if signed == 0 else ("neg" if signed < 0 else "pos")
+
+
 def alu_points(instr: Instruction, record: CommitRecord) -> Tuple[str, ...]:
     if instr.is_illegal or record.trap is not None or record.rd_value is None:
         return _NO_POINTS
     spec = spec_for(instr.mnemonic)
     if spec.cls not in _ALU_CLASSES:
         return _NO_POINTS
-    signed = to_signed(record.rd_value)
-    bucket = "zero" if signed == 0 else ("neg" if signed < 0 else "pos")
-    key = (instr.mnemonic, bucket)
+    key = (instr.mnemonic, _alu_bucket(record.rd_value))
     points = _ALU_MEMO.get(key)
     if points is None:
-        points = _ALU_MEMO[key] = (coverage_point("alu", instr.mnemonic, bucket),)
+        points = _ALU_MEMO[key] = (coverage_point("alu", *key),)
     return points
 
 
@@ -198,6 +212,15 @@ def branch_space() -> Set[str]:
 _BRANCH_MEMO: Dict[Tuple, Tuple[str, ...]] = {}
 
 
+def _branch_points_for(mnemonic: str, taken: bool,
+                       direction: Optional[str]) -> Tuple[str, ...]:
+    built = [coverage_point("branch", mnemonic,
+                            "taken" if taken else "nottaken")]
+    if direction is not None:
+        built.append(coverage_point("branch", direction))
+    return tuple(built)
+
+
 def branch_points(instr: Instruction, record: CommitRecord) -> Tuple[str, ...]:
     if instr.is_illegal or record.trap is not None:
         return _NO_POINTS
@@ -209,11 +232,7 @@ def branch_points(instr: Instruction, record: CommitRecord) -> Tuple[str, ...]:
     key = (instr.mnemonic, taken, direction)
     points = _BRANCH_MEMO.get(key)
     if points is None:
-        built = [coverage_point("branch", instr.mnemonic,
-                                "taken" if taken else "nottaken")]
-        if direction is not None:
-            built.append(coverage_point("branch", direction))
-        points = _BRANCH_MEMO[key] = tuple(built)
+        points = _BRANCH_MEMO[key] = _branch_points_for(*key)
     return points
 
 
@@ -231,17 +250,13 @@ def mem_space() -> Set[str]:
 _MEM_MEMO: Dict[Tuple[str, str, str], Tuple[str, ...]] = {}
 
 
-def mem_points(instr: Instruction, executor: "DutExecutor") -> Tuple[str, ...]:
-    if instr.is_illegal:
-        return _NO_POINTS
-    spec = spec_for(instr.mnemonic)
-    if spec.cls not in (InstrClass.LOAD, InstrClass.STORE):
-        return _NO_POINTS
-    kind = "load" if spec.cls is InstrClass.LOAD else "store"
-    from repro.sim.executor import _LOAD_SIZES, _STORE_SIZES
-
-    size = (_LOAD_SIZES[instr.mnemonic][0] if kind == "load"
-            else _STORE_SIZES[instr.mnemonic])
+def _mem_situation(instr: Instruction, spec,
+                   executor: "DutExecutor") -> Tuple[str, int, str, str]:
+    """Classify one load/store pre-execution: (kind, size, aligned, region)."""
+    if spec.cls is InstrClass.LOAD:
+        kind, size = "load", _LOAD_SIZES[instr.mnemonic][0]
+    else:
+        kind, size = "store", _STORE_SIZES[instr.mnemonic]
     address = (executor.state.read_reg(instr.rs1) + instr.imm) & MASK64
     aligned = "aligned" if address % size == 0 else "unaligned"
     layout = executor.memory.layout
@@ -251,13 +266,26 @@ def mem_points(instr: Instruction, executor: "DutExecutor") -> Tuple[str, ...]:
         region = "code"
     else:
         region = "data"
+    return kind, size, aligned, region
+
+
+def _mem_points_for(kind: str, size: int, aligned: str,
+                    region: str) -> Tuple[str, ...]:
+    return (coverage_point("mem", kind, f"size{size}", aligned),
+            coverage_point("mem", "region", region))
+
+
+def mem_points(instr: Instruction, executor: "DutExecutor") -> Tuple[str, ...]:
+    if instr.is_illegal:
+        return _NO_POINTS
+    spec = spec_for(instr.mnemonic)
+    if spec.cls not in (InstrClass.LOAD, InstrClass.STORE):
+        return _NO_POINTS
+    kind, size, aligned, region = _mem_situation(instr, spec, executor)
     key = (instr.mnemonic, aligned, region)
     points = _MEM_MEMO.get(key)
     if points is None:
-        points = _MEM_MEMO[key] = (
-            coverage_point("mem", kind, f"size{size}", aligned),
-            coverage_point("mem", "region", region),
-        )
+        points = _MEM_MEMO[key] = _mem_points_for(kind, size, aligned, region)
     return points
 
 
@@ -275,23 +303,32 @@ def atomic_space() -> Set[str]:
 _ATOMIC_MEMO: Dict[Tuple, Tuple[str, ...]] = {}
 
 
+def _atomic_situation(instr: Instruction,
+                      record: CommitRecord) -> Tuple[str, Optional[str], bool]:
+    outcome = (("success" if record.rd_value == 0 else "fail")
+               if instr.mnemonic.startswith("sc.") else None)
+    return instr.mnemonic, outcome, bool(instr.aq or instr.rl)
+
+
+def _atomic_points_for(mnemonic: str, outcome: Optional[str],
+                       ordered: bool) -> Tuple[str, ...]:
+    built = [coverage_point("atomic", mnemonic)]
+    if outcome is not None:
+        built.append(coverage_point("atomic", "sc", outcome))
+    if ordered:
+        built.append(coverage_point("atomic", "ordered"))
+    return tuple(built)
+
+
 def atomic_points(instr: Instruction, record: CommitRecord) -> Tuple[str, ...]:
     if instr.is_illegal or record.trap is not None:
         return _NO_POINTS
     if spec_for(instr.mnemonic).cls is not InstrClass.ATOMIC:
         return _NO_POINTS
-    outcome = (("success" if record.rd_value == 0 else "fail")
-               if instr.mnemonic.startswith("sc.") else None)
-    ordered = bool(instr.aq or instr.rl)
-    key = (instr.mnemonic, outcome, ordered)
+    key = _atomic_situation(instr, record)
     points = _ATOMIC_MEMO.get(key)
     if points is None:
-        built = [coverage_point("atomic", instr.mnemonic)]
-        if outcome is not None:
-            built.append(coverage_point("atomic", "sc", outcome))
-        if ordered:
-            built.append(coverage_point("atomic", "ordered"))
-        points = _ATOMIC_MEMO[key] = tuple(built)
+        points = _ATOMIC_MEMO[key] = _atomic_points_for(*key)
     return points
 
 
@@ -307,17 +344,24 @@ def trap_space() -> Set[str]:
 _TRAP_MEMO: Dict[Tuple[str, str], Tuple[str, ...]] = {}
 
 
-def trap_points(instr: Instruction, record: CommitRecord) -> Tuple[str, ...]:
-    if record.trap is None:
-        return _NO_POINTS
+def _trap_situation(instr: Instruction, record: CommitRecord) -> Tuple[str, str]:
     cause = record.trap.name.lower()
     source = ("illegal_word" if instr.is_illegal
               else spec_for(instr.mnemonic).cls.value)
-    key = (cause, source)
+    return cause, source
+
+
+def _trap_points_for(cause: str, source: str) -> Tuple[str, ...]:
+    return (coverage_point("trap", cause), coverage_point("trap", cause, source))
+
+
+def trap_points(instr: Instruction, record: CommitRecord) -> Tuple[str, ...]:
+    if record.trap is None:
+        return _NO_POINTS
+    key = _trap_situation(instr, record)
     points = _TRAP_MEMO.get(key)
     if points is None:
-        points = _TRAP_MEMO[key] = (coverage_point("trap", cause),
-                                    coverage_point("trap", cause, source))
+        points = _TRAP_MEMO[key] = _trap_points_for(*key)
     return points
 
 
@@ -373,6 +417,161 @@ def common_space() -> Set[str]:
     return space
 
 
+# ================================================================= mask faces
+# Bitset (integer-mask) counterparts of the emission helpers above, used by
+# the DUT executor's hot path.  Each memo is keyed by the same bounded
+# situation key as its string twin; a miss builds the identical point names
+# once and converts them through the global bit registry.  The string
+# helpers stay authoritative -- the parity tests run both paths over seeded
+# corpora and assert equal coverage sets.
+
+#: bound on the Instruction-keyed memos below.  Their key space is every
+#: distinct decoded instruction a worker ever sees (bit-level mutation keeps
+#: minting new encodings), so -- like the decoder's word cache -- they are
+#: cleared on overflow rather than grown forever; recomputing an entry is a
+#: few dict gets, so the occasional cold restart is cheaper than LRU
+#: bookkeeping at this size.
+_INSTR_MEMO_MAX = 1 << 16
+
+_STATIC_MASKS: Dict[object, int] = {}
+
+
+def static_instr_mask(instr: Instruction, word: int) -> int:
+    """decode + operand + system coverage of one instruction, as one mask.
+
+    These three families are static per decoded instruction, so the
+    per-commit cost is a single dict get.  Illegal words are keyed by the
+    opcode bits their decode point depends on; legal instructions key by
+    value (bug-substituted instructions hash equal to their cached twins).
+    """
+    key: object = (word >> 2) & 0x1F if instr.raw is not None else instr
+    mask = _STATIC_MASKS.get(key)
+    if mask is None:
+        mask = (mask_of(decode_points(instr, word))
+                | mask_of(operand_points(instr))
+                | mask_of(system_points(instr)))
+        if len(_STATIC_MASKS) >= _INSTR_MEMO_MAX:
+            _STATIC_MASKS.clear()
+        _STATIC_MASKS[key] = mask
+    return mask
+
+
+#: per-instruction decode plan: everything the fetch/decode observation
+#: needs that is static per decoded instruction, resolved once --
+#: ``(static_mask, spec|None, rd_written|None, rs1_read|None, rs2_read|None,
+#: is_mem)``.  Illegal words share one plan per opcode-bit pattern.
+_DECODE_PLANS: Dict[object, Tuple] = {}
+
+
+def _decode_plan(instr: Instruction, word: int) -> Tuple:
+    key: object = (word >> 2) & 0x1F if instr.raw is not None else instr
+    plan = _DECODE_PLANS.get(key)
+    if plan is None:
+        static = static_instr_mask(instr, word)
+        if instr.raw is not None:
+            plan = (static, None, None, None, None, False)
+        else:
+            spec = spec_for(instr.mnemonic)
+            cls = spec.cls
+            plan = (static, spec,
+                    instr.rd if spec.writes_rd else None,
+                    instr.rs1 if spec.reads_rs1 else None,
+                    instr.rs2 if spec.reads_rs2 else None,
+                    cls is InstrClass.LOAD or cls is InstrClass.STORE)
+        if len(_DECODE_PLANS) >= _INSTR_MEMO_MAX:
+            _DECODE_PLANS.clear()
+        _DECODE_PLANS[key] = plan
+    return plan
+
+
+_MEM_MASKS: Dict[Tuple, int] = {}
+
+
+def mem_mask(instr: Instruction, spec, executor: "DutExecutor") -> int:
+    """mem-family coverage of one load/store, as a mask (pre-execution)."""
+    if spec.cls is not InstrClass.LOAD and spec.cls is not InstrClass.STORE:
+        return 0
+    kind, size, aligned, region = _mem_situation(instr, spec, executor)
+    key = (instr.mnemonic, aligned, region)
+    mask = _MEM_MASKS.get(key)
+    if mask is None:
+        mask = _MEM_MASKS[key] = mask_of(
+            _mem_points_for(kind, size, aligned, region))
+    return mask
+
+
+_ALU_MASKS: Dict[Tuple[str, str], int] = {}
+
+
+def alu_mask(mnemonic: str, rd_value: int) -> int:
+    """ALU result-bucket coverage (caller guarantees an untrapped ALU commit)."""
+    key = (mnemonic, _alu_bucket(rd_value))
+    mask = _ALU_MASKS.get(key)
+    if mask is None:
+        mask = _ALU_MASKS[key] = mask_of((coverage_point("alu", *key),))
+    return mask
+
+
+_BRANCH_MASKS: Dict[Tuple, int] = {}
+
+
+def branch_mask(mnemonic: str, taken: bool, backward: bool) -> int:
+    """Branch outcome coverage (caller guarantees an untrapped branch commit)."""
+    key = (mnemonic, taken, backward)
+    mask = _BRANCH_MASKS.get(key)
+    if mask is None:
+        direction = (("backward_taken" if backward else "forward_taken")
+                     if taken else None)
+        mask = _BRANCH_MASKS[key] = mask_of(
+            _branch_points_for(mnemonic, taken, direction))
+    return mask
+
+
+_ATOMIC_MASKS: Dict[Tuple, int] = {}
+
+
+def atomic_mask(instr: Instruction, record: CommitRecord) -> int:
+    """Atomic coverage (caller guarantees an untrapped atomic commit)."""
+    key = _atomic_situation(instr, record)
+    mask = _ATOMIC_MASKS.get(key)
+    if mask is None:
+        mask = _ATOMIC_MASKS[key] = mask_of(_atomic_points_for(*key))
+    return mask
+
+
+_TRAP_MASKS: Dict[Tuple[str, str], int] = {}
+
+
+def trap_mask(instr: Instruction, record: CommitRecord) -> int:
+    """Trap coverage of one trapping commit, as a mask."""
+    key = _trap_situation(instr, record)
+    mask = _TRAP_MASKS.get(key)
+    if mask is None:
+        mask = _TRAP_MASKS[key] = mask_of(_trap_points_for(*key))
+    return mask
+
+
+def _csr_point(kind: str, address: int) -> str:
+    """The csr-family point name for one access situation (shared source)."""
+    if kind == "unimplemented":
+        return coverage_point("csr", "unimplemented", f"0x{address:03x}")
+    if kind == "readonly_write":
+        return coverage_point("csr", "readonly_write")
+    return coverage_point("csr", csrdefs.csr_name(address), kind)
+
+
+_CSR_MASKS: Dict[Tuple[str, int], int] = {}
+
+
+def csr_mask(kind: str, address: int) -> int:
+    """csr-family coverage of one access situation, as a mask."""
+    key = (kind, address)
+    mask = _CSR_MASKS.get(key)
+    if mask is None:
+        mask = _CSR_MASKS[key] = 1 << point_bit(_csr_point(kind, address))
+    return mask
+
+
 # =================================================================== run result
 @dataclass(frozen=True)
 class DutRunResult:
@@ -397,7 +596,6 @@ class DutExecutor(Executor):
         super().__init__(state, memory, config)
         self.dut = dut
         dut_config = dut.config
-        self.collector = CoverageCollector()
         self.icache = CacheModel("icache", dut_config.icache_sets, dut_config.cache_ways)
         self.dcache = CacheModel("dcache", dut_config.dcache_sets, dut_config.cache_ways)
         self.bpred = BranchPredictor("bpred", dut_config.bpred_entries)
@@ -419,6 +617,8 @@ class DutExecutor(Executor):
         self._operand_values: Tuple[int, int] = (0, 0)
         #: free-form per-run scratch space for DUT-specific structural coverage.
         self.dut_scratch: Dict[str, object] = {}
+        #: accumulated coverage bitset (see :mod:`repro.coverage.bitset`).
+        self._cov = 0
 
     # ------------------------------------------------------------ bug plumbing
     @property
@@ -429,12 +629,160 @@ class DutExecutor(Executor):
         self.bug_effects.setdefault(bug_id, []).append(self._step_index)
 
     # ------------------------------------------------------------------ decode
-    def _decode(self, word: int, pc: int) -> Instruction:
-        instr = decode_word(word)
+    def _observe_decode(self, instr: Instruction, word: int, pc: int) -> Instruction:
+        """Bug decode hooks + fetch/decode coverage (both step paths)."""
         for bug in self.bugs:
             replacement = bug.on_decode(self, instr, word)
             if replacement is not None:
                 instr = replacement
+        self._record_fetch_decode(instr, word, pc)
+        return instr
+
+    def _record_fetch_decode(self, instr: Instruction, word: int, pc: int) -> None:
+        """Coverage of one fetch+decode (bitset fast path)."""
+        static_mask, spec, rd, rs1, rs2, is_mem = _decode_plan(instr, word)
+        cov = self._cov | self.icache.access_mask(pc, False) | static_mask
+        if spec is not None:
+            regs = self.state.regs
+            self._operand_values = (regs[rs1] if rs1 is not None else 0,
+                                    regs[rs2] if rs2 is not None else 0)
+            if is_mem:
+                cov |= mem_mask(instr, spec, self)
+            cov |= self.hazards.observe_mask(rd, rs1, rs2)
+        self._cov = cov
+
+    # ------------------------------------------------------------------ memory
+    def _mem_load(self, address: int, size: int, signed: bool,
+                  instr: Instruction) -> int:
+        value = self.memory.load(address, size, signed)
+        self._record_dcache(address, False)
+        for bug in self.bugs:
+            override = bug.on_mem_load(self, address, size, value, instr)
+            if override is not None:
+                value = override
+        return value
+
+    def _mem_store(self, address: int, value: int, size: int,
+                   instr: Instruction) -> None:
+        self.memory.store(address, value, size)
+        self._record_dcache(address, True)
+        self.stores_executed += 1
+        self.last_store_step = self._step_index
+
+    def _record_dcache(self, address: int, is_store: bool) -> None:
+        """Coverage of one data-cache access (bitset fast path)."""
+        self._cov |= self.dcache.access_mask(address, is_store)
+
+    # --------------------------------------------------------------------- CSR
+    def _record_csr(self, kind: str, address: int) -> None:
+        """Coverage of one CSR access situation (bitset fast path)."""
+        self._cov |= csr_mask(kind, address)
+
+    def _csr_read(self, address: int, instr: Instruction) -> int:
+        for bug in self.bugs:
+            override = bug.on_csr_read(self, address, instr)
+            if override is not None:
+                self._record_csr("unimplemented", address)
+                return override
+        try:
+            value = self.state.read_csr(address)
+        except Trap:
+            if address in csrdefs.UNIMPLEMENTED_CSRS:
+                self._record_csr("unimplemented", address)
+            raise
+        self._record_csr("read", address)
+        return value
+
+    def _csr_write(self, address: int, value: int, instr: Instruction) -> None:
+        for bug in self.bugs:
+            if bug.on_csr_write(self, address, value, instr):
+                self._record_csr("unimplemented", address)
+                return
+        try:
+            self.state.write_csr(address, value)
+        except Trap:
+            if csrdefs.is_read_only_csr(address):
+                self._record_csr("readonly_write", address)
+            elif address in csrdefs.UNIMPLEMENTED_CSRS:
+                self._record_csr("unimplemented", address)
+            raise
+        self._record_csr("write", address)
+
+    # -------------------------------------------------------------------- traps
+    def _trap_cause(self, trap: Trap, instr: Instruction, pc: int) -> Optional[Trap]:
+        current: Optional[Trap] = trap
+        for bug in self.bugs:
+            if current is None:
+                break
+            current = bug.on_trap(self, current, instr, pc)
+        return current
+
+    # --------------------------------------------------------------- retirement
+    def _count_retirement(self, instr: Instruction, trapped: bool) -> None:
+        for bug in self.bugs:
+            if not bug.should_count_retirement(self, instr):
+                self.state.csrs[csrdefs.MCYCLE] = (
+                    self.state.csrs[csrdefs.MCYCLE] + 1) & MASK64
+                return
+        super()._count_retirement(instr, trapped)
+
+    # ------------------------------------------------------------------ observe
+    def _observe_commit(self, record: CommitRecord, instr: Instruction) -> CommitRecord:
+        cov = self._cov
+        trap = record.trap
+        if trap is not None:
+            cov |= trap_mask(instr, record)
+        if not instr.is_illegal:
+            cls = spec_for(instr.mnemonic).cls
+            rd_value = record.rd_value
+            if trap is None:
+                if rd_value is not None and cls in _ALU_CLASSES:
+                    cov |= alu_mask(instr.mnemonic, rd_value)
+                elif cls is InstrClass.BRANCH:
+                    taken = record.next_pc != (record.pc + 4) & MASK64
+                    cov |= branch_mask(instr.mnemonic, taken,
+                                       record.next_pc < record.pc)
+                    cov |= self.bpred.update_mask(record.pc, taken)
+                elif cls is InstrClass.ATOMIC:
+                    cov |= atomic_mask(instr, record)
+            if rd_value is not None and (cls is InstrClass.MUL
+                                         or cls is InstrClass.DIV):
+                operands = self._operand_values
+                cov |= self.fu.observe_mask(cls, operands[0], operands[1],
+                                            rd_value)
+        cov |= self.dut.structural_mask(record, instr, self)
+        if self.csr_tracker is not None:
+            cov |= self.csr_tracker.observe_mask(record)
+        self._cov = cov
+        if trap is not None:
+            self.last_trap_step = self._step_index
+            self.last_trap_cause = trap
+        return record
+
+    # ----------------------------------------------------------------- results
+    def coverage_hits(self) -> FrozenSet[str]:
+        """Materialise the accumulated bitset into the canonical point set."""
+        return points_of(self._cov)
+
+
+class LegacyCoverageExecutor(DutExecutor):
+    """Reference executor recording coverage as string tuples in a collector.
+
+    Overrides only the coverage-*recording* hooks -- bug injection, memory,
+    CSR and trap semantics are inherited untouched -- so a run through this
+    executor is the pre-bitset implementation: every emission goes through
+    the legacy string helpers and microarch list methods into a
+    :class:`~repro.coverage.collector.CoverageCollector`.  The parity tests
+    compare its coverage set against the bitset fast path's; it is not used
+    on any production path.
+    """
+
+    def __init__(self, state: ArchState, memory: Memory, config: ExecutorConfig,
+                 dut: "DutModel") -> None:
+        super().__init__(state, memory, config, dut=dut)
+        self.collector = CoverageCollector()
+
+    def _record_fetch_decode(self, instr: Instruction, word: int, pc: int) -> None:
         self.collector.hit_many(self.icache.access(pc, is_store=False))
         self.collector.hit_many(decode_points(instr, word))
         self.collector.hit_many(operand_points(instr))
@@ -450,79 +798,13 @@ class DutExecutor(Executor):
                     instr.rs1 if spec.reads_rs1 else None,
                     instr.rs2 if spec.reads_rs2 else None,
                 ))
-        return instr
 
-    # ------------------------------------------------------------------ memory
-    def _mem_load(self, address: int, size: int, signed: bool,
-                  instr: Instruction) -> int:
-        value = self.memory.load(address, size, signed)
-        self.collector.hit_many(self.dcache.access(address, is_store=False))
-        for bug in self.bugs:
-            override = bug.on_mem_load(self, address, size, value, instr)
-            if override is not None:
-                value = override
-        return value
+    def _record_dcache(self, address: int, is_store: bool) -> None:
+        self.collector.hit_many(self.dcache.access(address, is_store=is_store))
 
-    def _mem_store(self, address: int, value: int, size: int,
-                   instr: Instruction) -> None:
-        self.memory.store(address, value, size)
-        self.collector.hit_many(self.dcache.access(address, is_store=True))
-        self.stores_executed += 1
-        self.last_store_step = self._step_index
+    def _record_csr(self, kind: str, address: int) -> None:
+        self.collector.hit(_csr_point(kind, address))
 
-    # --------------------------------------------------------------------- CSR
-    def _csr_read(self, address: int, instr: Instruction) -> int:
-        for bug in self.bugs:
-            override = bug.on_csr_read(self, address, instr)
-            if override is not None:
-                self.collector.hit(
-                    coverage_point("csr", "unimplemented", f"0x{address:03x}"))
-                return override
-        try:
-            value = self.state.read_csr(address)
-        except Trap:
-            if address in csrdefs.UNIMPLEMENTED_CSRS:
-                self.collector.hit(
-                    coverage_point("csr", "unimplemented", f"0x{address:03x}"))
-            raise
-        self.collector.hit(coverage_point("csr", csrdefs.csr_name(address), "read"))
-        return value
-
-    def _csr_write(self, address: int, value: int, instr: Instruction) -> None:
-        for bug in self.bugs:
-            if bug.on_csr_write(self, address, value, instr):
-                self.collector.hit(
-                    coverage_point("csr", "unimplemented", f"0x{address:03x}"))
-                return
-        try:
-            self.state.write_csr(address, value)
-        except Trap:
-            if csrdefs.is_read_only_csr(address):
-                self.collector.hit(coverage_point("csr", "readonly_write"))
-            elif address in csrdefs.UNIMPLEMENTED_CSRS:
-                self.collector.hit(
-                    coverage_point("csr", "unimplemented", f"0x{address:03x}"))
-            raise
-        self.collector.hit(coverage_point("csr", csrdefs.csr_name(address), "write"))
-
-    # -------------------------------------------------------------------- traps
-    def _trap_cause(self, trap: Trap, instr: Instruction, pc: int) -> Optional[Trap]:
-        current: Optional[Trap] = trap
-        for bug in self.bugs:
-            if current is None:
-                break
-            current = bug.on_trap(self, current, instr, pc)
-        return current
-
-    # --------------------------------------------------------------- retirement
-    def _count_retirement(self, instr: Instruction, trapped: bool) -> None:
-        if not all(bug.should_count_retirement(self, instr) for bug in self.bugs):
-            self.state.csrs[csrdefs.MCYCLE] = (
-                self.state.csrs[csrdefs.MCYCLE] + 1) & MASK64
-            return
-        super()._count_retirement(instr, trapped)
-
-    # ------------------------------------------------------------------ observe
     def _observe_commit(self, record: CommitRecord, instr: Instruction) -> CommitRecord:
         collector = self.collector
         collector.hit_many(alu_points(instr, record))
@@ -547,6 +829,9 @@ class DutExecutor(Executor):
             self.last_trap_cause = record.trap
         return record
 
+    def coverage_hits(self) -> FrozenSet[str]:
+        return self.collector.hits
+
 
 # ======================================================================= model
 class DutModel(ModelBase):
@@ -554,6 +839,11 @@ class DutModel(ModelBase):
 
     #: subclasses override with their default configuration.
     default_config = DutConfig()
+
+    #: coverage emission backend: the integer-bitset fast path by default.
+    #: The parity tests flip this to ``False`` to run the same model through
+    #: the legacy string-tuple collector reference implementation.
+    bitset_coverage = True
 
     def __init__(self, config: Optional[DutConfig] = None,
                  bugs: Sequence[Union[str, InjectedBug]] = (),
@@ -585,6 +875,19 @@ class DutModel(ModelBase):
         """DUT-specific structural coverage emission (overridden by subclasses)."""
         return _NO_POINTS
 
+    def structural_mask(self, record: CommitRecord, instr: Instruction,
+                        executor: DutExecutor) -> int:
+        """Structural coverage of one commit as a bitset mask (hot path).
+
+        The three processor models override this with table-driven emitters
+        (precomputed per-point masks, no string building per commit).  The
+        default derives the mask from :meth:`structural_points`, so any
+        subclass that only implements the string form stays correct --
+        merely slower.
+        """
+        points = self.structural_points(record, instr, executor)
+        return mask_of(points) if points else 0
+
     def coverage_space(self) -> FrozenSet[str]:
         """The DUT's full branch coverage space (cached)."""
         if self._space is None:
@@ -607,7 +910,9 @@ class DutModel(ModelBase):
 
     # ------------------------------------------------------------------ run hooks
     def _make_executor(self, state: ArchState, memory: Memory) -> Executor:
-        executor = DutExecutor(state, memory, self.executor_config, dut=self)
+        executor_cls = (DutExecutor if self.bitset_coverage
+                        else LegacyCoverageExecutor)
+        executor = executor_cls(state, memory, self.executor_config, dut=self)
         self._last_executor = executor
         return executor
 
@@ -624,7 +929,7 @@ class DutModel(ModelBase):
         first_steps = {bug_id: steps[0] for bug_id, steps in executor.bug_effects.items()}
         return DutRunResult(
             execution=execution,
-            coverage=executor.collector.hits,
+            coverage=executor.coverage_hits(),
             fired_bugs=frozenset(executor.bug_effects),
             bug_effect_steps=first_steps,
         )

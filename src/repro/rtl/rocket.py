@@ -13,11 +13,12 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Set, Union
 
+from repro.coverage.bitset import point_mask
 from repro.coverage.points import coverage_point
 from repro.isa.encoding import SPECS, InstrClass, spec_for
 from repro.isa.instruction import Instruction
 from repro.rtl.bugs import ROCKET_BUG_IDS, InjectedBug
-from repro.rtl.harness import DutConfig, DutExecutor, DutModel
+from repro.rtl.harness import _INSTR_MEMO_MAX, DutConfig, DutExecutor, DutModel
 from repro.sim.executor import ExecutorConfig
 from repro.sim.trace import CommitRecord
 
@@ -123,3 +124,104 @@ class RocketModel(DutModel):
             "is_load": cls is InstrClass.LOAD,
         }
         return points
+
+    # ------------------------------------------------------------------- masks
+    # Table-driven twin of structural_points: every point mask is
+    # precomputed once per model instance, so emitting a commit's structural
+    # coverage is a handful of table lookups and ``|=`` -- no string
+    # building on the hot path.  The parity tests assert this path matches
+    # the string emission above on user and trap corpora.
+    def _structural_tables(self) -> dict:
+        tables = self.__dict__.get("_rocket_tables")
+        if tables is None:
+            tables = {
+                "illegal": point_mask("rocket", "pipe", "if", "bubble")
+                | point_mask("rocket", "pipe", "id", "bubble"),
+                "pipe": {
+                    mnemonic: sum(point_mask("rocket", "pipe", stage, mnemonic)
+                                  for stage in _PIPELINE_STAGES)
+                    for mnemonic in SPECS
+                },
+                "rf_write": [point_mask("rocket", "regfile", "write", f"x{reg}")
+                             for reg in range(32)],
+                "rf_read": [point_mask("rocket", "regfile", "read", f"x{reg}")
+                            for reg in range(32)],
+                "bypass_ex": [point_mask("rocket", "bypass", "ex_to_id", f"x{reg}")
+                              for reg in range(32)],
+                "bypass_mem": [point_mask("rocket", "bypass", "mem_to_id", f"x{reg}")
+                               for reg in range(32)],
+                "stall": {
+                    InstrClass.DIV: point_mask("rocket", "stall", "div"),
+                    InstrClass.MUL: point_mask("rocket", "stall", "mul"),
+                    InstrClass.CSR: point_mask("rocket", "stall", "csr"),
+                    InstrClass.FENCE: point_mask("rocket", "stall", "fence"),
+                    InstrClass.ATOMIC: point_mask("rocket", "stall", "amo"),
+                },
+                "stall_loaduse": point_mask("rocket", "stall", "loaduse"),
+                "redirect_trap": point_mask("rocket", "pcgen", "redirect", "trap"),
+                "redirect_jump": point_mask("rocket", "pcgen", "redirect", "jump"),
+                "redirect_branch": point_mask("rocket", "pcgen", "redirect", "branch"),
+                "sequential": point_mask("rocket", "pcgen", "sequential"),
+                "plans": {},  # per-instruction static plans, filled lazily
+            }
+            self.__dict__["_rocket_tables"] = tables
+        return tables
+
+    def structural_mask(self, record: CommitRecord, instr: Instruction,
+                        executor: DutExecutor) -> int:
+        tables = self._structural_tables()
+        if instr.is_illegal:
+            return tables["illegal"]
+
+        # Per-instruction plan: the pipeline/regfile-read/stall masks and
+        # the spec flags are static per decoded instruction, resolved once.
+        plans = tables["plans"]
+        plan = plans.get(instr)
+        if plan is None:
+            spec = spec_for(instr.mnemonic)
+            base = tables["pipe"][instr.mnemonic]
+            if spec.reads_rs1:
+                base |= tables["rf_read"][instr.rs1]
+            if spec.reads_rs2:
+                base |= tables["rf_read"][instr.rs2]
+            stall = tables["stall"].get(spec.cls)
+            if stall is not None:
+                base |= stall
+            if len(plans) >= _INSTR_MEMO_MAX:
+                plans.clear()
+            plan = plans[instr] = (
+                base, spec.writes_rd,
+                instr.rs1 if spec.reads_rs1 else None,
+                instr.rs2 if spec.reads_rs2 else None,
+                spec.cls,
+            )
+        mask, writes_rd, rs1, rs2, cls = plan
+
+        rd = record.rd
+        if writes_rd and rd is not None:
+            mask |= tables["rf_write"][rd]
+
+        prev = executor.dut_scratch.get("rocket_prev")
+        if isinstance(prev, dict) and prev.get("rd"):
+            prev_rd = prev["rd"]
+            if rs1 == prev_rd:
+                mask |= tables["bypass_ex"][prev_rd]
+                if prev.get("is_load"):
+                    mask |= tables["stall_loaduse"]
+            if rs2 == prev_rd:
+                mask |= tables["bypass_mem"][prev_rd]
+
+        if record.trap is not None:
+            mask |= tables["redirect_trap"]
+        elif cls is InstrClass.JUMP:
+            mask |= tables["redirect_jump"]
+        elif cls is InstrClass.BRANCH and record.next_pc != record.pc + 4:
+            mask |= tables["redirect_branch"]
+        else:
+            mask |= tables["sequential"]
+
+        executor.dut_scratch["rocket_prev"] = {
+            "rd": rd,
+            "is_load": cls is InstrClass.LOAD,
+        }
+        return mask

@@ -161,8 +161,19 @@ class Executor:
     # The DUT harness overrides these to model decode defects, cache effects,
     # coverage emission and the injected vulnerabilities.
 
+    def _observe_decode(self, instr: Instruction, word: int, pc: int) -> Instruction:
+        """Observe (and possibly replace) a decoded instruction.
+
+        This is the post-decode hook shared by the fetch-and-decode path
+        (:meth:`step`) and the pre-decoded compiled-trace path
+        (:meth:`step_compiled`): DUTs emit fetch/decode coverage and give
+        the injected bugs their ``on_decode`` shot here, so both paths
+        instrument every commit identically.
+        """
+        return instr
+
     def _decode(self, word: int, pc: int) -> Instruction:
-        return decode_word(word)
+        return self._observe_decode(decode_word(word), word, pc)
 
     def _mem_load(self, address: int, size: int, signed: bool,
                   instr: Instruction) -> int:
@@ -212,8 +223,38 @@ class Executor:
             self.halt_reason = HaltReason.PC_OUT_OF_RANGE
             return record
         instr = self._decode(word, pc)
+        return self._dispatch_step(instr, pc, word,
+                                   _HANDLERS.get(instr.mnemonic))
+
+    def step_compiled(self, entry: tuple) -> Optional[CommitRecord]:
+        """Execute one pre-decoded instruction from a compiled trace.
+
+        ``entry`` is a ``(word, instr, handler)`` tuple produced by
+        :func:`repro.isa.compiled.compile_program`; the caller (the shared
+        run loop in :mod:`repro.sim.golden`) guarantees it corresponds to
+        the current ``pc`` and that the backing memory word is unmodified.
+        Semantics are identical to :meth:`step` minus the fetch and decode:
+        the decode-observation hook still runs (a bug may replace the
+        instruction, in which case the pre-resolved handler is discarded).
+        """
+        if self.halted:
+            return None
+        word, instr, handler = entry
+        pc = self.state.pc
+        observed = self._observe_decode(instr, word, pc)
+        if observed is not instr:
+            instr = observed
+            handler = _HANDLERS.get(instr.mnemonic)
+        return self._dispatch_step(instr, pc, word, handler)
+
+    def _dispatch_step(self, instr: Instruction, pc: int, word: int,
+                       handler: Optional[Callable]) -> CommitRecord:
+        """Execute + commit one decoded instruction (shared by both step paths)."""
         try:
-            record = self._execute(instr, pc, word)
+            if handler is not None:
+                record = handler(self, instr, pc, word)
+            else:
+                record = self._execute(instr, pc, word)
         except Trap as trap:
             reported = self._trap_cause(trap, instr, pc)
             if reported is None:
@@ -509,3 +550,14 @@ def _build_handlers() -> Dict[str, Callable]:
 
 #: mnemonic -> handler closure, built once from SPECS at import time.
 _HANDLERS: Dict[str, Callable] = _build_handlers()
+
+
+def handler_for(instr: Instruction) -> Optional[Callable]:
+    """The execute closure for ``instr`` (``None`` = illegal/unknown path).
+
+    Used by the trace compiler (:mod:`repro.isa.compiled`) to resolve
+    handlers once per program instead of once per step; a ``None`` handler
+    makes :meth:`Executor.step_compiled` fall back to :meth:`Executor._execute`,
+    which raises the architectural illegal-instruction trap.
+    """
+    return _HANDLERS.get(instr.mnemonic)

@@ -13,6 +13,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
+from repro.isa.compiled import compile_program
 from repro.isa.program import TestProgram
 from repro.sim.executor import Executor, ExecutorConfig
 from repro.sim.memory import DEFAULT_LAYOUT, Memory, MemoryLayout
@@ -45,30 +46,73 @@ class ModelBase:
     # ---------------------------------------------------------------------- run
     def run(self, program: TestProgram,
             max_steps: Optional[int] = None) -> ExecutionResult:
-        """Execute ``program`` to completion and return its commit trace."""
+        """Execute ``program`` to completion and return its commit trace.
+
+        The loop is driven by the program's **compiled trace**
+        (:func:`repro.isa.compiled.compile_program`): an in-range, aligned
+        ``pc`` indexes straight into the pre-decoded ``(word, instr,
+        handler)`` entries and skips fetch + decode entirely.  Two cases
+        fall back to the generic fetch-and-decode :meth:`Executor.step`,
+        whose semantics (including its trap behaviour) are unchanged:
+
+        * a misaligned in-range ``pc`` (reachable via ``mret`` with a
+          software-seeded ``mepc``), and
+        * a word some earlier store overwrote -- committed stores that
+          overlap the code window mark their word slots dirty, so
+          self-modifying programs execute exactly as they always did.
+        """
         memory = Memory(self.layout)
         memory.load_program_words(program.base_address, program.words())
         state = ArchState(pc=program.base_address)
         executor = self._make_executor(state, memory)
         self._prepare_run(executor, program)
 
+        compiled = compile_program(program)
+        entries = compiled.entries
+        base_address = program.base_address
         limit = max_steps or self.executor_config.step_limit
         result = ExecutionResult()
-        end_address = program.end_address()
+        records = result.records
+        end_address = compiled.end_address
+        dirty_words: Optional[set] = None  # built lazily on first code store
+        step_compiled = executor.step_compiled
         while not executor.halted:
             pc = state.pc
             if pc == end_address:
                 result.halt_reason = HaltReason.PROGRAM_END
                 break
-            if not (program.base_address <= pc < end_address):
+            if not (base_address <= pc < end_address):
                 result.halt_reason = HaltReason.PC_OUT_OF_RANGE
                 break
-            if len(result.records) >= limit:
+            if len(records) >= limit:
                 result.halt_reason = HaltReason.STEP_LIMIT
                 break
-            record = executor.step()
+            offset = pc - base_address
+            if offset & 3:
+                record = executor.step()  # misaligned fetch: generic path
+            else:
+                index = offset >> 2
+                if dirty_words is not None and index in dirty_words:
+                    record = executor.step()  # overwritten word: re-fetch
+                else:
+                    record = step_compiled(entries[index])
             if record is not None:
-                result.records.append(record)
+                records.append(record)
+                mem_addr = record.mem_addr
+                if mem_addr is not None:
+                    # Records carry mem_addr only for committed memory
+                    # *writes* (stores, AMOs, successful SCs).
+                    mem_size = record.mem_size or 1
+                    if (mem_addr < end_address
+                            and mem_addr + mem_size > base_address):
+                        # The store overlapped the code window: its compiled
+                        # entries are stale from the next fetch on.
+                        if dirty_words is None:
+                            dirty_words = set()
+                        first = max(mem_addr - base_address, 0) >> 2
+                        last = (min(mem_addr + mem_size, end_address)
+                                - base_address - 1) >> 2
+                        dirty_words.update(range(first, last + 1))
         else:
             # Loop exited because the executor halted itself (e.g. ecall).
             if executor.halt_reason is not None:

@@ -1,0 +1,37 @@
+"""Tests for the coverage-point bit registry."""
+
+from repro.coverage.bitset import GLOBAL_BITS, PointBitIndex
+
+
+class TestPointBitIndex:
+    def test_bits_are_stable_and_dense(self):
+        index = PointBitIndex()
+        a = index.bit("mod.a")
+        b = index.bit("mod.b")
+        assert a != b
+        assert index.bit("mod.a") == a  # stable on re-registration
+        assert len(index) == 2
+        assert "mod.a" in index and "mod.c" not in index
+
+    def test_mask_round_trips_through_points_of(self):
+        index = PointBitIndex()
+        points = {"x.1", "x.2", "y.3"}
+        mask = index.mask(points)
+        assert index.points_of(mask) == frozenset(points)
+        assert index.points_of(0) == frozenset()
+
+    def test_masks_compose_with_or(self):
+        index = PointBitIndex()
+        left = index.mask(["a", "b"])
+        right = index.mask(["b", "c"])
+        assert index.points_of(left | right) == {"a", "b", "c"}
+
+    def test_single_point_mask_is_one_bit(self):
+        index = PointBitIndex()
+        mask = index.mask(["only"])
+        assert mask.bit_count() == 1
+        assert index.points_of(mask) == {"only"}
+
+    def test_global_registry_exists(self):
+        bit = GLOBAL_BITS.bit("test.bitset.global.point")
+        assert GLOBAL_BITS.bit("test.bitset.global.point") == bit

@@ -134,11 +134,13 @@ class TestProcessCaches:
 
     def test_configure_process_caches(self):
         from repro.exec.cache import DEFAULT_CACHE_ENTRIES
+        from repro.isa.compiled import process_compiled_cache
 
         try:
             configure_process_caches(77)
             assert process_dut_cache().max_entries == 77
             assert process_golden_cache().max_entries == 77
+            assert process_compiled_cache().max_entries == 77
         finally:
             configure_process_caches(None)  # None restores the default bound
         assert process_dut_cache().max_entries == DEFAULT_CACHE_ENTRIES
@@ -149,4 +151,39 @@ class TestProcessCaches:
         assert set(stats) == {"dut_cache_hits", "dut_cache_misses",
                               "dut_cache_evictions", "shared_golden_hits",
                               "shared_golden_misses",
-                              "shared_golden_evictions"}
+                              "shared_golden_evictions",
+                              "compiled_trace_hits", "compiled_trace_misses",
+                              "compiled_trace_evictions"}
+
+    def test_configure_spill_evictions_survive_in_batch_deltas(self):
+        """Regression: re-bounding mid-grid must not lose eviction deltas.
+
+        ``execute_batch`` snapshots counters *before* re-bounding the
+        worker caches; evictions spilled by a shrinking ``--cache-entries``
+        bound therefore land in that batch's delta instead of vanishing
+        between two snapshots.
+        """
+        from repro.exec.batching import TrialTask, execute_batch, plan_batches
+        from repro.fuzzing.base import FuzzerConfig
+        from repro.harness.campaign import CampaignSpec
+
+        spec = CampaignSpec(processor="rocket", fuzzer="thehuzz", num_tests=6,
+                            trials=1, seed=123, bugs=[],
+                            fuzzer_config=FuzzerConfig(num_seeds=3,
+                                                       mutants_per_test=2))
+        tasks = [TrialTask(spec_index=0, trial_index=0, spec=spec)]
+        try:
+            # Warm the process caches well past the tiny bound below.
+            [warm] = plan_batches(tasks, cache_entries=None)
+            execute_batch(warm)
+            assert len(process_dut_cache()) > 1
+            evictions_before = process_dut_cache().evictions
+
+            [shrunk] = plan_batches(tasks, cache_entries=1)
+            payload = execute_batch(shrunk)
+            spilled = process_dut_cache().evictions - evictions_before
+            assert spilled > 0, "shrinking the bound must spill entries"
+            # The spill is attributed to the batch that requested the bound.
+            assert payload["cache_stats"]["dut_cache_evictions"] >= spilled
+        finally:
+            configure_process_caches(None)

@@ -1,0 +1,166 @@
+"""Tests for the compiled-trace execution substrate.
+
+The trace compiler (:mod:`repro.isa.compiled`) pre-decodes programs into
+threaded code; the shared run loop indexes it instead of fetching and
+decoding.  Bit-identity of whole corpora is pinned by
+``test_hotpath_equivalence.py``; this module covers the substrate's own
+mechanics, and the two cases where the loop must *leave* the compiled
+trace: self-modifying code and misaligned in-range program counters.
+"""
+
+import pytest
+
+from repro.isa import csr as csrdefs
+from repro.isa.assembler import encode_instruction
+from repro.isa.compiled import (
+    CompiledTraceCache,
+    compile_program,
+    process_compiled_cache,
+)
+from repro.isa.decoder import decode_word
+from repro.isa.generator import SeedGenerator
+from repro.isa.instruction import Instruction
+from repro.isa.program import TestProgram
+from repro.rtl.registry import make_dut
+from repro.sim.golden import GoldenModel
+from repro.sim.trace import HaltReason
+
+I = Instruction
+
+
+def _program(*instructions):
+    return TestProgram(instructions=tuple(instructions))
+
+
+class TestCompileProgram:
+    def test_entries_mirror_decode(self):
+        program = _program(I("addi", rd=1, rs1=0, imm=5),
+                           I.illegal(0xFFFF_FFFF),
+                           I("ecall"))
+        compiled = compile_program(program)
+        assert len(compiled) == 3
+        assert compiled.base_address == program.base_address
+        assert compiled.end_address == program.end_address()
+        for word, (entry_word, instr, handler) in zip(program.words(),
+                                                      compiled.entries):
+            assert entry_word == word & 0xFFFF_FFFF
+            assert instr is decode_word(word)  # shares the decode cache
+            assert (handler is None) == instr.is_illegal
+
+    def test_fingerprint_keyed_sharing(self):
+        body = (I("addi", rd=3, rs1=0, imm=9), I("ecall"))
+        first = _program(*body)
+        twin = _program(*body)  # distinct object, same content
+        compiled = compile_program(first)
+        cache = process_compiled_cache()
+        hits = cache.hits
+        assert compile_program(first) is compiled  # served from the LRU
+        assert compile_program(twin) is compiled  # fingerprint-keyed reuse
+        assert cache.hits == hits + 2
+        # Nothing is pinned on the program object: the LRU bound governs
+        # all compiled-trace memory (the --cache-entries contract).
+        assert "_compiled" not in first.__dict__
+
+    def test_lru_bound_and_stats(self):
+        cache = CompiledTraceCache(max_entries=2)
+        programs = [_program(I("addi", rd=1, rs1=0, imm=n), I("ecall"))
+                    for n in range(3)]
+        for program in programs:
+            cache.get_or_compile(program)
+        assert len(cache) == 2
+        stats = cache.stats()
+        assert stats["misses"] == 3 and stats["evictions"] == 1
+        cache.get_or_compile(programs[0])  # spilled -> recompiled
+        assert cache.stats()["misses"] == 4
+        cache.configure(1)
+        assert len(cache) == 1
+        with pytest.raises(ValueError):
+            cache.configure(0)
+        with pytest.raises(ValueError):
+            CompiledTraceCache(max_entries=0)
+
+
+class TestFallbackPaths:
+    def test_self_modifying_store_executes_new_word(self):
+        """A store into the code window invalidates the compiled entry.
+
+        The program overwrites its own slot 4 (an ``addi x5, x0, 1``) with
+        the encoding of ``addi x5, x0, 42`` before reaching it; the commit
+        trace must show the *new* instruction, exactly as the fetch-based
+        loop always behaved.
+        """
+        # Materialise the new word into x3 via lui+addi (the exact 32-bit
+        # encoding does not fit an addi immediate on its own).
+        new_word = encode_instruction(I("addi", rd=5, rs1=0, imm=42))
+        upper = (new_word + 0x800) >> 12
+        lower = new_word - (upper << 12)
+        program = _program(
+            I("lui", rd=1, imm=0x40000),         # x1 = 0x4000_0000 (code base)
+            I("lui", rd=3, imm=upper),
+            I("addi", rd=3, rs1=3, imm=lower),   # x3 = new_word
+            I("sw", rs1=1, rs2=3, imm=20),       # overwrite slot 5
+            I("addi", rd=6, rs1=0, imm=7),
+            I("addi", rd=5, rs1=0, imm=1),       # slot 5: the victim
+            I("ecall"),
+        )
+        result = GoldenModel().run(program)
+        victim = [r for r in result.records if r.pc == program.base_address + 20]
+        assert victim, "the overwritten slot must still execute"
+        assert victim[0].word == new_word
+        assert victim[0].rd == 5 and victim[0].rd_value == 42
+        assert result.final_registers[5] == 42
+        assert result.halt_reason is HaltReason.ECALL
+
+    def test_self_modifying_store_matches_on_dut(self):
+        """Golden and DUT take the same fallback on overwritten words."""
+        new_word = encode_instruction(I("addi", rd=5, rs1=0, imm=42))
+        upper = (new_word + 0x800) >> 12
+        lower = new_word - (upper << 12)
+        program = _program(
+            I("lui", rd=1, imm=0x40000),
+            I("lui", rd=3, imm=upper),
+            I("addi", rd=3, rs1=3, imm=lower),
+            I("sw", rs1=1, rs2=3, imm=20),
+            I("addi", rd=6, rs1=0, imm=7),
+            I("addi", rd=5, rs1=0, imm=1),
+            I("ecall"),
+        )
+        golden = GoldenModel().run(program)
+        dut = make_dut("rocket", bugs=[]).run(program)
+        assert ([r.arch_key() for r in golden.records]
+                == [r.arch_key() for r in dut.execution.records])
+
+    def test_misaligned_mret_target_takes_generic_path(self):
+        """mret into a misaligned in-range pc: generic step reports the fault."""
+        program = _program(
+            I("lui", rd=1, imm=0x40000),            # x1 = base
+            I("addi", rd=1, rs1=1, imm=6),          # x1 = base + 6 (misaligned)
+            I("csrrw", rd=0, rs1=1, csr=csrdefs.MEPC),
+            I("mret"),                              # jump to base + 6
+            I("addi", rd=2, rs1=0, imm=1),
+            I("ecall"),
+        )
+        result = GoldenModel().run(program)
+        assert result.halt_reason is HaltReason.PC_OUT_OF_RANGE
+        final = result.records[-1]
+        assert final.trap is not None
+        assert final.trap.name == "INSTRUCTION_ADDRESS_MISALIGNED"
+        assert final.trap_tval == program.base_address + 6
+
+    def test_compiled_and_step_limit_agree(self):
+        """An infinite loop still honours the step limit through the fast path."""
+        program = _program(I("jal", rd=0, imm=0))  # tight self-loop
+        result = GoldenModel().run(program, max_steps=17)
+        assert result.halt_reason is HaltReason.STEP_LIMIT
+        assert result.steps == 17
+
+
+class TestCorpusSanity:
+    def test_random_programs_unaffected_by_repeat_compilation(self):
+        golden = GoldenModel()
+        for program in SeedGenerator(rng=5).generate_many(5):
+            first = golden.run(program)
+            second = golden.run(program)
+            assert ([r.arch_key() for r in first.records]
+                    == [r.arch_key() for r in second.records])
+            assert first.final_csrs == second.final_csrs
