@@ -33,6 +33,7 @@ from repro.exec import (
     DistributedBackend,
     ProcessPoolBackend,
     SerialBackend,
+    faults,
     run_worker,
 )
 from repro.fuzzing.base import FuzzerConfig
@@ -92,10 +93,19 @@ def _backend(args):
             raise SystemExit("--max-tasks-per-child only applies to the "
                              "process backend; recycle distributed workers "
                              "with `worker --max-tasks` instead")
+        kwargs = {}
+        if args.lease_timeout is not None:
+            kwargs["lease_timeout"] = args.lease_timeout
+        if args.max_attempts is not None:
+            kwargs["max_attempts"] = args.max_attempts
         return DistributedBackend(args.queue,
-                                  stop_workers_on_exit=args.stop_workers)
+                                  stop_workers_on_exit=args.stop_workers,
+                                  **kwargs)
     if args.queue is not None or args.stop_workers:
         raise SystemExit("--queue/--stop-workers require --backend distributed")
+    if args.lease_timeout is not None or args.max_attempts is not None:
+        raise SystemExit("--lease-timeout/--max-attempts require "
+                         "--backend distributed")
     if backend_name == "process":
         if args.workers < 2:
             raise SystemExit("--backend process requires --workers >= 2")
@@ -244,14 +254,26 @@ def _cmd_ablation(args) -> int:
 
 
 def _cmd_worker(args) -> int:
-    executed = run_worker(
-        args.queue,
-        worker_id=args.worker_id,
-        poll_interval=args.poll_interval,
-        lease_timeout=args.lease_timeout,
-        max_tasks=args.max_tasks,
-        log=lambda line: print(line, file=sys.stderr, flush=True),
-    )
+    if args.fault_plan:
+        faults.install_plan_file(args.fault_plan)
+    try:
+        executed = run_worker(
+            args.queue,
+            worker_id=args.worker_id,
+            poll_interval=args.poll_interval,
+            lease_timeout=args.lease_timeout,
+            max_tasks=args.max_tasks,
+            max_attempts=args.max_attempts,
+            max_poll_interval=args.max_poll_interval,
+            log=lambda line: print(line, file=sys.stderr, flush=True),
+        )
+    except OSError as error:
+        # The queue itself failed (publish impossible even after retries):
+        # exit nonzero so supervisors restart or alert on this worker.
+        # Per-batch errors never reach here -- they are published to the
+        # dispatcher and the worker keeps serving.
+        print(f"worker error: {error}", file=sys.stderr, flush=True)
+        return 1
     print(f"executed {executed} batches")
     return 0
 
@@ -294,6 +316,13 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--stop-workers", action="store_true",
                         help="write the queue's STOP sentinel when the grid "
                              "finishes, so attached workers drain and exit")
+    parser.add_argument("--lease-timeout", type=float, default=None,
+                        help="seconds before a silent worker's claim is "
+                             "requeued (distributed backend only)")
+    parser.add_argument("--max-attempts", type=int, default=None,
+                        help="execution budget per batch before it is "
+                             "quarantined in deadletter/ (distributed "
+                             "backend only; default 3)")
     parser.add_argument("--max-tasks-per-child", type=int, default=None,
                         help="recycle each pool worker after this many batches")
     parser.add_argument("--batch-size", type=int, default=None,
@@ -404,6 +433,16 @@ def build_parser() -> argparse.ArgumentParser:
     worker_parser.add_argument("--max-tasks", type=int, default=None,
                                help="exit after this many batches (worker "
                                     "recycling)")
+    worker_parser.add_argument("--max-attempts", type=int, default=None,
+                               help="retry-budget fallback applied when "
+                                    "rescuing stale tasks enqueued without "
+                                    "one (default 3)")
+    worker_parser.add_argument("--max-poll-interval", type=float, default=None,
+                               help="ceiling of the idle-poll backoff "
+                                    "(default 16x --poll-interval)")
+    worker_parser.add_argument("--fault-plan", metavar="PATH", default=None,
+                               help="fault-injection plan JSON for chaos "
+                                    "testing (docs/robustness.md)")
     worker_parser.set_defaults(func=_cmd_worker)
 
     return parser
@@ -411,6 +450,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of the ``mabfuzz`` console script."""
+    # Chaos CI jobs inject dispatcher-side faults by exporting
+    # REPRO_FAULT_PLAN; a no-op when the variable is unset.
+    faults.install_from_env()
     parser = build_parser()
     args = parser.parse_args(argv)
     return args.func(args)

@@ -87,6 +87,11 @@ class ProgressMonitor:
         #: out-of-band by the engine because these counters are kept out
         #: of result metadata on purpose.
         self.worker_cache_stats: Dict[str, int] = {}
+        #: self-healing counters for the current grid: stale-lease
+        #: requeues, failed-batch retries, dead-lettered batches and
+        #: journal records dropped by the salvage pass.  Fed by the engine
+        #: (journal side) and the backend (queue side).
+        self.robustness_stats: Dict[str, int] = {}
         self._started_at: Optional[float] = None
 
     # ------------------------------------------------------------------ updates
@@ -102,6 +107,7 @@ class ProgressMonitor:
         self.restored_trials = restored_trials
         self.cache_stats = dict.fromkeys(self.cache_stats, 0)  # per-grid rates
         self.worker_cache_stats = {}
+        self.robustness_stats = {}
         self._started_at = self._clock()
         if self._sink is not None:
             restored = (f" ({restored_trials} restored from checkpoint)"
@@ -124,6 +130,37 @@ class ProgressMonitor:
         backend's running per-grid totals, so this is a snapshot, not an
         increment)."""
         self.worker_cache_stats = dict(stats)
+
+    def update_robustness_stats(self, stats: Dict[str, int]) -> None:
+        """Merge self-healing counters (snapshot semantics per key).
+
+        The engine feeds two sources with disjoint keys -- the journal
+        salvage tally (once, at load) and the backend's running recovery
+        totals (every completion) -- so each key is replaced, not summed.
+        """
+        for name, value in stats.items():
+            if value:
+                self.robustness_stats[name] = value
+
+    def finish(self, report: Optional[Dict[str, object]] = None) -> None:
+        """Emit a final summary line when the grid needed self-healing.
+
+        Quiet on a clean run; a run that requeued, retried, dead-lettered
+        or salvaged anything gets one closing line so the damage is
+        visible even if the per-trial status lines scrolled away.
+        ``report`` is the engine's ``last_run_report`` (used to name the
+        dead-lettered trial count).
+        """
+        if self._sink is None:
+            return
+        quarantined = int((report or {}).get("quarantined_trials", 0) or 0)
+        if not self.robustness_stats and not quarantined:
+            return
+        parts = [f"{name.replace('_', ' ')} {value}"
+                 for name, value in sorted(self.robustness_stats.items())]
+        if quarantined:
+            parts.append(f"{quarantined} trial(s) lost to deadletter/")
+        self._sink("grid recovery: " + " | ".join(parts))
 
     # ------------------------------------------------------------------ queries
     @property
@@ -174,6 +211,11 @@ class ProgressMonitor:
         evictions = self.cache_evictions()
         if evictions:
             parts.append(f"{evictions} evicted")
+        for counter in ("requeued", "retried", "deadlettered",
+                        "journal_dropped"):
+            value = self.robustness_stats.get(counter)
+            if value:
+                parts.append(f"{counter.replace('_', '-')} {value}")
         if label:
             parts.append(label)
         return " | ".join(parts)

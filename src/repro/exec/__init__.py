@@ -4,9 +4,12 @@ Shards grids of independent campaign trials across pluggable backends
 (serial, multi-process pool, or a spool-directory queue served by external
 workers), batches cache-compatible trials so one warm-up serves many,
 journals completed trials to a JSONL checkpoint for kill-safe resume, and
-serves repeated golden/DUT runs from bounded per-process LRU caches.  See
-``docs/parallel.md`` and ``docs/distributed.md`` for the architecture and
-determinism contract.
+serves repeated golden/DUT runs from bounded per-process LRU caches.  The
+:mod:`repro.exec.faults` module provides deterministic fault injection for
+exercising the stack's self-healing paths (heartbeat leases, retry budgets
+with dead-letter quarantine, checksummed journal salvage).  See
+``docs/parallel.md``, ``docs/distributed.md`` and ``docs/robustness.md``
+for the architecture, determinism contract and failure semantics.
 """
 
 from repro.exec.backends import (
@@ -31,13 +34,19 @@ from repro.exec.cache import (
 from repro.exec.checkpoint import CheckpointJournal
 from repro.exec.distributed import DistributedBackend, run_worker
 from repro.exec.engine import CampaignEngine, grid_summary, run_grid
-from repro.exec.queue import SpoolQueue
+from repro.exec.faults import Backoff, FaultInjector, FaultPlan, FaultRule
+from repro.exec.queue import DEFAULT_MAX_ATTEMPTS, SpoolQueue
 
 __all__ = [
+    "Backoff",
     "CampaignEngine",
     "CheckpointJournal",
     "DEFAULT_BATCH_SIZE",
+    "DEFAULT_MAX_ATTEMPTS",
     "DistributedBackend",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
     "DutRunCache",
     "ExecutionBackend",
     "ProcessPoolBackend",

@@ -68,6 +68,14 @@ class ExecutionBackend(abc.ABC):
         cache_stats: cache-traffic deltas summed over the batches of the
             most recent :meth:`run`, live while the run streams (the
             engine feeds these to the progress monitor).
+        robustness_stats: self-healing counters of the most recent
+            :meth:`run` (requeues, retries, dead-lettered batches) --
+            populated by backends with failure recovery (currently the
+            distributed one); empty for in-process backends.
+        quarantined: descriptions of batches the most recent :meth:`run`
+            gave up on (dead-lettered after their retry budget), each with
+            the ``(spec_index, trial_index)`` cells it carried so the
+            engine can report which trials are missing.
     """
 
     def __init__(self, batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
@@ -79,6 +87,8 @@ class ExecutionBackend(abc.ABC):
         self.batch_size = batch_size
         self.cache_entries = cache_entries
         self.cache_stats: Dict[str, int] = {}
+        self.robustness_stats: Dict[str, int] = {}
+        self.quarantined: list = []
 
     def run(self, tasks: Sequence[TrialTask]
             ) -> Iterator[Tuple[TrialTask, Dict[str, object]]]:
@@ -89,6 +99,8 @@ class ExecutionBackend(abc.ABC):
         plan/collect logic; subclasses implement :meth:`_run_batches`.
         """
         self.cache_stats = {}
+        self.robustness_stats = {}
+        self.quarantined = []
         # An empty grid still flows through _run_batches: backends with
         # shutdown side effects (the distributed STOP sentinel) must see
         # every run, including fully journal-restored ones.

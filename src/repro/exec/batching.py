@@ -16,7 +16,7 @@ content alone, so grouping (or not grouping) tasks can never change a
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.exec.cache import (
     configure_process_caches,
@@ -102,8 +102,15 @@ def plan_batches(tasks: Sequence[TrialTask],
     return batches
 
 
-def execute_batch(batch: TrialBatch) -> Dict[str, object]:
+def execute_batch(batch: TrialBatch,
+                  on_trial: Optional[Callable[[TrialTask], None]] = None
+                  ) -> Dict[str, object]:
     """Run every task of ``batch`` in this process; return the wire payload.
+
+    ``on_trial`` is called before each task runs; the distributed worker
+    hooks it to heartbeat its claim lease between trials (and to give the
+    fault injector its between-trials site), so a long batch stays leased
+    for as long as it is making progress.
 
     The payload is JSON-safe (it crosses pickle *and* the spool queue)::
 
@@ -131,6 +138,8 @@ def execute_batch(batch: TrialBatch) -> Dict[str, object]:
     golden_fallback = process_golden_cache()
     results = []
     for task in batch.tasks:
+        if on_trial is not None:
+            on_trial(task)
         result = run_campaign(task.spec, task.trial_index,
                               dut_cache=dut_cache,
                               golden_fallback=golden_fallback)

@@ -6,12 +6,23 @@ runs, one JSON object per line, append-only:
 * ``{"kind": "grid", "specs": [...], ...}`` -- informational header
   written at the start of every grid run (spec fingerprints + labels).
 * ``{"kind": "trial", "spec": <fingerprint>, "trial": <index>,
-  "result": <FuzzCampaignResult.to_dict()>}`` -- one completed trial.
+  "result": <FuzzCampaignResult.to_dict()>, "check": <crc32>}`` -- one
+  completed trial.
 
 Trials are keyed by *spec fingerprint*, not by grid position, so a resumed
 run matches completed work even if the grid is re-assembled in a different
-order (or a superset grid is launched later).  A half-written final line --
-the normal aftermath of killing a run mid-append -- is skipped on load.
+order (or a superset grid is launched later).
+
+Corruption safety: every record carries a CRC-32 checksum of its own
+content, and :meth:`CheckpointJournal.load` runs a **salvage pass** -- a
+half-written final line (the normal aftermath of killing a run
+mid-append), an undecodable interior line, or a line that parses but fails
+its checksum (bit rot, overlapping writes on a broken filesystem) is
+skipped and *counted*, never trusted and never fatal.  The tally of
+salvaged-vs-dropped records is exposed as
+:attr:`CheckpointJournal.last_load_stats` so the engine can report how
+much of a damaged journal survived.  Records without a checksum (journals
+written before checksums existed) still load.
 
 Concurrent writers are supported: each record is appended with a single
 ``write(2)`` on an ``O_APPEND`` descriptor, so records from two processes
@@ -23,8 +34,10 @@ from __future__ import annotations
 
 import json
 import os
+import zlib
 from typing import Dict, Optional, Sequence, Tuple
 
+from repro.exec import faults
 from repro.fuzzing.results import FuzzCampaignResult
 from repro.harness.campaign import CampaignSpec
 
@@ -33,6 +46,15 @@ JOURNAL_VERSION = 1
 #: key of one completed trial: (spec fingerprint, trial index).
 TrialKey = Tuple[str, int]
 
+#: record field holding the CRC-32 of the rest of the record.
+CHECK_KEY = "check"
+
+
+def record_checksum(record: dict) -> int:
+    """CRC-32 over the canonical JSON of ``record`` minus its checksum."""
+    body = {key: value for key, value in record.items() if key != CHECK_KEY}
+    return zlib.crc32(json.dumps(body, sort_keys=True).encode("utf-8"))
+
 
 class CheckpointJournal:
     """Append-only JSONL journal of completed grid trials."""
@@ -40,17 +62,33 @@ class CheckpointJournal:
     def __init__(self, path: str) -> None:
         self.path = str(path)
         self._fd: Optional[int] = None
+        #: salvage tally of the most recent :meth:`load`: records loaded,
+        #: records dropped (and why).
+        self.last_load_stats: Dict[str, int] = {}
 
     # ------------------------------------------------------------------ loading
     def load(self) -> Dict[TrialKey, FuzzCampaignResult]:
         """Read every completed trial recorded in the journal.
 
-        Returns a mapping from :data:`TrialKey` to the deserialized result.
-        Unknown line kinds are ignored (forward compatibility); malformed
-        lines -- typically one truncated tail line after a kill -- are
-        skipped.  A missing file is simply an empty journal.
+        Returns a mapping from :data:`TrialKey` to the deserialized
+        result.  Unknown line kinds are ignored (forward compatibility).
+        Damaged lines are *salvaged around*: an undecodable line (torn
+        tail or interior), a record failing its checksum, or a malformed
+        trial record is dropped and tallied in
+        :attr:`last_load_stats` -- ``{"loaded": .., "dropped": ..,
+        "dropped_undecodable": .., "dropped_checksum": ..,
+        "dropped_malformed": ..}``.  A missing file is simply an empty
+        journal.
         """
         completed: Dict[TrialKey, FuzzCampaignResult] = {}
+        stats = {"loaded": 0, "dropped": 0, "dropped_undecodable": 0,
+                 "dropped_checksum": 0, "dropped_malformed": 0}
+        self.last_load_stats = stats
+
+        def drop(reason: str) -> None:
+            stats["dropped"] += 1
+            stats[f"dropped_{reason}"] += 1
+
         if not os.path.exists(self.path):
             return completed
         with open(self.path, "r", encoding="utf-8") as handle:
@@ -61,9 +99,23 @@ class CheckpointJournal:
                 try:
                     record = json.loads(line)
                 except json.JSONDecodeError:
-                    continue  # truncated tail from an interrupted append
-                if not isinstance(record, dict):
+                    # A truncated append (kill/crash mid-write) or an
+                    # interior record damaged beyond parsing.
+                    drop("undecodable")
                     continue
+                if not isinstance(record, dict):
+                    drop("malformed")
+                    continue
+                if CHECK_KEY in record:
+                    try:
+                        check = int(record[CHECK_KEY])
+                    except (TypeError, ValueError):
+                        check = -1
+                    if check != record_checksum(record):
+                        # Parses, but the content is not what was written
+                        # -- the case only a checksum can catch.
+                        drop("checksum")
+                        continue
                 if record.get("kind") == "grid":
                     version = record.get("version", JOURNAL_VERSION)
                     if version != JOURNAL_VERSION:
@@ -78,7 +130,9 @@ class CheckpointJournal:
                     key = (str(record["spec"]), int(record["trial"]))
                     completed[key] = FuzzCampaignResult.from_dict(record["result"])
                 except (KeyError, TypeError, ValueError):
+                    drop("malformed")
                     continue
+                stats["loaded"] += 1
         return completed
 
     # ------------------------------------------------------------------ writing
@@ -86,9 +140,16 @@ class CheckpointJournal:
         if self._fd is None:
             self._fd = os.open(self.path,
                                os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+        record = dict(record)
+        record[CHECK_KEY] = record_checksum(record)
         # One write(2) per record: O_APPEND makes concurrent appends from
         # several processes land whole, in some order, never interleaved.
         data = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+        for rule in faults.fire(faults.SITE_JOURNAL_APPEND,
+                                kind=record.get("kind")):
+            # A torn record glues onto the next append exactly as a real
+            # mid-write crash would; the salvage pass owns recovery.
+            data = faults.corrupt_bytes(data, rule)
         written = os.write(self._fd, data)
         if written != len(data):
             # A short write (ENOSPC edge, RLIMIT_FSIZE) would silently

@@ -8,15 +8,19 @@ queue directory by ``repro.cli worker`` -- launched independently of the
 dispatcher as separate invocations, containers or machines sharing a
 filesystem.
 
-Failure semantics (see ``docs/distributed.md``):
+Failure semantics (see ``docs/distributed.md`` and ``docs/robustness.md``):
 
 * A worker that dies mid-batch leaves a claim file behind; once its lease
   expires the dispatcher (or an idle worker) requeues it and another
   worker re-executes the batch.  Trials are deterministic, so re-execution
-  reproduces the lost results bit for bit.
-* A worker that *fails* a batch (broken spec, bug in the fuzzer) publishes
-  an error payload; the dispatcher raises it, exactly as a process-pool
-  worker exception would propagate.
+  reproduces the lost results bit for bit.  Workers heartbeat their claim
+  between trials, so a batch that legitimately outlives its lease is never
+  falsely requeued (and never duplicated).
+* Every failure consumes one unit of the task's retry budget
+  (``max_attempts``); a batch that keeps failing -- crashing workers,
+  corrupted results, poisoned specs -- is quarantined in ``deadletter/``
+  and the grid completes without it, reporting the quarantined trials
+  instead of hanging or raising mid-stream.
 * A dispatcher that dies is covered one level up by the engine's
   checkpoint journal: re-running the grid restores journaled trials and
   enqueues only the missing ones.
@@ -28,8 +32,9 @@ import os
 import socket
 import time
 import traceback
-from typing import Dict, Iterator, Optional, Sequence, Tuple
+from typing import Dict, Iterator, Optional, Sequence, Set, Tuple
 
+from repro.exec import faults
 from repro.exec.backends import ExecutionBackend
 from repro.exec.batching import (
     DEFAULT_BATCH_SIZE,
@@ -38,11 +43,21 @@ from repro.exec.batching import (
     batch_to_wire,
     execute_batch,
 )
-from repro.exec.queue import DEFAULT_LEASE_TIMEOUT, SpoolQueue
+from repro.exec.queue import (
+    DEFAULT_LEASE_TIMEOUT,
+    DEFAULT_MAX_ATTEMPTS,
+    ATTEMPTS_KEY,
+    SpoolQueue,
+)
 
 #: orphan results older than this are swept at dispatcher startup; any
 #: dispatcher still alive polls its results orders of magnitude faster.
 STALE_RESULT_SECONDS = 86400.0
+
+#: consecutive reconcile passes a task must be missing from every queue
+#: directory before the dispatcher re-enqueues it -- one pass can race a
+#: requeue's scratch-rename window, two cannot.
+LOST_TASK_STRIKES = 2
 
 
 class DistributedBackend(ExecutionBackend):
@@ -52,7 +67,12 @@ class DistributedBackend(ExecutionBackend):
         queue_dir: spool directory shared with the workers.
         poll_interval: seconds between result-directory scans.
         lease_timeout: seconds before an in-flight batch claimed by a
-            silent worker is requeued for another worker.
+            silent (non-heartbeating) worker is requeued for another
+            worker.
+        max_attempts: execution budget per batch; a batch failing this
+            many times (worker deaths, corrupted results, raised errors)
+            is quarantined in ``deadletter/`` and its trials are reported
+            as lost instead of requeued forever.
         stop_workers_on_exit: write the ``STOP`` sentinel when the grid
             finishes (or aborts), telling workers to drain and exit.
         max_wait_seconds: abort with ``TimeoutError`` if the grid has not
@@ -65,6 +85,7 @@ class DistributedBackend(ExecutionBackend):
         queue_dir: str,
         poll_interval: float = 0.1,
         lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
         stop_workers_on_exit: bool = False,
         max_wait_seconds: Optional[float] = None,
         batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
@@ -75,9 +96,12 @@ class DistributedBackend(ExecutionBackend):
             raise ValueError("poll_interval must be > 0")
         if lease_timeout <= 0:
             raise ValueError("lease_timeout must be > 0")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
         self.queue_dir = str(queue_dir)
         self.poll_interval = poll_interval
         self.lease_timeout = lease_timeout
+        self.max_attempts = max_attempts
         self.stop_workers_on_exit = stop_workers_on_exit
         self.max_wait_seconds = max_wait_seconds
 
@@ -93,10 +117,20 @@ class DistributedBackend(ExecutionBackend):
         queue.sweep_stale_results(STALE_RESULT_SECONDS)
         run_id = os.urandom(4).hex()  # results namespace: one queue, many grids
         pending: Dict[str, TrialBatch] = {}
+        attempts: Dict[str, int] = {}
+        missing_strikes: Dict[str, int] = {}
+        stats = self.robustness_stats
+        for name in ("requeued", "retried", "deadlettered"):
+            stats.setdefault(name, 0)
         try:
             for batch in batches:
                 task_id = f"{run_id}-{batch.index:06d}"
-                queue.enqueue(task_id, batch_to_wire(batch))
+                queue.enqueue(
+                    task_id,
+                    batch_to_wire(batch),
+                    attempts=0,
+                    max_attempts=self.max_attempts,
+                )
                 pending[task_id] = batch
             deadline = None
             if self.max_wait_seconds is not None:
@@ -110,13 +144,20 @@ class DistributedBackend(ExecutionBackend):
                         continue  # vanished between scan and read
                     queue.discard_result(task_id)
                     if "error" in payload:
-                        worker = payload.get("worker", "?")
-                        raise RuntimeError(
-                            f"worker {worker} failed batch {task_id}:\n{payload['error']}"
-                        )
+                        self._handle_failure(queue, task_id, payload, pending, attempts, stats)
+                        continue
                     yield pending.pop(task_id), payload
+                # Batches quarantined on the worker side (budget exhausted
+                # by lease-expiry requeues) complete the grid as losses.
+                for task_id in queue.deadletter_ids():
+                    if task_id in pending:
+                        self._note_quarantine(
+                            task_id, pending.pop(task_id), queue.read_deadletter(task_id), stats
+                        )
                 if pending and not finished:
-                    queue.requeue_stale(self.lease_timeout)
+                    requeued = queue.requeue_stale(self.lease_timeout)
+                    stats["requeued"] += sum(1 for task_id in requeued if task_id in pending)
+                    self._reconcile_lost(queue, pending, attempts, missing_strikes, stats)
                     if deadline is not None and time.monotonic() > deadline:
                         raise TimeoutError(
                             f"distributed grid stalled: {len(pending)} batches "
@@ -140,6 +181,117 @@ class DistributedBackend(ExecutionBackend):
             if self.stop_workers_on_exit:
                 queue.request_stop()
 
+    # ------------------------------------------------------------- self-heal
+    def _handle_failure(
+        self,
+        queue: SpoolQueue,
+        task_id: str,
+        payload: Dict[str, object],
+        pending: Dict[str, TrialBatch],
+        attempts: Dict[str, int],
+        stats: Dict[str, int],
+    ) -> None:
+        """One failed execution observed: retry the batch or quarantine it.
+
+        The attempt count merges the dispatcher's own ledger with the
+        count echoed through the worker's payload (requeues on the worker
+        side bump the task file, which the dispatcher never reads), so
+        neither side can under-count a crash loop.
+        """
+        echoed = 0
+        try:
+            echoed = int(payload.get(ATTEMPTS_KEY, 0))  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            pass
+        count = max(attempts.get(task_id, 0), echoed) + 1
+        attempts[task_id] = count
+        batch = pending[task_id]
+        error = str(payload.get("error", "unknown failure"))
+        if count >= self.max_attempts:
+            record = queue.quarantine(
+                task_id,
+                payload=batch_to_wire(batch),
+                attempts=count,
+                error=error,
+            )
+            self._note_quarantine(task_id, pending.pop(task_id), record, stats)
+        else:
+            stats["retried"] += 1
+            queue.enqueue(
+                task_id,
+                batch_to_wire(batch),
+                attempts=count,
+                max_attempts=self.max_attempts,
+            )
+
+    def _note_quarantine(
+        self,
+        task_id: str,
+        batch: TrialBatch,
+        record: Optional[Dict[str, object]],
+        stats: Dict[str, int],
+    ) -> None:
+        stats["deadlettered"] += 1
+        self.quarantined.append(
+            {
+                "task_id": task_id,
+                "error": (record or {}).get("error", "unknown failure"),
+                "attempts": (record or {}).get("attempts"),
+                "tasks": [(task.spec_index, task.trial_index) for task in batch.tasks],
+            }
+        )
+
+    def _reconcile_lost(
+        self,
+        queue: SpoolQueue,
+        pending: Dict[str, TrialBatch],
+        attempts: Dict[str, int],
+        missing_strikes: Dict[str, int],
+        stats: Dict[str, int],
+    ) -> None:
+        """Re-enqueue tasks that vanished from every queue directory.
+
+        A requeue that crashed between taking ownership of a claim and
+        republishing it leaves the task nowhere; without this pass the
+        dispatcher would wait on it forever.  A task must be missing for
+        :data:`LOST_TASK_STRIKES` consecutive passes before it is
+        resubmitted -- one pass can catch a healthy requeue inside its
+        scratch-rename window.  A spurious resubmission is harmless
+        anyway: task files are keyed by id, so duplicates collapse.
+        """
+        present: Set[str] = set(queue.task_ids())
+        present.update(queue.claimed_ids())
+        present.update(queue.result_ids())
+        present.update(queue.deadletter_ids())
+        for task_id in list(pending):
+            if task_id in present:
+                missing_strikes.pop(task_id, None)
+                continue
+            strikes = missing_strikes.get(task_id, 0) + 1
+            if strikes < LOST_TASK_STRIKES:
+                missing_strikes[task_id] = strikes
+                continue
+            missing_strikes.pop(task_id, None)
+            count = attempts.get(task_id, 0) + 1
+            attempts[task_id] = count
+            batch = pending[task_id]
+            if count >= self.max_attempts:
+                record = queue.quarantine(
+                    task_id,
+                    payload=batch_to_wire(batch),
+                    attempts=count,
+                    error="task repeatedly lost in flight (crashed requeue?)",
+                )
+                self._note_quarantine(task_id, pending.pop(task_id), record, stats)
+            else:
+                stats["requeued"] += 1
+                queue.enqueue(
+                    task_id,
+                    batch_to_wire(batch),
+                    attempts=count,
+                    max_attempts=self.max_attempts,
+                )
+
     def describe(self) -> str:
         return f"distributed(queue={self.queue_dir})"
 
@@ -150,20 +302,34 @@ def run_worker(
     poll_interval: float = 0.2,
     lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
     max_tasks: Optional[int] = None,
+    max_attempts: Optional[int] = None,
+    max_poll_interval: Optional[float] = None,
     log=None,
 ) -> int:
     """Serve ``queue_dir`` until the stop sentinel appears; return batches done.
 
     The worker claims one batch at a time, executes it with the shared
     process caches warm across batches, publishes the result and moves on.
-    While idle it also rescues batches whose claim lease has expired
-    (another worker died mid-batch).  A batch that raises publishes an
-    error payload for the dispatcher and the worker keeps serving -- one
-    poisoned spec must not take the whole fleet down.
+    Between the trials of a batch it heartbeats its claim, so a batch that
+    takes longer than the lease is never falsely requeued while the worker
+    is alive and making progress.  While idle it also rescues batches
+    whose claim lease has expired (another worker died mid-batch),
+    dead-lettering any batch whose retry budget is spent, and backs off
+    its polling exponentially (jittered, up to ``max_poll_interval``,
+    default ``16 * poll_interval``) so an idle fleet does not hammer the
+    shared filesystem in lockstep.
+
+    A batch that raises publishes an error payload for the dispatcher and
+    the worker keeps serving -- one poisoned spec must not take the whole
+    fleet down.  Only a failure of the queue itself (publishing
+    impossible even after retries) stops the worker, by letting the
+    ``OSError`` propagate; ``repro.cli worker`` turns that into a nonzero
+    exit status so supervisors notice.
 
     ``max_tasks`` bounds how many batches this worker executes (worker
-    recycling for long-lived fleets); ``log`` receives one progress line
-    per event when given.
+    recycling for long-lived fleets); ``max_attempts`` is the retry-budget
+    fallback applied when rescuing tasks enqueued without one; ``log``
+    receives one progress line per event when given.
     """
     if max_tasks is not None and max_tasks < 1:
         raise ValueError("max_tasks must be >= 1 or None")
@@ -173,30 +339,63 @@ def run_worker(
         # A zero lease would make this worker's idle polls yank every
         # other worker's in-flight claim straight back into tasks/.
         raise ValueError("lease_timeout must be > 0")
+    if max_attempts is not None and max_attempts < 1:
+        raise ValueError("max_attempts must be >= 1 or None")
     queue = SpoolQueue(queue_dir).ensure()
     name = worker_id or f"{socket.gethostname()}-{os.getpid()}"
     emit = log or (lambda line: None)
     emit(f"worker {name}: serving {queue_dir}")
+    idle = faults.Backoff(
+        base=poll_interval,
+        cap=max_poll_interval,
+        seed=faults.stable_seed(name),
+    )
     executed = 0
     while max_tasks is None or executed < max_tasks:
         claim = queue.claim(name)
         if claim is None:
             if queue.stop_requested():
                 break
-            queue.requeue_stale(lease_timeout)
-            time.sleep(poll_interval)
+            requeued = queue.requeue_stale(lease_timeout, max_attempts=max_attempts)
+            if requeued:
+                idle.reset()  # work just became claimable; poll eagerly
+            time.sleep(idle.next())
             continue
+        idle.reset()
+        for rule in faults.fire(faults.SITE_WORKER_BATCH, task_id=claim.task_id, ordinal=executed):
+            faults.perform(rule)
+
+        def on_trial(task, claim=claim):
+            for rule in faults.fire(faults.SITE_WORKER_TRIAL, task_id=claim.task_id):
+                faults.perform(rule)
+            claim.heartbeat()
+
         try:
             batch = batch_from_wire(claim.payload)
-            outcome = execute_batch(batch)
+            outcome = execute_batch(batch, on_trial=on_trial)
         except Exception:
-            error = {"error": traceback.format_exc(), "worker": name}
+            error = {
+                "error": traceback.format_exc(),
+                "worker": name,
+                ATTEMPTS_KEY: claim.attempts,
+            }
             queue.complete(claim, error)
             emit(f"worker {name}: batch {claim.task_id} failed")
         else:
             outcome["worker"] = name
+            outcome[ATTEMPTS_KEY] = claim.attempts
             queue.complete(claim, outcome)
             emit(f"worker {name}: batch {claim.task_id} done ({len(batch.tasks)} trials)")
         executed += 1
     emit(f"worker {name}: exiting after {executed} batches")
     return executed
+
+
+# Names re-exported for callers configuring the self-healing knobs.
+__all__ = [
+    "DEFAULT_MAX_ATTEMPTS",
+    "DistributedBackend",
+    "LOST_TASK_STRIKES",
+    "STALE_RESULT_SECONDS",
+    "run_worker",
+]

@@ -66,6 +66,11 @@ class CampaignEngine:
         self.cache_entries = cache_entries
         self.reuse_results = reuse_results
         self._completed: Dict[TrialKey, Dict[str, object]] = {}
+        #: robustness report of the most recent :meth:`run_grid`: journal
+        #: salvage tally, backend self-healing counters, and the trials
+        #: quarantined in ``deadletter/`` (graceful degradation leaves
+        #: them as holes in the returned :class:`TrialSet`s).
+        self.last_run_report: Dict[str, object] = {}
 
     def run_grid(self, specs: Sequence[CampaignSpec]) -> List[TrialSet]:
         """Run every trial of every spec; return one TrialSet per spec, in order.
@@ -85,6 +90,7 @@ class CampaignEngine:
                    if self.checkpoint_path else None)
         restored = 0
         journaled = journal.load() if journal is not None else {}
+        salvage = dict(journal.last_load_stats) if journal is not None else {}
         for spec_index, spec in enumerate(specs):
             for trial in range(spec.trials):
                 key = (fingerprints[spec_index], trial)
@@ -106,6 +112,12 @@ class CampaignEngine:
         total = sum(spec.trials for spec in specs)
         self.monitor.start(total_trials=total, restored_trials=restored,
                            backend=self.backend.describe())
+        if salvage.get("dropped"):
+            # Corrupt journal records were salvaged around; their trials
+            # simply re-run below.  Surface the damage rather than hiding
+            # a partially trusted checkpoint.
+            self.monitor.update_robustness_stats(
+                {"journal_dropped": salvage["dropped"]})
 
         # The knob is scoped to this run: a backend shared between engines
         # must not inherit another engine's bound.
@@ -124,6 +136,7 @@ class CampaignEngine:
                 if journal is not None:
                     journal.record_trial(task.spec, task.trial_index, payload)
                 self.monitor.update_cache_stats(self.backend.cache_stats)
+                self.monitor.update_robustness_stats(self.backend.robustness_stats)
                 self.monitor.trial_completed(
                     label=f"{task.spec.describe()} trial {task.trial_index}",
                     metadata=result.metadata)
@@ -131,6 +144,27 @@ class CampaignEngine:
             self.backend.cache_entries = previous_cache_entries
             if journal is not None:
                 journal.close()
+
+        quarantined = []
+        for entry in getattr(self.backend, "quarantined", []):
+            trials = [{"spec": fingerprints[spec_index],
+                       "label": specs[spec_index].describe(),
+                       "trial": trial_index}
+                      for spec_index, trial_index in entry.get("tasks", [])
+                      if 0 <= spec_index < len(specs)]
+            quarantined.append({"task_id": entry.get("task_id"),
+                                "error": entry.get("error"),
+                                "attempts": entry.get("attempts"),
+                                "trials": trials})
+        self.last_run_report = {
+            "backend": self.backend.describe(),
+            "robustness": dict(self.backend.robustness_stats),
+            "journal_salvage": salvage,
+            "quarantined": quarantined,
+            "quarantined_trials": sum(len(q["trials"]) for q in quarantined),
+        }
+        self.monitor.update_robustness_stats(self.backend.robustness_stats)
+        self.monitor.finish(self.last_run_report)
 
         if self.reuse_results:
             for spec_index, fingerprint in enumerate(fingerprints):

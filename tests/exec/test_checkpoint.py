@@ -7,7 +7,7 @@ import pytest
 
 from repro.core.monitor import ProgressMonitor
 from repro.exec.backends import SerialBackend
-from repro.exec.checkpoint import CheckpointJournal
+from repro.exec.checkpoint import CheckpointJournal, record_checksum
 from repro.exec.engine import CampaignEngine
 from repro.fuzzing.base import FuzzerConfig
 from repro.fuzzing.results import FuzzCampaignResult
@@ -178,3 +178,96 @@ class TestResume:
                                   checkpoint_path=path).run_grid([spec])[0]
         assert backend.executed == []
         assert trialset.num_trials == 2
+
+
+class TestChecksumSalvage:
+    def _write_journal(self, path, trials=3):
+        spec = _spec()
+        result = FuzzCampaignResult(fuzzer_name="thehuzz", dut_name="rocket",
+                                    num_tests=8, coverage_count=1)
+        with CheckpointJournal(path) as journal:
+            for trial in range(trials):
+                journal.record_trial(spec, trial, result)
+        return spec
+
+    def test_records_carry_checksums(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        self._write_journal(path, trials=1)
+        with open(path, encoding="utf-8") as handle:
+            record = json.loads(handle.readline())
+        assert record["check"] == record_checksum(record)
+
+    def test_corrupt_interior_record_is_dropped_and_counted(self, tmp_path):
+        # The nasty case: the record still parses as JSON, but its content
+        # silently changed -- only the checksum can catch it.
+        path = str(tmp_path / "journal.jsonl")
+        spec = self._write_journal(path, trials=3)
+        lines = open(path, encoding="utf-8").read().splitlines()
+        middle = json.loads(lines[1])
+        middle["trial"] = 99  # flipped after the checksum was computed
+        lines[1] = json.dumps(middle, sort_keys=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+        journal = CheckpointJournal(path)
+        loaded = journal.load()
+        assert set(loaded) == {(spec.fingerprint(), t) for t in (0, 2)}
+        assert journal.last_load_stats == {
+            "loaded": 2, "dropped": 1, "dropped_undecodable": 0,
+            "dropped_checksum": 1, "dropped_malformed": 0}
+
+    def test_undecodable_interior_record_is_dropped_and_counted(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        spec = self._write_journal(path, trials=3)
+        lines = open(path, encoding="utf-8").read().splitlines()
+        lines[1] = lines[1][: len(lines[1]) // 2]  # torn interior record
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+        journal = CheckpointJournal(path)
+        loaded = journal.load()
+        assert set(loaded) == {(spec.fingerprint(), t) for t in (0, 2)}
+        assert journal.last_load_stats["dropped_undecodable"] == 1
+
+    def test_legacy_records_without_checksum_still_load(self, tmp_path):
+        spec = _spec()
+        result = FuzzCampaignResult(fuzzer_name="thehuzz", dut_name="rocket",
+                                    num_tests=8)
+        path = tmp_path / "journal.jsonl"
+        path.write_text(json.dumps({"kind": "trial",
+                                    "spec": spec.fingerprint(), "trial": 0,
+                                    "result": result.to_dict()}) + "\n")
+        journal = CheckpointJournal(str(path))
+        assert set(journal.load()) == {(spec.fingerprint(), 0)}
+        assert journal.last_load_stats == {
+            "loaded": 1, "dropped": 0, "dropped_undecodable": 0,
+            "dropped_checksum": 0, "dropped_malformed": 0}
+
+    def test_malformed_trial_record_is_dropped_and_counted(self, tmp_path):
+        record = {"kind": "trial", "spec": "s", "trial": "not-an-int"}
+        record["check"] = record_checksum(record)
+        path = tmp_path / "journal.jsonl"
+        path.write_text(json.dumps(record, sort_keys=True) + "\n")
+        journal = CheckpointJournal(str(path))
+        assert journal.load() == {}
+        assert journal.last_load_stats["dropped_malformed"] == 1
+
+    def test_engine_reruns_trials_lost_to_corruption(self, tmp_path):
+        # End-to-end: a corrupted journal record re-runs its trial on
+        # resume and the damage count surfaces in the engine's report.
+        spec = _spec(trials=3)
+        path = str(tmp_path / "grid.jsonl")
+        reference = CampaignEngine(backend=SerialBackend(),
+                                   checkpoint_path=path).run_grid([spec])[0]
+        lines = open(path, encoding="utf-8").read().splitlines()
+        damaged = json.loads(lines[2])
+        damaged["trial"] = 77  # breaks the checksum
+        lines[2] = json.dumps(damaged, sort_keys=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+        backend = CountingBackend()
+        engine = CampaignEngine(backend=backend, checkpoint_path=path)
+        resumed = engine.run_grid([spec])[0]
+        assert len(backend.executed) == 1  # exactly the damaged trial
+        assert resumed.is_complete
+        assert ([r.canonical_dict() for r in resumed.results]
+                == [r.canonical_dict() for r in reference.results])
+        assert engine.last_run_report["journal_salvage"]["dropped"] == 1

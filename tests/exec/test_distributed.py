@@ -80,7 +80,8 @@ class TestDistributedDeterminism:
         # STOP sentinel written, queue drained, results consumed.
         queue = SpoolQueue(str(queue_dir))
         assert queue.stop_requested()
-        assert queue.stats() == {"pending": 0, "claimed": 0, "results": 0}
+        assert queue.stats() == {"pending": 0, "claimed": 0, "results": 0,
+                                 "deadletter": 0}
 
     def test_kill_and_reattach_worker_mid_grid(self, tmp_path):
         """A worker dies holding a claim; a later worker rescues the batch."""
@@ -127,7 +128,8 @@ class TestDistributedDeterminism:
         # Nothing was enqueued (no worker served fresh-spool), and the
         # restored run still released any fleet watching the queue.
         fresh = SpoolQueue(str(tmp_path / "fresh-spool"))
-        assert fresh.stats() == {"pending": 0, "claimed": 0, "results": 0}
+        assert fresh.stats() == {"pending": 0, "claimed": 0, "results": 0,
+                                 "deadletter": 0}
         assert fresh.stop_requested()
 
 
@@ -165,19 +167,31 @@ class TestWorkerLoop:
         assert executed == 1
         assert "error" in queue.collect("run-000000")
 
-    def test_dispatcher_raises_worker_error(self, tmp_path):
+    def test_failing_batch_is_quarantined_not_raised(self, tmp_path):
+        # A batch that fails on every execution burns its retry budget and
+        # lands in deadletter/; the grid completes (with the batch reported
+        # as lost) instead of raising mid-stream or requeueing forever.
         bad = CampaignSpec(processor="rocket", fuzzer="no-such-fuzzer",
                            num_tests=6, trials=1, seed=3, bugs=[],
                            fuzzer_config=SMALL_CONFIG)
         queue_dir = tmp_path / "spool"
         worker = _start_worker(queue_dir)
         try:
-            backend = _backend(queue_dir)
-            with pytest.raises(RuntimeError, match="no-such-fuzzer"):
-                for _ in backend.run([TrialTask(0, 0, bad)]):
-                    pass
+            backend = _backend(queue_dir, max_attempts=2)
+            results = list(backend.run([TrialTask(0, 0, bad)]))
         finally:
             worker.wait(timeout=60)
+        assert results == []
+        assert backend.robustness_stats["retried"] == 1
+        assert backend.robustness_stats["deadlettered"] == 1
+        assert len(backend.quarantined) == 1  # quarantined exactly once
+        entry = backend.quarantined[0]
+        assert "no-such-fuzzer" in entry["error"]
+        assert entry["tasks"] == [(0, 0)]
+        record = SpoolQueue(str(queue_dir)).read_deadletter(entry["task_id"])
+        assert record is not None
+        assert "no-such-fuzzer" in record["error"]
+        assert record["attempts"] == 2
 
     def test_empty_grid_still_writes_stop_sentinel(self, tmp_path):
         # A fully journal-restored grid submits zero tasks; --stop-workers

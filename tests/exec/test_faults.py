@@ -1,0 +1,163 @@
+"""Tests for the deterministic fault-injection layer itself."""
+
+import json
+
+import pytest
+
+from repro.exec import faults
+from repro.exec.faults import Backoff, FaultInjector, FaultPlan, FaultRule
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_injector():
+    yield
+    faults.uninstall()
+
+
+class TestFaultRule:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultRule(site="no.such.site", action="kill")
+
+    def test_action_must_match_site(self):
+        with pytest.raises(ValueError, match="does not support"):
+            FaultRule(site=faults.SITE_JOURNAL_APPEND, action="kill")
+
+    def test_round_trip(self):
+        rule = FaultRule(site=faults.SITE_WORKER_BATCH, action="delay",
+                         after=2, times=3, arg=0.5,
+                         match=(("task_id", "run-000001"),))
+        assert FaultRule.from_dict(rule.to_dict()) == rule
+
+
+class TestFaultPlan:
+    def test_json_round_trip(self, tmp_path):
+        plan = FaultPlan(rules=(
+            FaultRule(site=faults.SITE_QUEUE_PUBLISH, action="torn"),
+            FaultRule(site=faults.SITE_WORKER_TRIAL, action="kill", after=4),
+        ), seed=9)
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(plan.to_dict()))
+        assert FaultPlan.from_file(str(path)) == plan
+
+    def test_unsupported_version_rejected(self):
+        with pytest.raises(ValueError, match="version 99"):
+            FaultPlan.from_dict({"version": 99, "rules": []})
+
+
+class TestInjector:
+    def test_after_and_times_window(self):
+        plan = FaultPlan(rules=(FaultRule(site=faults.SITE_WORKER_BATCH,
+                                          action="delay", after=2, times=2),))
+        injector = FaultInjector(plan)
+        fired = [bool(injector.fire(faults.SITE_WORKER_BATCH))
+                 for _ in range(6)]
+        assert fired == [False, False, True, True, False, False]
+
+    def test_times_zero_fires_forever_once_armed(self):
+        plan = FaultPlan(rules=(FaultRule(site=faults.SITE_WORKER_BATCH,
+                                          action="delay", after=1, times=0),))
+        injector = FaultInjector(plan)
+        fired = [bool(injector.fire(faults.SITE_WORKER_BATCH))
+                 for _ in range(4)]
+        assert fired == [False, True, True, True]
+
+    def test_match_filters_context(self):
+        plan = FaultPlan(rules=(FaultRule(
+            site=faults.SITE_WORKER_BATCH, action="delay",
+            match=(("task_id", "run-000002"),)),))
+        injector = FaultInjector(plan)
+        assert not injector.fire(faults.SITE_WORKER_BATCH,
+                                 task_id="run-000001")
+        assert injector.fire(faults.SITE_WORKER_BATCH, task_id="run-000002")
+        # Non-matching hits do not advance the rule's counter.
+        assert injector.fired_log == [
+            (faults.SITE_WORKER_BATCH, "delay", {"task_id": "run-000002"})]
+
+    def test_deterministic_across_instances(self):
+        plan = FaultPlan(rules=(FaultRule(site=faults.SITE_QUEUE_CLAIM,
+                                          action="backdate", after=3),))
+        sequence = [bool(FaultInjector(plan).fire(faults.SITE_QUEUE_CLAIM))
+                    for _ in range(1)]
+        for _ in range(3):
+            injector = FaultInjector(plan)
+            replay = [bool(injector.fire(faults.SITE_QUEUE_CLAIM))
+                      for _ in range(1)]
+            assert replay == sequence
+
+    def test_global_hook_is_noop_until_installed(self):
+        assert faults.fire(faults.SITE_WORKER_BATCH) == ()
+        plan = FaultPlan(rules=(FaultRule(site=faults.SITE_WORKER_BATCH,
+                                          action="delay"),))
+        faults.install(plan.injector())
+        assert faults.fire(faults.SITE_WORKER_BATCH)
+        faults.uninstall()
+        assert faults.fire(faults.SITE_WORKER_BATCH) == ()
+
+    def test_install_from_env(self, tmp_path, monkeypatch):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(FaultPlan().to_dict()))
+        monkeypatch.delenv(faults.FAULT_PLAN_ENV, raising=False)
+        assert faults.install_from_env() is None
+        monkeypatch.setenv(faults.FAULT_PLAN_ENV, str(path))
+        assert faults.install_from_env() is not None
+        assert faults.installed() is not None
+
+    def test_oserror_action_raises_injected_error(self):
+        rule = FaultRule(site=faults.SITE_QUEUE_PUBLISH, action="oserror")
+        with pytest.raises(faults.InjectedError):
+            faults.perform(rule)
+        assert issubclass(faults.InjectedError, OSError)
+
+
+class TestCorruptBytes:
+    def test_torn_keeps_a_strict_prefix(self):
+        data = b'{"kind": "trial", "result": {"coverage": 12}}\n'
+        torn = faults.corrupt_bytes(
+            data, FaultRule(site=faults.SITE_JOURNAL_APPEND, action="torn"))
+        assert torn == data[: len(data) // 2]
+
+    def test_corrupt_damages_interior_but_keeps_length_and_newline(self):
+        data = b'{"kind": "trial", "result": {"coverage": 12}}\n'
+        bad = faults.corrupt_bytes(
+            data, FaultRule(site=faults.SITE_JOURNAL_APPEND, action="corrupt"))
+        assert bad != data
+        assert len(bad) == len(data)
+        assert bad.endswith(b"\n")
+
+
+class TestBackoff:
+    def test_grows_exponentially_to_cap(self):
+        backoff = Backoff(base=1.0, cap=4.0, factor=2.0, jitter=0.0)
+        assert [backoff.next() for _ in range(4)] == [1.0, 2.0, 4.0, 4.0]
+
+    def test_reset_returns_to_base(self):
+        backoff = Backoff(base=1.0, jitter=0.0)
+        backoff.next()
+        backoff.next()
+        backoff.reset()
+        assert backoff.next() == 1.0
+
+    def test_default_cap_is_sixteen_times_base(self):
+        backoff = Backoff(base=0.25, jitter=0.0)
+        assert max(backoff.next() for _ in range(10)) == 4.0
+
+    def test_jitter_is_bounded_and_seed_deterministic(self):
+        delays = [Backoff(base=1.0, jitter=0.25, seed=11).next()
+                  for _ in range(3)]
+        assert len(set(delays)) == 1  # same seed, same schedule
+        assert 0.75 <= delays[0] <= 1.25
+        other = Backoff(base=1.0, jitter=0.25, seed=12).next()
+        assert other != delays[0]
+
+    def test_stable_seed_is_stable(self):
+        assert faults.stable_seed("w0") == faults.stable_seed("w0")
+        assert faults.stable_seed("w0") != faults.stable_seed("w1")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Backoff(base=0.0)
+        with pytest.raises(ValueError):
+            Backoff(base=1.0, factor=0.5)
+        with pytest.raises(ValueError):
+            Backoff(base=1.0, jitter=1.0)

@@ -104,7 +104,10 @@ class TestRequeueStale:
         assert queue.pending_count() == 1
         rescued = queue.claim("w1")
         assert rescued.task_id == "t0"
-        assert rescued.payload == {"index": 0}
+        # The requeue bumped the retry envelope; the original payload rides
+        # along untouched.
+        assert rescued.payload == {"index": 0, "attempts": 1}
+        assert rescued.attempts == 1
 
 
 class TestDiscardAndSweep:
@@ -116,7 +119,8 @@ class TestDiscardAndSweep:
         queue.enqueue("t1", {})
         queue.complete(queue.claim("w0"), {"done": True})
         assert queue.discard_result("t1")
-        assert queue.stats() == {"pending": 0, "claimed": 0, "results": 0}
+        assert queue.stats() == {"pending": 0, "claimed": 0, "results": 0,
+                                 "deadletter": 0}
 
     def test_sweep_removes_only_ancient_results(self, tmp_path):
         queue = _queue(tmp_path)
@@ -145,4 +149,148 @@ class TestStopSentinel:
         queue.enqueue("t0", {})
         queue.enqueue("t1", {})
         queue.complete(queue.claim("w0"), {})
-        assert queue.stats() == {"pending": 1, "claimed": 0, "results": 1}
+        assert queue.stats() == {"pending": 1, "claimed": 0, "results": 1,
+                                 "deadletter": 0}
+
+
+class TestHeartbeat:
+    def test_heartbeat_renews_the_lease(self, tmp_path):
+        queue = _queue(tmp_path)
+        queue.enqueue("t0", {"index": 0})
+        claim = queue.claim("w0")
+        os.utime(claim.path, (1, 1))  # the claim "aged" past any lease
+        assert claim.heartbeat()
+        assert queue.requeue_stale(lease_timeout=5.0) == []
+        assert queue.claimed_count() == 1
+
+    def test_heartbeat_reports_a_lost_claim(self, tmp_path):
+        queue = _queue(tmp_path)
+        queue.enqueue("t0", {"index": 0})
+        claim = queue.claim("w0")
+        os.utime(claim.path, (1, 1))
+        assert queue.requeue_stale(lease_timeout=1.0) == ["t0"]
+        assert not claim.heartbeat()  # the file moved back to tasks/
+
+
+class TestRetryBudget:
+    def test_requeue_respects_payload_budget(self, tmp_path):
+        queue = _queue(tmp_path)
+        queue.enqueue("t0", {"index": 0}, attempts=0, max_attempts=2)
+        for expected_attempts in (1,):
+            claim = queue.claim("w0")
+            os.utime(claim.path, (1, 1))
+            assert queue.requeue_stale(lease_timeout=1.0) == ["t0"]
+            assert queue.claim("w1").attempts == expected_attempts
+        # Attempt 2 of 2: the budget is spent, so the next expiry
+        # quarantines instead of requeueing.
+        claim_path = os.path.join(queue.claimed_dir, "t0.json.w1")
+        os.utime(claim_path, (1, 1))
+        assert queue.requeue_stale(lease_timeout=1.0) == []
+        assert queue.pending_count() == 0
+        assert queue.deadletter_ids() == ["t0"]
+        record = queue.read_deadletter("t0")
+        assert record["attempts"] == 2
+        assert "lease expired" in record["error"]
+        assert record["payload"]["index"] == 0
+
+    def test_requeue_budget_fallback_argument(self, tmp_path):
+        # Tasks enqueued without a budget use the sweeper's fallback.
+        queue = _queue(tmp_path)
+        queue.enqueue("t0", {"index": 0})
+        claim = queue.claim("w0")
+        os.utime(claim.path, (1, 1))
+        assert queue.requeue_stale(lease_timeout=1.0, max_attempts=1) == []
+        assert queue.deadletter_ids() == ["t0"]
+
+    def test_unreadable_claim_is_quarantined_immediately(self, tmp_path):
+        queue = _queue(tmp_path)
+        queue.enqueue("t0", {"index": 0})
+        claim = queue.claim("w0")
+        with open(claim.path, "w", encoding="utf-8") as handle:
+            handle.write("{half a record")
+        os.utime(claim.path, (1, 1))
+        assert queue.requeue_stale(lease_timeout=1.0) == []
+        assert queue.deadletter_ids() == ["t0"]
+        assert "unreadable" in queue.read_deadletter("t0")["error"]
+
+    def test_discard_deadletter(self, tmp_path):
+        queue = _queue(tmp_path)
+        queue.quarantine("t0", payload={}, attempts=3, error="boom")
+        assert queue.discard_deadletter("t0")
+        assert not queue.discard_deadletter("t0")
+        assert queue.deadletter_ids() == []
+
+
+class TestCorruptResults:
+    def test_collect_turns_torn_result_into_error_payload(self, tmp_path):
+        queue = _queue(tmp_path)
+        with open(os.path.join(queue.results_dir, "t0.json"), "w") as handle:
+            handle.write('{"results": [1, 2')  # torn mid-write
+        payload = queue.collect("t0")
+        assert payload["corrupt"]
+        assert "t0" in payload["error"]
+
+    def test_collect_turns_non_object_result_into_error_payload(self, tmp_path):
+        queue = _queue(tmp_path)
+        with open(os.path.join(queue.results_dir, "t0.json"), "w") as handle:
+            handle.write('[1, 2, 3]')
+        assert queue.collect("t0")["corrupt"]
+
+
+class TestRaceTolerance:
+    def test_requeue_tolerates_claims_vanishing_mid_scan(self, tmp_path):
+        # Another sweeper (or the completing worker) removes the claim
+        # between the directory scan and our rename: not an error.
+        queue = _queue(tmp_path)
+        queue.enqueue("t0", {"index": 0})
+        queue.enqueue("t1", {"index": 1})
+        for worker in ("w0", "w1"):
+            claim = queue.claim(worker)
+            os.utime(claim.path, (1, 1))
+        real_rename = os.rename
+        yanked = {}
+
+        def racing_rename(src, dst):
+            # First stale claim: simulate a concurrent sweeper winning.
+            if ".requeue." in os.path.basename(dst) and not yanked:
+                yanked["path"] = src
+                os.unlink(src)
+            return real_rename(src, dst)
+
+        os.rename = racing_rename
+        try:
+            requeued = queue.requeue_stale(lease_timeout=1.0)
+        finally:
+            os.rename = real_rename
+        assert len(requeued) == 1  # the surviving claim; no exception
+        assert queue.deadletter_ids() == []
+
+    def test_sweep_tolerates_results_vanishing_mid_scan(self, tmp_path):
+        queue = _queue(tmp_path)
+        queue.enqueue("t0", {})
+        queue.complete(queue.claim("w0"), {})
+        old_path = os.path.join(queue.results_dir, "t0.json")
+        os.utime(old_path, (1, 1))
+        real_getmtime = os.path.getmtime
+
+        def racing_getmtime(path):
+            if path == old_path:
+                os.unlink(old_path)  # collected by its dispatcher just now
+                raise FileNotFoundError(path)
+            return real_getmtime(path)
+
+        os.path.getmtime = racing_getmtime
+        try:
+            removed = queue.sweep_stale_results(older_than=3600.0)
+        finally:
+            os.path.getmtime = real_getmtime
+        assert removed == []  # no exception, nothing double-counted
+
+    def test_sweep_removes_ancient_scratch_files(self, tmp_path):
+        queue = _queue(tmp_path)
+        scratch = os.path.join(queue.claimed_dir, ".requeue.t0.json.w0.dead")
+        with open(scratch, "w", encoding="utf-8") as handle:
+            handle.write("{}")
+        os.utime(scratch, (1, 1))
+        queue.sweep_stale_results(older_than=3600.0)
+        assert not os.path.exists(scratch)
