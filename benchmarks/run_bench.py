@@ -52,13 +52,19 @@ def summarize(raw: dict) -> dict:
     benchmarks = {}
     for bench in raw.get("benchmarks", []):
         stats = bench["stats"]
-        benchmarks[bench["name"]] = {
+        entry = {
             "median_ns": round(stats["median"] * 1e9),
             "mean_ns": round(stats["mean"] * 1e9),
             "stddev_ns": round(stats["stddev"] * 1e9),
             "ops_per_second": round(stats["ops"], 3),
             "rounds": stats["rounds"],
         }
+        # Benchmarks may attach trajectory metrics beyond timing (e.g. the
+        # corpus benchmark's coverage-point counts); carry them through.
+        extra = bench.get("extra_info") or {}
+        if extra:
+            entry.update(sorted(extra.items()))
+        benchmarks[bench["name"]] = entry
     return {
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "python": platform.python_version(),

@@ -12,9 +12,11 @@ from repro.api import make_fuzzer, make_processor
 from repro.core.config import MABFuzzConfig
 from repro.exec import ProcessPoolBackend, SerialBackend, grid_summary, run_grid
 from repro.fuzzing.base import FuzzerConfig
+from repro.fuzzing.corpus import CorpusManager
 from repro.fuzzing.mutation import MutationEngine
-from repro.harness.campaign import CampaignSpec
+from repro.harness.campaign import CampaignSpec, trial_seed
 from repro.isa.generator import SeedGenerator
+from repro.isa.program import program_id_scope
 from repro.sim.golden import GoldenModel
 
 
@@ -173,3 +175,63 @@ def test_trap_scenario_campaign_throughput(benchmark):
     assert summary["tests_executed"] == 4 * 120
     results = [r for ts in trialsets for r in ts.completed_results()]
     assert any(r.metadata["csr_transition_points"] > 0 for r in results)
+
+
+# --------------------------------------------------------------- corpus mode
+# Coverage per budget (docs/corpus.md, docs/performance.md): times a
+# corpus-on MABFuzz grid through the execution subsystem, and records in
+# extra_info a seeded corpus-on vs corpus-off A/B of union coverage at the
+# same fixed trial budget.  The A/B numbers land in BENCH_throughput.json
+# as ``corpus_off_points`` / ``corpus_on_points``; corpus-on must reach
+# strictly more distinct points (the subsystem's acceptance property, also
+# test-enforced in tests/exec/test_corpus_exec.py).  The budget sits past
+# the measured break-even (~80 tests/trial) where cross-trial feedback
+# pays for the lost seed diversity.
+_CORPUS_BUDGET = dict(num_tests=80, trials=3)
+_CORPUS_AB_SEED = 7
+
+
+def _corpus_spec(corpus, seed):
+    return CampaignSpec(processor="rocket", fuzzer="mabfuzz:ucb",
+                        seed=seed, bugs=[],
+                        fuzzer_config=FuzzerConfig(num_seeds=3,
+                                                   mutants_per_test=2,
+                                                   corpus=corpus),
+                        **_CORPUS_BUDGET)
+
+
+def _grid_union_points(corpus):
+    """Distinct coverage points reached across the grid's trials (with
+    corpus state threaded trial to trial exactly as the serial backend
+    threads it)."""
+    spec = _corpus_spec(corpus, _CORPUS_AB_SEED)
+    state = CorpusManager()
+    union = set()
+    for trial in range(spec.trials):
+        with program_id_scope():
+            dut = make_processor(spec.processor, bugs=spec.bugs)
+            fuzzer = make_fuzzer(spec.fuzzer, dut,
+                                 fuzzer_config=spec.fuzzer_config,
+                                 rng=trial_seed(spec, trial))
+            if fuzzer.corpus is not None:
+                fuzzer.corpus.merge_payload(state.to_payload())
+                fuzzer.on_corpus_state()
+            fuzzer.run(spec.num_tests)
+            union |= set(fuzzer.session.coverage_db.covered)
+            if fuzzer.corpus is not None:
+                state.merge_payload(fuzzer.corpus.to_payload())
+    return len(union)
+
+
+def test_corpus_coverage_growth(benchmark):
+    trialsets = benchmark.pedantic(
+        lambda: run_grid([_corpus_spec(True, next(_GRID_SEEDS))],
+                         backend=SerialBackend()),
+        **_GRID_ROUNDS)
+    summary = grid_summary(trialsets)
+    assert summary["trials_completed"] == _CORPUS_BUDGET["trials"]
+    off_points = _grid_union_points(corpus=False)
+    on_points = _grid_union_points(corpus=True)
+    benchmark.extra_info["corpus_off_points"] = off_points
+    benchmark.extra_info["corpus_on_points"] = on_points
+    assert on_points > off_points

@@ -70,7 +70,8 @@ def _experiment_config(args, algorithms=None, processors=None) -> ExperimentConf
         algorithms=tuple(algorithms or ("egreedy", "ucb", "exp3")),
         processors=tuple(processors or ("cva6", "rocket", "boom")),
         fuzzer_config=FuzzerConfig(num_seeds=args.seeds,
-                                   mutants_per_test=args.mutants),
+                                   mutants_per_test=args.mutants,
+                                   corpus=getattr(args, "corpus", False)),
         mab_config=MABFuzzConfig(),
     )
 
@@ -170,7 +171,8 @@ def _cmd_fuzz(args) -> int:
         seed=args.seed,
         fuzzer_config=FuzzerConfig(num_seeds=args.seeds,
                                    mutants_per_test=args.mutants,
-                                   scenario=args.scenario),
+                                   scenario=args.scenario,
+                                   corpus=args.corpus),
         coverage_model=args.coverage_model,
     )
     if profiler is not None:
@@ -298,6 +300,11 @@ def _add_common_campaign_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seeds", type=int, default=10, help="initial seed tests")
     parser.add_argument("--mutants", type=int, default=4,
                         help="mutants per interesting test")
+    parser.add_argument("--corpus", action="store_true",
+                        help="enable the coverage-directed corpus: tests "
+                             "reaching novel coverage are kept as seeds, "
+                             "mutation draws from them, and trials/workers "
+                             "share one global coverage map (docs/corpus.md)")
     parser.add_argument("--output", help="also write the result to this file")
 
 

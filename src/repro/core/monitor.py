@@ -92,6 +92,10 @@ class ProgressMonitor:
         #: journal records dropped by the salvage pass.  Fed by the engine
         #: (journal side) and the backend (queue side).
         self.robustness_stats: Dict[str, int] = {}
+        #: corpus-mode feedback-loop counters (global map size, stored
+        #: seeds, admission traffic); fed by the engine after each trial
+        #: of a corpus-enabled grid, empty otherwise.
+        self.corpus_stats: Dict[str, int] = {}
         self._started_at: Optional[float] = None
 
     # ------------------------------------------------------------------ updates
@@ -108,6 +112,7 @@ class ProgressMonitor:
         self.cache_stats = dict.fromkeys(self.cache_stats, 0)  # per-grid rates
         self.worker_cache_stats = {}
         self.robustness_stats = {}
+        self.corpus_stats = {}
         self._started_at = self._clock()
         if self._sink is not None:
             restored = (f" ({restored_trials} restored from checkpoint)"
@@ -142,17 +147,26 @@ class ProgressMonitor:
             if value:
                 self.robustness_stats[name] = value
 
-    def finish(self, report: Optional[Dict[str, object]] = None) -> None:
-        """Emit a final summary line when the grid needed self-healing.
+    def update_corpus_stats(self, stats: Dict[str, int]) -> None:
+        """Replace the corpus feedback-loop snapshot (engine-fed, corpus-on)."""
+        self.corpus_stats = dict(stats)
 
-        Quiet on a clean run; a run that requeued, retried, dead-lettered
-        or salvaged anything gets one closing line so the damage is
-        visible even if the per-trial status lines scrolled away.
-        ``report`` is the engine's ``last_run_report`` (used to name the
-        dead-lettered trial count).
+    def finish(self, report: Optional[Dict[str, object]] = None) -> None:
+        """Emit closing summary lines for recovery and corpus state.
+
+        Quiet on a clean corpus-off run; a run that requeued, retried,
+        dead-lettered or salvaged anything gets one closing line so the
+        damage is visible even if the per-trial status lines scrolled
+        away, and a corpus-enabled run always gets one line naming the
+        final global map size and seed count.  ``report`` is the engine's
+        ``last_run_report`` (used to name the dead-lettered trial count).
         """
         if self._sink is None:
             return
+        if self.corpus_stats:
+            self._sink(f"corpus: {self.corpus_stats.get('global_points', 0)} "
+                       f"points in global map, "
+                       f"{self.corpus_stats.get('entries', 0)} seeds stored")
         quarantined = int((report or {}).get("quarantined_trials", 0) or 0)
         if not self.robustness_stats and not quarantined:
             return
@@ -216,6 +230,9 @@ class ProgressMonitor:
             value = self.robustness_stats.get(counter)
             if value:
                 parts.append(f"{counter.replace('_', '-')} {value}")
+        if self.corpus_stats:
+            parts.append(f"corpus {self.corpus_stats.get('global_points', 0)}pts"
+                         f"/{self.corpus_stats.get('entries', 0)} seeds")
         if label:
             parts.append(label)
         return " | ".join(parts)

@@ -25,7 +25,32 @@ from repro.utils.rng import derive_rng
 
 
 class MutationBanditFuzzer(TheHuzzFuzzer):
-    """TheHuzz with a bandit choosing the mutation operator for every mutant."""
+    """TheHuzz with a bandit choosing the mutation operator for every mutant.
+
+    The fuzzing loop is byte-for-byte TheHuzz (FIFO pool, interesting
+    tests spawn mutants) except that each mutant's operator is selected by
+    a bandit over the 14 operators of
+    :class:`~repro.fuzzing.mutation.MutationEngine` instead of the static
+    published weights.  The reward signal closes one iteration later: when
+    a mutant is executed, the operator that *produced* it (recorded in
+    ``TestProgram.mutation_op``) is credited with the number of new
+    coverage points the mutant reached.
+
+    Corpus mode composes transparently: the inherited ``_next_test``
+    restocks a dry pool from corpus draws, and every executed test is
+    offered to the corpus by the base class
+    (see :mod:`repro.fuzzing.corpus`).
+
+    Args:
+        dut: the device-under-test model to fuzz.
+        algorithm: bandit algorithm name (``"exp3"``, ``"ucb"``,
+            ``"egreedy"``) or a pre-built :class:`BanditAlgorithm`.
+        mab_config: bandit hyper-parameters (only the algorithm-specific
+            fields are read; arm count is the operator count).
+        config: shared :class:`FuzzerConfig` (pool sizes, scenario,
+            corpus knob).
+        rng: seed or generator for the fuzzer's derived RNG streams.
+    """
 
     def __init__(self,
                  dut: DutModel,
@@ -48,6 +73,12 @@ class MutationBanditFuzzer(TheHuzzFuzzer):
 
     # -------------------------------------------------------------- scheduling
     def _mutate_with_bandit(self, program: TestProgram) -> list:
+        """Produce ``mutants_per_test`` mutants, one bandit pull per mutant.
+
+        Each pull selects an operator arm; the mutant records the operator
+        in its provenance so the delayed reward in ``_after_test`` can
+        credit the right arm when the mutant eventually executes.
+        """
         mutants = []
         operators = self.mutation_engine.operators
         for _ in range(self.mutation_engine.mutants_per_test):

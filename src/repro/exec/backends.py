@@ -28,17 +28,22 @@ for batches:
 from __future__ import annotations
 
 import abc
+import dataclasses
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Dict, Iterator, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterator, Optional, Sequence, Tuple
 
 from repro.exec.batching import (
     DEFAULT_BATCH_SIZE,
     TrialBatch,
     TrialTask,
+    batch_uses_corpus,
     execute_batch,
     plan_batches,
 )
 from repro.harness.campaign import run_campaign
+
+if TYPE_CHECKING:
+    from repro.fuzzing.corpus import CorpusManager
 
 
 def execute_trial(task: TrialTask) -> Tuple[int, int, Dict[str, object]]:
@@ -76,6 +81,17 @@ class ExecutionBackend(abc.ABC):
             gave up on (dead-lettered after their retry budget), each with
             the ``(spec_index, trial_index)`` cells it carried so the
             engine can report which trials are missing.
+        corpus: the dispatcher-side :class:`~repro.fuzzing.corpus.
+            CorpusManager`, or ``None`` for corpus-off grids.  The engine
+            installs it (possibly pre-seeded from a checkpoint journal);
+            the :meth:`run` template folds every batch's ``"corpus"``
+            delta into it -- the **same merge path** for serial, pool and
+            distributed execution -- and :meth:`_prepare_batch` injects
+            its current state into corpus-enabled batches right before
+            they ship.
+        on_corpus_delta: optional callback invoked with each batch's raw
+            corpus delta after it is merged (the engine hooks checkpoint
+            journaling here).
     """
 
     def __init__(self, batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
@@ -89,6 +105,8 @@ class ExecutionBackend(abc.ABC):
         self.cache_stats: Dict[str, int] = {}
         self.robustness_stats: Dict[str, int] = {}
         self.quarantined: list = []
+        self.corpus: Optional["CorpusManager"] = None
+        self.on_corpus_delta: Optional[Callable[[Dict[str, object]], None]] = None
 
     def run(self, tasks: Sequence[TrialTask]
             ) -> Iterator[Tuple[TrialTask, Dict[str, object]]]:
@@ -109,6 +127,9 @@ class ExecutionBackend(abc.ABC):
         for batch, payload in self._run_batches(batches):
             for name, value in payload.get("cache_stats", {}).items():
                 self.cache_stats[name] = self.cache_stats.get(name, 0) + value
+            delta = payload.get("corpus")
+            if delta is not None:
+                self._merge_corpus_delta(delta)
             by_cell = {(task.spec_index, task.trial_index): task
                        for task in batch.tasks}
             for item in payload["results"]:
@@ -119,6 +140,36 @@ class ExecutionBackend(abc.ABC):
     def _run_batches(self, batches: Sequence[TrialBatch]
                      ) -> Iterator[Tuple[TrialBatch, Dict[str, object]]]:
         """Execute ``batches``; yield ``(batch, execute_batch payload)`` pairs."""
+
+    # ------------------------------------------------------------- corpus state
+    def _merge_corpus_delta(self, delta: Dict[str, object]) -> None:
+        """Fold one batch's corpus delta into the dispatcher-side map.
+
+        Creating the manager lazily keeps direct ``backend.run`` callers
+        (no engine involved) working without setup; merging is idempotent,
+        so a delta that also travelled over the distributed coverage
+        channel folds in harmlessly a second time.
+        """
+        if self.corpus is None:
+            from repro.fuzzing.corpus import CorpusManager
+
+            self.corpus = CorpusManager()
+        self.corpus.merge_payload(delta)
+        if self.on_corpus_delta is not None:
+            self.on_corpus_delta(delta)
+
+    def _prepare_batch(self, batch: TrialBatch) -> TrialBatch:
+        """Inject the freshest corpus state into a corpus-enabled batch.
+
+        Called by subclasses at the last moment before a batch ships (pool
+        submission, queue enqueue, serial execution), so work scheduled
+        later starts from everything earlier batches discovered.  A no-op
+        for corpus-off batches -- their ``TrialBatch`` is reused as-is and
+        results stay bit-identical with pre-corpus builds.
+        """
+        if self.corpus is None or not batch_uses_corpus(batch):
+            return batch
+        return dataclasses.replace(batch, corpus=self.corpus.to_payload())
 
     def describe(self) -> str:
         """Human-readable backend label (shown by progress monitors)."""
@@ -136,7 +187,11 @@ class SerialBackend(ExecutionBackend):
     def _run_batches(self, batches: Sequence[TrialBatch]
                      ) -> Iterator[Tuple[TrialBatch, Dict[str, object]]]:
         for batch in batches:
-            yield batch, execute_batch(batch)
+            # Generator semantics give the natural feedback cadence: the
+            # run() template folds the previous batch's corpus delta
+            # before this next() resumes, so _prepare_batch always sees
+            # the complete map accumulated so far.
+            yield batch, execute_batch(self._prepare_batch(batch))
 
     def describe(self) -> str:
         return "serial"
@@ -197,13 +252,33 @@ class ProcessPoolBackend(ExecutionBackend):
             pool_kwargs["max_tasks_per_child"] = self.max_tasks_per_child
         pool = ProcessPoolExecutor(**pool_kwargs)
         try:
-            pending = {pool.submit(execute_batch, batch): batch
-                       for batch in batches}
+            # Windowed submission instead of submitting the whole grid up
+            # front: corpus-enabled batches are stamped with the freshest
+            # dispatcher map at submit time, so a batch submitted after
+            # another completed starts from its discoveries.  The window
+            # keeps every worker busy; for corpus-off grids the only
+            # difference from bulk submission is submission timing, which
+            # results are independent of by construction.
+            queue = iter(batches)
+            window = max(2 * self.workers, 2)
+            pending: Dict[object, TrialBatch] = {}
+
+            def top_up() -> None:
+                while len(pending) < window:
+                    try:
+                        batch = next(queue)
+                    except StopIteration:
+                        return
+                    pending[pool.submit(execute_batch,
+                                        self._prepare_batch(batch))] = batch
+
+            top_up()
             while pending:
                 done, _ = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
                     batch = pending.pop(future)
                     yield batch, future.result()
+                top_up()
         except BaseException:
             # Abort (consumer raised/abandoned the generator, or a trial
             # failed): drop everything still queued instead of letting

@@ -57,11 +57,28 @@ class TrialBatch:
             (``None`` = the default bound,
             :data:`~repro.exec.cache.DEFAULT_CACHE_ENTRIES` -- a previous
             grid's bound never leaks into this batch).
+        corpus: accumulated corpus state (a
+            :meth:`~repro.fuzzing.corpus.CorpusManager.to_payload` dict)
+            injected by the backend right before execution, or ``None``
+            for corpus-off batches.  Purely additive feedback: it is not
+            part of batch identity and never set at planning time.
     """
 
     index: int
     tasks: Tuple[TrialTask, ...]
     cache_entries: Optional[int] = None
+    corpus: Optional[Dict[str, object]] = None
+
+
+def task_uses_corpus(task: TrialTask) -> bool:
+    """Whether ``task``'s spec runs with the coverage-directed corpus."""
+    config = task.spec.fuzzer_config
+    return config is not None and config.corpus
+
+
+def batch_uses_corpus(batch: TrialBatch) -> bool:
+    """Whether any task of ``batch`` runs with the corpus enabled."""
+    return any(task_uses_corpus(task) for task in batch.tasks)
 
 
 def batch_key(task: TrialTask) -> Tuple:
@@ -116,7 +133,16 @@ def execute_batch(batch: TrialBatch,
 
         {"results": [{"spec_index": 0, "trial_index": 1, "result": {...}},
                      ...],
-         "cache_stats": {"dut_cache_hits": 3, ...}}  # deltas for this batch
+         "cache_stats": {"dut_cache_hits": 3, ...},  # deltas for this batch
+         "corpus": {"points": [...], "entries": [...]}}  # only corpus-on
+
+    For corpus-enabled tasks, one :class:`~repro.fuzzing.corpus.
+    CorpusManager` is threaded through the batch: it starts from the state
+    the backend injected into ``batch.corpus``, each trial merges it in
+    before running and folds its discoveries back after, and the payload's
+    ``"corpus"`` key carries only the *delta* accumulated by this batch
+    (new points + newly admitted entries) so dispatchers can merge batches
+    from many workers without double counting.
 
     Cache-stat *deltas* (not cumulative process counters) are reported so
     a dispatcher can sum them across batches and workers without double
@@ -136,26 +162,40 @@ def execute_batch(batch: TrialBatch,
     configure_process_caches(batch.cache_entries)
     dut_cache = process_dut_cache()
     golden_fallback = process_golden_cache()
+    batch_corpus = None
+    if batch_uses_corpus(batch):
+        from repro.fuzzing.corpus import CorpusManager
+
+        batch_corpus = CorpusManager.from_payload(batch.corpus)
+        batch_corpus.mark_base()
     results = []
     for task in batch.tasks:
         if on_trial is not None:
             on_trial(task)
+        corpus_kwargs = {}
+        if batch_corpus is not None and task_uses_corpus(task):
+            corpus_kwargs = {"corpus_state": batch_corpus.to_payload(),
+                             "corpus_sink": batch_corpus.merge_payload}
         result = run_campaign(task.spec, task.trial_index,
                               dut_cache=dut_cache,
-                              golden_fallback=golden_fallback)
+                              golden_fallback=golden_fallback,
+                              **corpus_kwargs)
         results.append({"spec_index": task.spec_index,
                         "trial_index": task.trial_index,
                         "result": result.to_dict()})
     after = process_cache_stats()
-    return {"results": results,
-            "cache_stats": {name: after[name] - before[name]
-                            for name in after}}
+    payload = {"results": results,
+               "cache_stats": {name: after[name] - before[name]
+                               for name in after}}
+    if batch_corpus is not None:
+        payload["corpus"] = batch_corpus.delta_payload()
+    return payload
 
 
 # ----------------------------------------------------------------- wire format
 def batch_to_wire(batch: TrialBatch) -> Dict[str, object]:
     """Serialize a batch for the spool queue (inverse of :func:`batch_from_wire`)."""
-    return {
+    wire = {
         "kind": "batch",
         "batch": batch.index,
         "cache_entries": batch.cache_entries,
@@ -163,6 +203,12 @@ def batch_to_wire(batch: TrialBatch) -> Dict[str, object]:
                    "trial_index": task.trial_index,
                    "spec": task.spec.to_dict()} for task in batch.tasks],
     }
+    if batch.corpus is not None:
+        # Corpus payloads are already JSON-safe (point names + words, no
+        # masks); omitted entirely for corpus-off batches so their wire
+        # form is unchanged from pre-corpus builds.
+        wire["corpus"] = batch.corpus
+    return wire
 
 
 def batch_from_wire(data: Dict[str, object]) -> TrialBatch:
@@ -177,4 +223,5 @@ def batch_from_wire(data: Dict[str, object]) -> TrialBatch:
         for task in data["tasks"])
     return TrialBatch(index=int(data["batch"]), tasks=tasks,
                       cache_entries=(int(cache_entries)
-                                     if cache_entries is not None else None))
+                                     if cache_entries is not None else None),
+                      corpus=data.get("corpus"))

@@ -8,6 +8,13 @@ runs, one JSON object per line, append-only:
 * ``{"kind": "trial", "spec": <fingerprint>, "trial": <index>,
   "result": <FuzzCampaignResult.to_dict()>, "check": <crc32>}`` -- one
   completed trial.
+* ``{"kind": "corpus", "delta": {"points": [...], "entries": [...]},
+  "check": <crc32>}`` -- one corpus-mode batch's coverage/seed delta
+  (:meth:`~repro.fuzzing.corpus.CorpusManager.delta_payload`), appended
+  as batches finish so ``--resume`` restores the feedback loop, not just
+  the completed trials.  Replay folds deltas in file order through the
+  idempotent corpus merge, so duplicated records (dispatcher retries) and
+  salvaged-around gaps both degrade gracefully.
 
 Trials are keyed by *spec fingerprint*, not by grid position, so a resumed
 run matches completed work even if the grid is re-assembled in a different
@@ -65,6 +72,9 @@ class CheckpointJournal:
         #: salvage tally of the most recent :meth:`load`: records loaded,
         #: records dropped (and why).
         self.last_load_stats: Dict[str, int] = {}
+        #: corpus deltas of the most recent :meth:`load`, in journal
+        #: order; the engine folds them into its corpus state on resume.
+        self.last_corpus_deltas: list = []
 
     # ------------------------------------------------------------------ loading
     def load(self) -> Dict[TrialKey, FuzzCampaignResult]:
@@ -84,6 +94,7 @@ class CheckpointJournal:
         stats = {"loaded": 0, "dropped": 0, "dropped_undecodable": 0,
                  "dropped_checksum": 0, "dropped_malformed": 0}
         self.last_load_stats = stats
+        self.last_corpus_deltas = []
 
         def drop(reason: str) -> None:
             stats["dropped"] += 1
@@ -123,6 +134,13 @@ class CheckpointJournal:
                             f"checkpoint journal {self.path} has format "
                             f"version {version}; this build reads version "
                             f"{JOURNAL_VERSION} -- refusing a partial restore")
+                    continue
+                if record.get("kind") == "corpus":
+                    delta = record.get("delta")
+                    if isinstance(delta, dict):
+                        self.last_corpus_deltas.append(delta)
+                    else:
+                        drop("malformed")
                     continue
                 if record.get("kind") != "trial":
                     continue
@@ -183,6 +201,16 @@ class CheckpointJournal:
             "trial": trial_index,
             "result": result if isinstance(result, dict) else result.to_dict(),
         })
+
+    def record_corpus(self, delta: Dict[str, object]) -> None:
+        """Append one corpus-mode batch delta (checksummed like any record).
+
+        Empty deltas (a batch that discovered nothing new) are skipped --
+        they would replay as no-ops anyway and only grow the journal.
+        """
+        if not delta.get("points") and not delta.get("entries"):
+            return
+        self._append({"kind": "corpus", "delta": delta})
 
     def close(self) -> None:
         if self._fd is not None:

@@ -24,10 +24,21 @@ Failure semantics (see ``docs/distributed.md`` and ``docs/robustness.md``):
 * A dispatcher that dies is covered one level up by the engine's
   checkpoint journal: re-running the grid restores journaled trials and
   enqueues only the missing ones.
+
+Corpus mode adds a side band (see ``docs/corpus.md``): corpus-enabled
+batches are stamped with the dispatcher's current global corpus state at
+enqueue time, workers publish their per-batch corpus deltas on the
+queue's ``coverage/`` channel as soon as a batch finishes, and the
+dispatcher merges and re-broadcasts the global map each poll so *later*
+batches -- on any worker -- start from everything the fleet has learned.
+The channel is advisory: deltas also ride inside result payloads and
+merging is idempotent, so a lost or duplicated channel file costs only
+freshness, never correctness.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import socket
 import time
@@ -122,12 +133,13 @@ class DistributedBackend(ExecutionBackend):
         stats = self.robustness_stats
         for name in ("requeued", "retried", "deadlettered"):
             stats.setdefault(name, 0)
+        last_broadcast = -1
         try:
             for batch in batches:
                 task_id = f"{run_id}-{batch.index:06d}"
                 queue.enqueue(
                     task_id,
-                    batch_to_wire(batch),
+                    batch_to_wire(self._prepare_batch(batch)),
                     attempts=0,
                     max_attempts=self.max_attempts,
                 )
@@ -136,6 +148,7 @@ class DistributedBackend(ExecutionBackend):
             if self.max_wait_seconds is not None:
                 deadline = time.monotonic() + self.max_wait_seconds
             while pending:
+                last_broadcast = self._sync_coverage(queue, last_broadcast)
                 # One directory scan per pass, not one open() per batch.
                 finished = sorted(set(queue.result_ids()) & set(pending))
                 for task_id in finished:
@@ -178,8 +191,33 @@ class DistributedBackend(ExecutionBackend):
             for task_id in queue.result_ids():
                 if task_id.startswith(run_id):
                     queue.discard_result(task_id)
+            # Publish the final merged map *before* the STOP sentinel, so
+            # draining workers snapshot a map identical to the
+            # dispatcher's (the convergence invariant of docs/corpus.md).
+            self._sync_coverage(queue, -1)
             if self.stop_workers_on_exit:
                 queue.request_stop()
+
+    def _sync_coverage(self, queue: SpoolQueue, last_broadcast: int) -> int:
+        """Drain worker corpus deltas; re-broadcast the map when it changed.
+
+        Channel deltas are merged straight into the dispatcher manager
+        without the journaling callback: the same delta arrives again
+        inside the batch's result payload (the journaled, durable path),
+        and merging is idempotent.  Returns the version of the newest
+        broadcast so unchanged maps are not republished every poll.
+        """
+        if self.corpus is None:
+            return last_broadcast
+        for delta in queue.take_coverage_deltas():
+            self.corpus.merge_payload(delta)
+        if self.corpus.version != last_broadcast:
+            last_broadcast = self.corpus.version
+            queue.publish_coverage_global({
+                "version": last_broadcast,
+                "state": self.corpus.to_payload(),
+            })
+        return last_broadcast
 
     # ------------------------------------------------------------- self-heal
     def _handle_failure(
@@ -351,6 +389,27 @@ def run_worker(
         seed=faults.stable_seed(name),
     )
     executed = 0
+    # Corpus mode: the worker's own running view of the global map, fed by
+    # dispatcher broadcasts and its own batches.  Created lazily on the
+    # first corpus-enabled batch; stays None (zero overhead, zero channel
+    # traffic) for corpus-off grids.
+    worker_corpus = None
+    corpus_seq = 0
+    last_global_version = -1
+
+    def merge_global_broadcast():
+        nonlocal last_global_version
+        broadcast = queue.read_coverage_global()
+        if not broadcast:
+            return
+        try:
+            version = int(broadcast.get("version", 0))
+        except (TypeError, ValueError):
+            return
+        if version > last_global_version:
+            last_global_version = version
+            worker_corpus.merge_payload(broadcast.get("state"))
+
     while max_tasks is None or executed < max_tasks:
         claim = queue.claim(name)
         if claim is None:
@@ -372,6 +431,18 @@ def run_worker(
 
         try:
             batch = batch_from_wire(claim.payload)
+            if batch.corpus is not None:
+                # Corpus-enabled batch: start it from everything this
+                # worker knows -- the dispatcher state stamped into the
+                # batch, the latest broadcast, and its own past batches.
+                if worker_corpus is None:
+                    from repro.fuzzing.corpus import CorpusManager
+
+                    worker_corpus = CorpusManager()
+                merge_global_broadcast()
+                worker_corpus.merge_payload(batch.corpus)
+                batch = dataclasses.replace(
+                    batch, corpus=worker_corpus.to_payload())
             outcome = execute_batch(batch, on_trial=on_trial)
         except Exception:
             error = {
@@ -382,11 +453,31 @@ def run_worker(
             queue.complete(claim, error)
             emit(f"worker {name}: batch {claim.task_id} failed")
         else:
+            delta = outcome.get("corpus")
+            if delta is not None and worker_corpus is not None:
+                worker_corpus.merge_payload(delta)
+                # Publish on the side band *before* releasing the result:
+                # the dispatcher can fold the delta into batches it
+                # enqueues next without waiting for the result scan.
+                try:
+                    queue.publish_coverage_delta(name, corpus_seq, delta)
+                    corpus_seq += 1
+                except OSError:
+                    pass  # advisory channel; the delta rides the result
             outcome["worker"] = name
             outcome[ATTEMPTS_KEY] = claim.attempts
             queue.complete(claim, outcome)
             emit(f"worker {name}: batch {claim.task_id} done ({len(batch.tasks)} trials)")
         executed += 1
+    if worker_corpus is not None:
+        # Parting snapshot: fold the dispatcher's final broadcast, then
+        # publish this worker's view of the global map.  After a clean
+        # drain it is bit-identical with the dispatcher's (test-enforced).
+        merge_global_broadcast()
+        try:
+            queue.publish_coverage_snapshot(name, worker_corpus.to_payload())
+        except OSError:
+            pass
     emit(f"worker {name}: exiting after {executed} batches")
     return executed
 

@@ -66,6 +66,11 @@ class CampaignEngine:
         self.cache_entries = cache_entries
         self.reuse_results = reuse_results
         self._completed: Dict[TrialKey, Dict[str, object]] = {}
+        #: dispatcher-side corpus state (:class:`~repro.fuzzing.corpus.
+        #: CorpusManager`) shared across ``run_grid`` calls on this
+        #: engine, or ``None`` until a corpus-enabled grid runs.  Seeded
+        #: from the checkpoint journal's corpus deltas on resume.
+        self.corpus_state = None
         #: robustness report of the most recent :meth:`run_grid`: journal
         #: salvage tally, backend self-healing counters, and the trials
         #: quarantined in ``deadletter/`` (graceful degradation leaves
@@ -105,6 +110,19 @@ class CampaignEngine:
                     grids[spec_index][trial] = result
                     restored += 1
 
+        corpus_deltas = journal.last_corpus_deltas if journal is not None else []
+        corpus_active = any(spec.fuzzer_config is not None
+                            and spec.fuzzer_config.corpus for spec in specs)
+        if corpus_active or corpus_deltas:
+            if self.corpus_state is None:
+                from repro.fuzzing.corpus import CorpusManager
+
+                self.corpus_state = CorpusManager()
+            for delta in corpus_deltas:
+                # Resume path: replay the journaled feedback loop (merges
+                # are idempotent, so re-running a resumed grid is safe).
+                self.corpus_state.merge_payload(delta)
+
         tasks = [TrialTask(spec_index, trial, spec)
                  for spec_index, spec in enumerate(specs)
                  for trial in range(spec.trials)
@@ -124,6 +142,13 @@ class CampaignEngine:
         previous_cache_entries = self.backend.cache_entries
         if self.cache_entries is not None:
             self.backend.cache_entries = self.cache_entries
+        # Hand the backend the engine's corpus state (it injects it into
+        # corpus-enabled batches and folds every batch delta back in) and
+        # journal each delta as it lands -- the feedback loop survives a
+        # kill exactly like completed trials do.
+        self.backend.corpus = self.corpus_state
+        self.backend.on_corpus_delta = (journal.record_corpus
+                                        if journal is not None else None)
         try:
             if journal is not None and tasks:
                 journal.record_grid(specs)
@@ -137,11 +162,14 @@ class CampaignEngine:
                     journal.record_trial(task.spec, task.trial_index, payload)
                 self.monitor.update_cache_stats(self.backend.cache_stats)
                 self.monitor.update_robustness_stats(self.backend.robustness_stats)
+                if self.corpus_state is not None:
+                    self.monitor.update_corpus_stats(self.corpus_state.stats())
                 self.monitor.trial_completed(
                     label=f"{task.spec.describe()} trial {task.trial_index}",
                     metadata=result.metadata)
         finally:
             self.backend.cache_entries = previous_cache_entries
+            self.backend.on_corpus_delta = None
             if journal is not None:
                 journal.close()
 
@@ -163,6 +191,9 @@ class CampaignEngine:
             "quarantined": quarantined,
             "quarantined_trials": sum(len(q["trials"]) for q in quarantined),
         }
+        if self.corpus_state is not None:
+            self.last_run_report["corpus"] = self.corpus_state.stats()
+            self.monitor.update_corpus_stats(self.corpus_state.stats())
         self.monitor.update_robustness_stats(self.backend.robustness_stats)
         self.monitor.finish(self.last_run_report)
 

@@ -8,7 +8,17 @@ number of workers -- separate invocations, containers or machines::
         claimed/    in-flight batch files   <batch>.json.<worker>
         results/    finished batch payloads <batch>.json
         deadletter/ quarantined batches     <batch>.json
+        coverage/   corpus/coverage exchange (see below)
         STOP        sentinel: workers drain remaining tasks, then exit
+
+The ``coverage/`` channel is the corpus-mode side band (``docs/corpus.md``):
+workers publish per-batch corpus deltas as ``delta.<worker>.<seq>.json``,
+the dispatcher drains them, merges, and re-broadcasts the merged global
+map as a versioned ``GLOBAL.json``; each worker's parting snapshot of the
+map lands in ``final.<worker>.json``.  Like every other part of the queue,
+the channel is built on atomic renames and tolerates deltas arriving
+twice, late, or not at all -- corpus merging is idempotent and results
+never depend on it.
 
 Every operation is built from two primitives that are atomic on POSIX
 filesystems: ``rename`` within a filesystem (claiming, requeueing and
@@ -108,11 +118,13 @@ class SpoolQueue:
         self.claimed_dir = os.path.join(self.root, "claimed")
         self.results_dir = os.path.join(self.root, "results")
         self.deadletter_dir = os.path.join(self.root, "deadletter")
+        self.coverage_dir = os.path.join(self.root, "coverage")
         self.stop_path = os.path.join(self.root, "STOP")
 
     def ensure(self) -> "SpoolQueue":
         """Create the queue layout (dispatcher and workers both call it)."""
-        for directory in (self.tasks_dir, self.claimed_dir, self.results_dir, self.deadletter_dir):
+        for directory in (self.tasks_dir, self.claimed_dir, self.results_dir,
+                          self.deadletter_dir, self.coverage_dir):
             os.makedirs(directory, exist_ok=True)
         return self
 
@@ -334,6 +346,94 @@ class SpoolQueue:
         except OSError:
             return False
         return True
+
+    # ------------------------------------------------------- coverage channel
+    def publish_coverage_delta(self, worker_id: str, seq: int,
+                               payload: Dict[str, object]) -> None:
+        """Publish one worker's corpus delta (atomic, per-worker sequenced).
+
+        ``payload`` is a :meth:`~repro.fuzzing.corpus.CorpusManager.
+        delta_payload` dict -- new coverage points plus newly admitted
+        entries.  The ``(worker_id, seq)`` key keeps concurrent publishes
+        from distinct workers apart; the dispatcher consumes files in name
+        order, but merge idempotency means ordering is a nicety, not a
+        correctness requirement.
+        """
+        name = f"delta.{worker_id}.{int(seq):08d}{_TASK_SUFFIX}"
+        self._publish(os.path.join(self.coverage_dir, name), payload)
+
+    def take_coverage_deltas(self) -> List[Dict[str, object]]:
+        """Drain pending worker deltas (dispatcher side), oldest first.
+
+        Each delta file is read then removed; files disappearing mid-scan
+        or torn beyond parsing are skipped -- a lost delta costs only
+        freshness (the same state rides in the batch's result payload, so
+        the dispatcher map converges regardless).
+        """
+        deltas: List[Dict[str, object]] = []
+        for name in sorted(self._listdir(self.coverage_dir)):
+            if not name.startswith("delta."):
+                continue
+            path = os.path.join(self.coverage_dir, name)
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                self._unlink_quiet(path)
+                continue
+            self._unlink_quiet(path)
+            if isinstance(payload, dict):
+                deltas.append(payload)
+        return deltas
+
+    def publish_coverage_global(self, payload: Dict[str, object]) -> None:
+        """Broadcast the merged global corpus state (``coverage/GLOBAL.json``).
+
+        The dispatcher wraps the state as ``{"version": n, "state":
+        <to_payload dict>}``; the version lets workers (and re-broadcast
+        checks) skip merges of a map they have already seen.  Atomic
+        replace: readers always see a complete broadcast.
+        """
+        self._publish(os.path.join(self.coverage_dir, "GLOBAL" + _TASK_SUFFIX),
+                      payload)
+
+    def read_coverage_global(self) -> Optional[Dict[str, object]]:
+        """The latest global-map broadcast, or ``None`` before the first."""
+        path = os.path.join(self.coverage_dir, "GLOBAL" + _TASK_SUFFIX)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def publish_coverage_snapshot(self, worker_id: str,
+                                  payload: Dict[str, object]) -> None:
+        """Publish a worker's parting view of the global map (drain/exit path).
+
+        The equivalence invariant lives here: after a clean corpus-mode
+        shutdown every ``final.<worker>.json`` carries exactly the point
+        set of the dispatcher's map (test-enforced).
+        """
+        name = f"final.{worker_id}{_TASK_SUFFIX}"
+        self._publish(os.path.join(self.coverage_dir, name), payload)
+
+    def coverage_snapshots(self) -> Dict[str, Dict[str, object]]:
+        """All worker parting snapshots, keyed by worker id."""
+        snapshots: Dict[str, Dict[str, object]] = {}
+        for name in self._listdir(self.coverage_dir):
+            if not name.startswith("final."):
+                continue
+            worker_id = name[len("final."):].rsplit(_TASK_SUFFIX, 1)[0]
+            try:
+                with open(os.path.join(self.coverage_dir, name),
+                          "r", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                continue
+            if isinstance(payload, dict):
+                snapshots[worker_id] = payload
+        return snapshots
 
     # ----------------------------------------------------------------- worker
     def claim(self, worker_id: str) -> Optional[ClaimedTask]:

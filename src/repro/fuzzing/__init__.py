@@ -9,6 +9,7 @@ composes these with the paper's baseline *static FIFO* policy;
 multi-armed-bandit policy that is the paper's contribution.
 """
 
+from repro.fuzzing.corpus import CorpusEntry, CorpusManager
 from repro.fuzzing.mutation import MutationEngine, MutationOperator, DEFAULT_OPERATOR_WEIGHTS
 from repro.fuzzing.testpool import TestPool
 from repro.fuzzing.differential import DifferentialTester, Mismatch, DifferentialReport
@@ -19,6 +20,8 @@ from repro.fuzzing.thehuzz import TheHuzzFuzzer
 from repro.fuzzing.random_fuzzer import RandomFuzzer
 
 __all__ = [
+    "CorpusEntry",
+    "CorpusManager",
     "MutationEngine",
     "MutationOperator",
     "DEFAULT_OPERATOR_WEIGHTS",

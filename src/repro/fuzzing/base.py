@@ -12,7 +12,11 @@ from __future__ import annotations
 import abc
 import time
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, FrozenSet, Optional
+
+if TYPE_CHECKING:  # circular at runtime: corpus imports nothing from here,
+    # but keeping the import lazy keeps corpus-off startup untouched.
+    from repro.fuzzing.corpus import CorpusManager
 
 from repro.fuzzing.mutation import MutationEngine
 from repro.fuzzing.results import FuzzCampaignResult, TestOutcome
@@ -39,6 +43,12 @@ class FuzzerConfig:
             user-level seeds), ``"trap"`` (trap/CSR scenario seeds from
             :mod:`repro.isa.scenarios`) or ``"mixed"`` (alternating, so
             MABFuzz arms split between the two families).
+        corpus: enable the coverage-directed corpus
+            (:mod:`repro.fuzzing.corpus`): executed tests that reach novel
+            coverage are admitted as seeds, and mutation arms draw their
+            seeds from the corpus instead of always generating fresh.
+            Off by default -- corpus-off campaigns are bit-identical to
+            pre-corpus builds.
     """
 
     num_seeds: int = 10
@@ -47,6 +57,7 @@ class FuzzerConfig:
     mutation_weights: Optional[Dict[str, float]] = None
     max_program_steps: Optional[int] = None
     scenario: str = "user"
+    corpus: bool = False
 
     def __post_init__(self) -> None:
         if self.num_seeds < 1:
@@ -81,6 +92,19 @@ class Fuzzer(abc.ABC):
             rng=derive_rng(self.rng, "mutation"),
             mutants_per_test=self.config.mutants_per_test,
         )
+        #: coverage-directed corpus (:class:`~repro.fuzzing.corpus.
+        #: CorpusManager`) or ``None`` when ``config.corpus`` is off.  The
+        #: corpus RNG is derived *last* and only when enabled, so
+        #: corpus-off campaigns keep their historical RNG streams.
+        self.corpus: Optional["CorpusManager"] = None
+        self._corpus_seeded = 0
+        self._corpus_fresh = 0
+        #: grid-globally novel points of the last executed test (corpus
+        #: mode only) -- the corpus-aware reward signal for schedulers.
+        self._corpus_novel: FrozenSet[str] = frozenset()
+        if self.config.corpus:
+            from repro.fuzzing.corpus import CorpusManager
+            self.corpus = CorpusManager(rng=derive_rng(self.rng, "corpus"))
 
     # -------------------------------------------------------------- scheduling
     @abc.abstractmethod
@@ -91,11 +115,49 @@ class Fuzzer(abc.ABC):
     def _after_test(self, program: TestProgram, outcome: TestOutcome) -> None:
         """React to the outcome of an executed test (mutate, update state ...)."""
 
+    # -------------------------------------------------------------- corpus mode
+    def on_corpus_state(self) -> None:
+        """Hook fired after external corpus state is merged into :attr:`corpus`.
+
+        The campaign runner injects accumulated corpus state (from earlier
+        trials or other workers) *after* construction; fuzzers that fix
+        their seeds in ``__init__`` (MABFuzz arms) override this to
+        re-draw them from the corpus.  The default is a no-op.
+        """
+
+    def _corpus_seed(self) -> Optional[TestProgram]:
+        """Draw a mutated corpus program to use as a fresh seed.
+
+        Returns ``None`` (and counts a fresh seed) when corpus mode is off
+        or the corpus is still empty, so call sites can fall back to the
+        generator with ``self._corpus_seed() or <fresh>``.
+        """
+        if self.corpus is None or not self.corpus:
+            if self.corpus is not None:
+                self._corpus_fresh += 1
+            return None
+        program = self.corpus.sample()
+        if program is None:
+            self._corpus_fresh += 1
+            return None
+        self._corpus_seeded += 1
+        return self.mutation_engine.mutate_once(program)
+
     # ------------------------------------------------------------------ running
     def fuzz_one(self) -> TestOutcome:
         """Execute a single fuzzing iteration."""
         program = self._next_test()
         outcome = self.session.run_test(program)
+        if self.corpus is not None:
+            # Snapshot grid-global novelty *before* the offer folds this
+            # test's coverage into the map: schedulers reward it instead
+            # of campaign-local novelty, so inherited state steers arms
+            # away from territory earlier trials / other workers charted.
+            self._corpus_novel = self.corpus.novel_points(outcome.coverage)
+            # Offer every executed test; the manager's novelty gate keeps
+            # only programs that extend the global coverage map.
+            self.corpus.offer(program, outcome.coverage,
+                              scenario=self.config.scenario)
         self._after_test(program, outcome)
         return outcome
 
@@ -132,7 +194,7 @@ class Fuzzer(abc.ABC):
 
     def _result_metadata(self) -> Dict[str, object]:
         """Fuzzer-specific metadata attached to campaign results."""
-        return {"num_seeds": self.config.num_seeds,
+        metadata = {"num_seeds": self.config.num_seeds,
                 "mutants_per_test": self.config.mutants_per_test,
                 "scenario": self.config.scenario,
                 "coverage_model": self.dut.coverage_model,
@@ -140,3 +202,16 @@ class Fuzzer(abc.ABC):
                 "trap_points": self.session.trap_point_count,
                 "golden_cache_hits": self.session.golden_cache_hits,
                 "golden_cache_misses": self.session.golden_cache_misses}
+        if self.corpus is not None:
+            stats = self.corpus.stats()
+            metadata.update({
+                "corpus_admitted": stats["admitted"],
+                "corpus_rejected": stats["rejected"],
+                "corpus_evicted": stats["evicted"],
+                "corpus_sampled": stats["sampled"],
+                "corpus_entries": stats["entries"],
+                "corpus_global_points": stats["global_points"],
+                "corpus_seeded": self._corpus_seeded,
+                "corpus_fresh": self._corpus_fresh,
+            })
+        return metadata

@@ -38,9 +38,11 @@ class TheHuzzFuzzer(Fuzzer):
     # -------------------------------------------------------------- scheduling
     def _next_test(self) -> TestProgram:
         if not self.pool:
-            # The input database ran dry: fall back to fresh random tests,
-            # exactly like the original tool.
-            self.pool.push(self.seed_generator.generate())
+            # The input database ran dry.  With the corpus enabled, restock
+            # from a mutated corpus draw (a program that already proved it
+            # reaches novel coverage); otherwise fall back to fresh random
+            # tests, exactly like the original tool.
+            self.pool.push(self._corpus_seed() or self.seed_generator.generate())
         return self.pool.pop()
 
     def _after_test(self, program: TestProgram, outcome: TestOutcome) -> None:

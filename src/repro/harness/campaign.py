@@ -95,6 +95,8 @@ class CampaignSpec:
         fuzzer_config = canonical.get("fuzzer_config")
         if isinstance(fuzzer_config, dict) and fuzzer_config.get("scenario") == "user":
             del fuzzer_config["scenario"]
+        if isinstance(fuzzer_config, dict) and fuzzer_config.get("corpus") is False:
+            del fuzzer_config["corpus"]
         mab_config = canonical.get("mab_config")
         if isinstance(mab_config, dict) and mab_config.get("reward_weights") is None:
             del mab_config["reward_weights"]
@@ -209,6 +211,7 @@ def _fuzzer_config_to_dict(config: Optional[FuzzerConfig]
                              if config.mutation_weights is not None else None),
         "max_program_steps": config.max_program_steps,
         "scenario": config.scenario,
+        "corpus": config.corpus,
     }
 
 
@@ -227,6 +230,8 @@ def _fuzzer_config_from_dict(data: Optional[Dict[str, object]]
         max_program_steps=int(steps) if steps is not None else None,
         # Absent in payloads written before the trap/CSR subsystem.
         scenario=str(data.get("scenario", "user")),
+        # Absent in payloads written before the corpus subsystem.
+        corpus=bool(data.get("corpus", False)),
     )
 
 
@@ -329,8 +334,9 @@ class TrialSet:
 
 def run_campaign(spec: CampaignSpec, trial_index: int = 0,
                  dut_cache: Optional["DutRunCache"] = None,
-                 golden_fallback: Optional["GoldenTraceCache"] = None
-                 ) -> FuzzCampaignResult:
+                 golden_fallback: Optional["GoldenTraceCache"] = None,
+                 corpus_state: Optional[Dict[str, object]] = None,
+                 corpus_sink=None) -> FuzzCampaignResult:
     """Run a single trial of ``spec`` and return its result.
 
     ``dut_cache`` optionally routes DUT runs through a
@@ -339,6 +345,14 @@ def run_campaign(spec: CampaignSpec, trial_index: int = 0,
     cache behind the trial's own session cache; neither ever changes
     results -- only wall-clock -- and the session's golden-cache counters
     (which *are* result metadata) stay per-trial either way.
+
+    When the spec enables corpus mode (``FuzzerConfig.corpus``),
+    ``corpus_state`` is a :meth:`~repro.fuzzing.corpus.CorpusManager.
+    to_payload` dict of accumulated state merged into the trial's corpus
+    before it runs (the feedback from earlier trials / other workers),
+    and ``corpus_sink`` is called with the trial's full corpus payload
+    after it finishes so the caller can fold the trial's discoveries back.
+    Both are ignored for corpus-off specs.
     """
     seed = trial_seed(spec, trial_index)
     with program_id_scope():  # ids restart at 0: results are process-independent
@@ -354,8 +368,15 @@ def run_campaign(spec: CampaignSpec, trial_index: int = 0,
             fuzzer.session.dut_cache = dut_cache
         if golden_fallback is not None:
             fuzzer.session.golden_cache.fallback = golden_fallback
-        return fuzzer.run(spec.num_tests,
-                          metadata={"trial": trial_index, "seed": seed})
+        if fuzzer.corpus is not None:
+            if corpus_state:
+                fuzzer.corpus.merge_payload(corpus_state)
+            fuzzer.on_corpus_state()
+        result = fuzzer.run(spec.num_tests,
+                            metadata={"trial": trial_index, "seed": seed})
+        if fuzzer.corpus is not None and corpus_sink is not None:
+            corpus_sink(fuzzer.corpus.to_payload())
+        return result
 
 
 def run_trials(spec: CampaignSpec,

@@ -53,6 +53,24 @@ class TestCampaignSpec:
                                                          mutants_per_test=2))
         assert spec.fingerprint() != deeper.fingerprint()
 
+    def test_fingerprint_backward_compatible_with_pre_corpus_payloads(self):
+        # Journals written before the corpus subsystem serialized
+        # FuzzerConfig without a "corpus" key; a corpus-off spec must keep
+        # fingerprinting identically so those journals still resume.
+        spec = CampaignSpec(processor="cva6", fuzzer="thehuzz", **SMALL)
+        legacy = spec.to_dict()
+        assert legacy["fuzzer_config"].pop("corpus") is False
+        assert CampaignSpec.from_dict(legacy).fingerprint() == spec.fingerprint()
+
+    def test_fingerprint_sees_corpus_mode(self):
+        off = CampaignSpec(processor="cva6", fuzzer="thehuzz", **SMALL)
+        on = CampaignSpec(processor="cva6", fuzzer="thehuzz",
+                          num_tests=12, trials=2, seed=3,
+                          fuzzer_config=FuzzerConfig(num_seeds=3,
+                                                     mutants_per_test=2,
+                                                     corpus=True))
+        assert off.fingerprint() != on.fingerprint()
+
 
 class TestSpecWireFormat:
     def _full_spec(self):
