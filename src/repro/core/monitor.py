@@ -63,14 +63,19 @@ class ProgressMonitor:
     """Live progress of a grid run: trials done/total, ETA, cache traffic.
 
     The execution engine calls :meth:`start` once with the total trial
-    count (restored trials count as already done), then
-    :meth:`trial_completed` per finished trial.  ``sink`` receives one
-    rendered status line per event (e.g. ``print`` or a logger method);
-    ``None`` keeps the monitor silent but still queryable.
+    count *before* loading any checkpoint journal, then
+    :meth:`restore_completed` once the restore finishes (restored trials
+    count as already done), then :meth:`trial_completed` per finished
+    trial.  ``sink`` receives one rendered status line per event (e.g.
+    ``print`` or a logger method); ``None`` keeps the monitor silent but
+    still queryable.
 
     The ETA is throughput-based -- remaining trials divided by observed
     completed-trials-per-second -- which is the right model for a sharded
-    grid where several trials finish per wall-clock interval.
+    grid where several trials finish per wall-clock interval.  Observed
+    throughput starts at the *restore* boundary, not at :meth:`start`:
+    journal-restore/salvage wall-clock must never be divided by only the
+    trials run afterwards (see :meth:`restore_completed`).
     """
 
     def __init__(self, sink: Optional[Callable[[str], None]] = None,
@@ -118,6 +123,29 @@ class ProgressMonitor:
             restored = (f" ({restored_trials} restored from checkpoint)"
                         if restored_trials else "")
             self._sink(f"grid: {total_trials} trials on {backend}{restored}")
+
+    def restore_completed(self, restored_trials: int) -> None:
+        """Credit journal-restored trials and rebase the throughput clock.
+
+        The engine calls :meth:`start` before loading the checkpoint
+        journal (so the grid banner is emitted even when the restore or
+        its salvage pass is slow) and this method once the restore is
+        done.  Rebasing ``_started_at`` here is the whole point:
+        :meth:`eta_seconds` divides elapsed wall-clock by the trials
+        *run* since restore, so elapsed must not include restore time --
+        a large resume used to inflate the first ETAs by exactly the
+        journal-load duration.
+        """
+        if restored_trials < 0:
+            raise ValueError("restored_trials must be non-negative")
+        if restored_trials > self.total_trials:
+            raise ValueError("restored_trials cannot exceed total_trials")
+        self.completed_trials = restored_trials
+        self.restored_trials = restored_trials
+        self._started_at = self._clock()
+        if self._sink is not None and restored_trials:
+            self._sink(f"grid: {restored_trials}/{self.total_trials} trials "
+                       f"restored from checkpoint")
 
     def trial_completed(self, label: str = "",
                         metadata: Optional[Dict[str, object]] = None) -> None:

@@ -34,11 +34,15 @@ from typing import Dict, Iterable, List
 class PointBitIndex:
     """Append-only point-name <-> bit-index registry."""
 
-    __slots__ = ("_bits", "_points")
+    __slots__ = ("_bits", "_points", "_materialised")
+
+    #: bound on the coverage-int -> frozenset memo (see :meth:`points_of`).
+    _MATERIALISED_MAX = 4096
 
     def __init__(self) -> None:
         self._bits: Dict[str, int] = {}
         self._points: List[str] = []
+        self._materialised: Dict[int, frozenset] = {}
 
     def bit(self, point: str) -> int:
         """The stable bit index of ``point`` (assigned on first use)."""
@@ -60,14 +64,31 @@ class PointBitIndex:
         return value
 
     def points_of(self, cov: int) -> frozenset:
-        """Materialise an accumulated coverage integer back into point names."""
+        """Materialise an accumulated coverage integer back into point names.
+
+        Memoised by the coverage integer itself: campaigns and benchmarks
+        re-run identical programs constantly (bandit arms replay seeds,
+        duplicate mutants are common), and identical runs accumulate the
+        identical bitset, so the ~kilobit-to-frozenset expansion is paid
+        once per distinct outcome instead of once per run.  Safe because
+        bit assignments are append-only for the life of the process.  The
+        memo is bounded; a wipe only costs re-materialisation.
+        """
+        cached = self._materialised.get(cov)
+        if cached is not None:
+            return cached
         names = self._points
         out = []
-        while cov:
-            low = cov & -cov
+        bits = cov
+        while bits:
+            low = bits & -bits
             out.append(names[low.bit_length() - 1])
-            cov ^= low
-        return frozenset(out)
+            bits ^= low
+        result = frozenset(out)
+        if len(self._materialised) >= self._MATERIALISED_MAX:
+            self._materialised.clear()
+        self._materialised[cov] = result
+        return result
 
     def __len__(self) -> int:
         return len(self._points)

@@ -35,7 +35,7 @@ from repro.exec.checkpoint import CheckpointJournal
 from repro.exec.distributed import DistributedBackend, run_worker
 from repro.exec.engine import CampaignEngine, grid_summary, run_grid
 from repro.exec.faults import Backoff, FaultInjector, FaultPlan, FaultRule
-from repro.exec.queue import DEFAULT_MAX_ATTEMPTS, SpoolQueue
+from repro.exec.queue import DEFAULT_MAX_ATTEMPTS, LeaseLostError, SpoolQueue
 
 __all__ = [
     "Backoff",
@@ -49,6 +49,7 @@ __all__ = [
     "FaultRule",
     "DutRunCache",
     "ExecutionBackend",
+    "LeaseLostError",
     "ProcessPoolBackend",
     "SerialBackend",
     "SpoolQueue",

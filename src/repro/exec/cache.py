@@ -26,7 +26,9 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
-from repro.isa.compiled import compiled_cache_stats, configure_compiled_cache
+from repro.isa.compiled import (compiled_cache_stats, configure_compiled_cache,
+                                configure_superblock_cache,
+                                superblock_cache_stats)
 from repro.isa.program import TestProgram
 from repro.rtl.harness import DutModel, DutRunResult
 from repro.sim.golden import GoldenTraceCache, KeyedRunCache
@@ -106,13 +108,15 @@ def configure_process_caches(cache_entries: Optional[int]) -> None:
     never leaks into the next.  Shrinking spills LRU entries immediately
     (the spill's evictions still count: callers snapshot counters *before*
     configuring, see :func:`repro.exec.batching.execute_batch`).  The
-    compiled-trace cache (:mod:`repro.isa.compiled`) is bounded alongside
-    the run caches so one knob governs all per-worker memory.
+    compiled-trace and superblock caches (:mod:`repro.isa.compiled`) are
+    bounded alongside the run caches so one knob governs all per-worker
+    memory.
     """
     bound = DEFAULT_CACHE_ENTRIES if cache_entries is None else cache_entries
     process_dut_cache().configure(bound)
     process_golden_cache().configure(bound)
     configure_compiled_cache(bound)
+    configure_superblock_cache(bound)
 
 
 def process_cache_stats() -> Dict[str, int]:
@@ -120,6 +124,7 @@ def process_cache_stats() -> Dict[str, int]:
     dut = process_dut_cache().stats()
     golden = process_golden_cache().stats()
     compiled = compiled_cache_stats()
+    superblock = superblock_cache_stats()
     return {
         "dut_cache_hits": dut["hits"],
         "dut_cache_misses": dut["misses"],
@@ -130,4 +135,7 @@ def process_cache_stats() -> Dict[str, int]:
         "compiled_trace_hits": compiled["hits"],
         "compiled_trace_misses": compiled["misses"],
         "compiled_trace_evictions": compiled["evictions"],
+        "superblock_hits": superblock["hits"],
+        "superblock_misses": superblock["misses"],
+        "superblock_evictions": superblock["evictions"],
     }

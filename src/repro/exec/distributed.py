@@ -15,7 +15,11 @@ Failure semantics (see ``docs/distributed.md`` and ``docs/robustness.md``):
   worker re-executes the batch.  Trials are deterministic, so re-execution
   reproduces the lost results bit for bit.  Workers heartbeat their claim
   between trials, so a batch that legitimately outlives its lease is never
-  falsely requeued (and never duplicated).
+  falsely requeued (and never duplicated).  A worker whose heartbeat finds
+  the claim gone -- the lease expired and the batch was requeued anyway --
+  aborts the remainder of the batch and drops its result
+  (:class:`~repro.exec.queue.LeaseLostError`) rather than duplicating the
+  new owner's execution and racing its publish.
 * Every failure consumes one unit of the task's retry budget
   (``max_attempts``); a batch that keeps failing -- crashing workers,
   corrupted results, poisoned specs -- is quarantined in ``deadletter/``
@@ -58,6 +62,7 @@ from repro.exec.queue import (
     DEFAULT_LEASE_TIMEOUT,
     DEFAULT_MAX_ATTEMPTS,
     ATTEMPTS_KEY,
+    LeaseLostError,
     SpoolQueue,
 )
 
@@ -427,7 +432,12 @@ def run_worker(
         def on_trial(task, claim=claim):
             for rule in faults.fire(faults.SITE_WORKER_TRIAL, task_id=claim.task_id):
                 faults.perform(rule)
-            claim.heartbeat()
+            if not claim.heartbeat():
+                # The claim file is gone: the batch was requeued to (or
+                # finished by) another worker.  Abort the rest of the
+                # batch -- the new owner re-executes it from scratch.
+                raise LeaseLostError(
+                    f"lease on batch {claim.task_id} lost mid-batch")
 
         try:
             batch = batch_from_wire(claim.payload)
@@ -444,6 +454,12 @@ def run_worker(
                 batch = dataclasses.replace(
                     batch, corpus=worker_corpus.to_payload())
             outcome = execute_batch(batch, on_trial=on_trial)
+        except LeaseLostError:
+            # Ownership moved mid-batch; publishing a result (or an error
+            # payload) here would race the new owner and double-feed the
+            # corpus side band.  Drop everything this execution produced.
+            emit(f"worker {name}: batch {claim.task_id} lease lost; "
+                 "dropping result")
         except Exception:
             error = {
                 "error": traceback.format_exc(),

@@ -91,6 +91,14 @@ class CampaignEngine:
         grids: List[List[Optional[FuzzCampaignResult]]] = [
             [None] * spec.trials for spec in specs]
 
+        # Announce the grid before touching the journal: restore/salvage
+        # of a large checkpoint can take a while, and its wall-clock must
+        # not leak into the monitor's observed throughput (the monitor
+        # rebases its clock in ``restore_completed`` below).
+        total = sum(spec.trials for spec in specs)
+        self.monitor.start(total_trials=total,
+                           backend=self.backend.describe())
+
         journal = (CheckpointJournal(self.checkpoint_path)
                    if self.checkpoint_path else None)
         restored = 0
@@ -127,9 +135,7 @@ class CampaignEngine:
                  for spec_index, spec in enumerate(specs)
                  for trial in range(spec.trials)
                  if grids[spec_index][trial] is None]
-        total = sum(spec.trials for spec in specs)
-        self.monitor.start(total_trials=total, restored_trials=restored,
-                           backend=self.backend.describe())
+        self.monitor.restore_completed(restored)
         if salvage.get("dropped"):
             # Corrupt journal records were salvaged around; their trials
             # simply re-run below.  Surface the damage rather than hiding

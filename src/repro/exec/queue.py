@@ -35,9 +35,11 @@ refinements keep that loop honest for long-lived services:
 * **Heartbeats** -- a worker calls :meth:`ClaimedTask.heartbeat` between
   trials, touching the claim file's mtime, so a batch that legitimately
   outlives its lease is never falsely requeued (and hence never
-  duplicated).  If the original worker was merely slow and completes
-  anyway, both executions produced the same deterministic payload and the
-  duplicate result overwrite is harmless.
+  duplicated).  A failing heartbeat means the lease was lost anyway --
+  the claim was already requeued to another worker -- and the holder
+  aborts the remainder of the batch and drops its result
+  (:class:`LeaseLostError`) instead of racing the new owner with a
+  duplicate execution.
 * **Retry budgets** -- every task payload carries an ``attempts`` counter
   (bumped on each requeue) and an optional ``max_attempts`` budget; a
   batch that keeps crashing its workers is moved to ``deadletter/`` with
@@ -78,6 +80,19 @@ ATTEMPTS_KEY = "attempts"
 MAX_ATTEMPTS_KEY = "max_attempts"
 
 
+class LeaseLostError(RuntimeError):
+    """A worker's claim lease vanished mid-batch.
+
+    Raised (by the worker's between-trials hook) when
+    :meth:`ClaimedTask.heartbeat` returns ``False``: the claim file is
+    gone, so the lease expired and the task was requeued to -- or already
+    completed by -- another worker.  The holder must abort the rest of
+    the batch and drop its result; the new owner republishes the same
+    deterministic payload, so finishing here would only duplicate work
+    and race the owner's publish.
+    """
+
+
 @dataclass(frozen=True)
 class ClaimedTask:
     """A task this worker has exclusive (lease-based) ownership of."""
@@ -98,9 +113,11 @@ class ClaimedTask:
         """Renew the lease by touching the claim file's mtime.
 
         Returns ``False`` when the claim file is gone -- the lease expired
-        and the task was requeued (or completed) under us.  The holder may
-        keep executing regardless: results are deterministic, so a
-        duplicate execution publishes an identical payload.
+        and the task was requeued (or completed) under us.  The holder
+        must then abort the remainder of the batch and discard its partial
+        work (see :class:`LeaseLostError`): ownership has moved, and the
+        new owner will re-execute and publish the same deterministic
+        payload.
         """
         try:
             os.utime(self.path, None)

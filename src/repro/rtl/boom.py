@@ -202,8 +202,53 @@ class BoomModel(DutModel):
                                 for lane in range(self.coreswidth)],
                 "plans": {},  # per-instruction static plans, filled lazily
             }
+            # Dense-index twins of the enum-keyed tables: InstrClass.__hash__
+            # is Python-level, so the fused block loop indexes flat lists by
+            # a per-plan integer class index instead of hashing enums.
+            cls_order = list(InstrClass)
+            tables["cls_list"] = cls_order
+            tables["cls_index"] = {cls: i for i, cls in enumerate(cls_order)}
+            tables["dualissue_flat"] = [tables["dualissue"][a, b]
+                                        for a in cls_order for b in cls_order]
+            tables["commit_lane_flat"] = [[lane_table[cls] for cls in cls_order]
+                                          for lane_table in tables["commit_lane"]]
+            # Per-ROB-entry alloc|commit and alloc|exception|flush unions:
+            # every commit emits alloc plus exactly one of the other two.
+            tables["rob_ok"] = [a | c for a, c in zip(tables["rob_alloc"],
+                                                      tables["rob_commit"])]
+            tables["rob_trap"] = [a | e | tables["flush_exception"]
+                                  for a, e in zip(tables["rob_alloc"],
+                                                  tables["rob_exception"])]
             self.__dict__["_boom_tables"] = tables
         return tables
+
+    @staticmethod
+    def _instr_plan(instr: Instruction, tables: dict) -> tuple:
+        """Per-instruction static plan: uop/wakeup/rename/busytable masks
+        and the issue-queue slot table, resolved once per instruction."""
+        plans = tables["plans"]
+        plan = plans.get(instr)
+        if plan is None:
+            spec = spec_for(instr.mnemonic)
+            cls = spec.cls
+            static = tables["uop"][instr.mnemonic]
+            if spec.writes_rd:
+                static |= tables["rename"][cls][instr.rd]
+                static |= tables["wakeup"][instr.mnemonic]
+            if spec.reads_rs1:
+                static |= tables["busy_rs1"][cls][instr.rs1]
+            if spec.reads_rs2:
+                static |= tables["busy_rs2"][cls][instr.rs2]
+            if len(plans) >= _INSTR_MEMO_MAX:
+                plans.clear()
+            plan = plans[instr] = (
+                static, cls, tables["cls_index"][cls],
+                tables["iq"][_ISSUE_QUEUES[cls]],
+                instr.rd if spec.writes_rd else None,
+                cls is InstrClass.LOAD or cls is InstrClass.ATOMIC,
+                cls is InstrClass.STORE or cls is InstrClass.ATOMIC,
+            )
+        return plan
 
     def structural_mask(self, record: CommitRecord, instr: Instruction,
                         executor: DutExecutor) -> int:
@@ -221,30 +266,8 @@ class BoomModel(DutModel):
         if instr.is_illegal:
             return mask
 
-        # Per-instruction plan: uop/wakeup/rename/busytable masks and the
-        # issue-queue slot table are static per decoded instruction.
-        plans = tables["plans"]
-        plan = plans.get(instr)
-        if plan is None:
-            spec = spec_for(instr.mnemonic)
-            cls = spec.cls
-            static = tables["uop"][instr.mnemonic]
-            if spec.writes_rd:
-                static |= tables["rename"][cls][instr.rd]
-                static |= tables["wakeup"][instr.mnemonic]
-            if spec.reads_rs1:
-                static |= tables["busy_rs1"][cls][instr.rs1]
-            if spec.reads_rs2:
-                static |= tables["busy_rs2"][cls][instr.rs2]
-            if len(plans) >= _INSTR_MEMO_MAX:
-                plans.clear()
-            plan = plans[instr] = (
-                static, cls, tables["iq"][_ISSUE_QUEUES[cls]],
-                instr.rd if spec.writes_rd else None,
-                cls is InstrClass.LOAD or cls is InstrClass.ATOMIC,
-                cls is InstrClass.STORE or cls is InstrClass.ATOMIC,
-            )
-        static, cls, iq_slots, rd, lsq_load, lsq_store = plan
+        static, cls, _, iq_slots, rd, lsq_load, lsq_store = self._instr_plan(
+            instr, tables)
         mask |= static
         mask |= iq_slots[step % self.issue_queue_slots]
         if rd is not None:
@@ -263,4 +286,80 @@ class BoomModel(DutModel):
         if (cls is InstrClass.BRANCH and record.trap is None
                 and record.next_pc != record.pc + 4):
             mask |= tables["flush_mispredict"]
+        return mask
+
+    def structural_block_mask(self, records: list, start: int, plan: tuple,
+                              executor: "DutExecutor", block=None) -> int:
+        """One-call-per-superblock twin of :meth:`structural_mask`.
+
+        Identical emission and ``boom_prev_cls`` evolution, with the table
+        and memo lookups hoisted out of the per-commit loop.  Illegal
+        words (``None`` in the per-block plan list) emit only the ROB /
+        occupancy / exception masks and leave ``boom_prev_cls`` alone,
+        like the per-commit illegal early-exit.  The per-entry static
+        plans are resolved once per block and cached on
+        ``block.model_plans`` (masks are stable for the life of the
+        process), replacing an instruction-hash memo lookup per commit
+        with a list index.
+        """
+        tables = self._structural_tables()
+        iplans = None if block is None else block.model_plans.get(BoomModel)
+        if iplans is None:
+            instr_plan = self._instr_plan
+            iplans = [None if entry[3] is None else instr_plan(entry[1], tables)
+                      for entry in plan]
+            if block is not None:
+                block.model_plans[BoomModel] = iplans
+        rob_ok = tables["rob_ok"]
+        rob_trap = tables["rob_trap"]
+        occupancy = tables["occupancy"]
+        flush_mispredict = tables["flush_mispredict"]
+        prf = tables["prf"]
+        lsq_load_t = tables["lsq_load"]
+        lsq_store_t = tables["lsq_store"]
+        dualissue_flat = tables["dualissue_flat"]
+        commit_lane_flat = tables["commit_lane_flat"]
+        cls_list = tables["cls_list"]
+        ncls = len(cls_list)
+        rob_entries = self.rob_entries
+        occ_top = self.occupancy_buckets - 1
+        iq_mod = self.issue_queue_slots
+        phys = self.physical_registers
+        lsq_mod = self.lsq_entries
+        lanes = self.coreswidth
+        branch_cls = InstrClass.BRANCH
+        scratch = executor.dut_scratch
+        prev_cls = scratch.get("boom_prev_cls")
+        prev_idx = (tables["cls_index"][prev_cls]
+                    if isinstance(prev_cls, InstrClass) else -1)
+        mask = 0
+        for offset in range(len(records) - start):
+            record = records[start + offset]
+            step = record.step
+            trap = record.trap
+            m = (rob_trap if trap is not None else rob_ok)[step % rob_entries]
+            m |= occupancy[step if step < occ_top else occ_top]
+            iplan = iplans[offset]
+            if iplan is None:
+                mask |= m
+                continue
+            static, cls, cls_idx, iq_slots, rd, lsq_load, lsq_store = iplan
+            m |= static
+            m |= iq_slots[step % iq_mod]
+            if rd is not None:
+                m |= prf[(step * 7 + rd) % phys]
+            if lsq_load:
+                m |= lsq_load_t[step % lsq_mod]
+            if lsq_store:
+                m |= lsq_store_t[step % lsq_mod]
+            if prev_idx >= 0:
+                m |= dualissue_flat[prev_idx * ncls + cls_idx]
+            prev_idx = cls_idx
+            m |= commit_lane_flat[step % lanes][cls_idx]
+            if (cls is branch_cls and trap is None
+                    and record.next_pc != record.pc + 4):
+                m |= flush_mispredict
+            mask |= m
+        scratch["boom_prev_cls"] = (cls_list[prev_idx] if prev_idx >= 0
+                                    else prev_cls)
         return mask

@@ -147,6 +147,15 @@ class CVA6Model(DutModel):
                                 for port in range(self.commit_ports)],
                 "fs_dirty": point_mask("cva6", "fpu", "fs_dirty"),
             }
+            # Dense-index twins of the enum-keyed tables (InstrClass hashes
+            # through Python-level __hash__): the fused block loop indexes
+            # flat lists by a cached integer class index instead.
+            cls_order = list(InstrClass)
+            tables["cls_index"] = {cls: i for i, cls in enumerate(cls_order)}
+            tables["issue_port_flat"] = [tables["issue_port"][cls]
+                                         for cls in cls_order]
+            tables["commit_port_flat"] = [[port_table[cls] for cls in cls_order]
+                                          for port_table in tables["commit_port"]]
             self.__dict__["_cva6_tables"] = tables
         return tables
 
@@ -165,4 +174,50 @@ class CVA6Model(DutModel):
             mask |= tables["commit_port"][step % self.commit_ports][cls]
             if record.csr_addr == csrdefs.MSTATUS:
                 mask |= tables["fs_dirty"]
+        return mask
+
+    def structural_block_mask(self, records: list, start: int, plan: tuple,
+                              executor: DutExecutor, block=None) -> int:
+        """One-call-per-superblock twin of :meth:`structural_mask`.
+
+        Identical emission with the table lookups hoisted out of the
+        per-commit loop.  The per-entry integer class indices (``None``
+        for illegal words, which emit only the scoreboard/frontend masks)
+        are resolved once per block and cached on ``block.model_plans``,
+        so the loop indexes flat lists instead of hashing enums.
+        """
+        tables = self._structural_tables()
+        indices = None if block is None else block.model_plans.get(CVA6Model)
+        if indices is None:
+            cls_index = tables["cls_index"]
+            indices = [None if entry[4] is None else cls_index[entry[4]]
+                       for entry in plan]
+            if block is not None:
+                block.model_plans[CVA6Model] = indices
+        sb_issue = tables["sb_issue"]
+        sb_writeback = tables["sb_writeback"]
+        frontend = tables["frontend"]
+        issue_port_flat = tables["issue_port_flat"]
+        commit_port_flat = tables["commit_port_flat"]
+        fs_dirty = tables["fs_dirty"]
+        sb_mod = self.scoreboard_entries
+        fe_mod = self.frontend_buckets
+        port_mod = self.commit_ports
+        mstatus = csrdefs.MSTATUS
+        mask = 0
+        for offset in range(len(records) - start):
+            record = records[start + offset]
+            cls_idx = indices[offset]
+            step = record.step
+            entry = step % sb_mod
+            m = sb_issue[entry]
+            if record.rd is not None:
+                m |= sb_writeback[entry]
+            m |= frontend[(record.pc >> 2) % fe_mod]
+            if cls_idx is not None:
+                m |= issue_port_flat[cls_idx]
+                m |= commit_port_flat[step % port_mod][cls_idx]
+                if record.csr_addr == mstatus:
+                    m |= fs_dirty
+            mask |= m
         return mask

@@ -40,6 +40,7 @@ from repro.coverage.csr_transitions import (
 )
 from repro.coverage.points import coverage_point
 from repro.isa import csr as csrdefs
+from repro.isa.compiled import Superblock, dirty_word_span
 from repro.isa.encoding import InstrClass, InstrFormat, SPECS, spec_for
 from repro.isa.exceptions import Trap, TrapCause
 from repro.isa.instruction import Instruction
@@ -572,6 +573,55 @@ def csr_mask(kind: str, address: int) -> int:
     return mask
 
 
+def _block_dut_plan(block: Superblock) -> Tuple[Tuple, ...]:
+    """Attach (and return) the per-entry DUT execution plan of one superblock.
+
+    Everything static per instruction -- spec, class predicates, register
+    fields, the decode/operand/system mask -- is resolved once per block
+    and cached on it, so the fused DUT loop touches no memo dictionaries.
+    Illegal words fuse too (their handler raises the deterministic
+    illegal-instruction trap); their plan entries carry a ``None`` spec
+    and only the static fetch/decode mask.  The plan is DUT-independent;
+    one block serves every DUT model in the process.
+    """
+    plan = []
+    for word, instr, handler in block.entries:
+        if instr.raw is not None:
+            # Illegal word: no spec, no operand/hazard bookkeeping -- the
+            # handler raises the illegal-instruction trap and the loop's
+            # trap arm commits it.  The trap coverage is static too
+            # (always ``illegal_instruction`` from an illegal word), so it
+            # folds into the fetch/decode mask; the loop's trap arm skips
+            # ``trap_mask`` for spec-less entries.
+            static = static_instr_mask(instr, word) | mask_of(
+                _trap_points_for("illegal_instruction", "illegal_word"))
+            plan.append((word, instr, handler, None, None, None, None, None,
+                         False, False, False, None, False, False, static))
+            continue
+        spec = spec_for(instr.mnemonic)
+        cls = spec.cls
+        is_mem = cls is InstrClass.LOAD or cls is InstrClass.STORE
+        plan.append((
+            word, instr, handler, spec, cls,
+            instr.rd if spec.writes_rd else None,
+            instr.rs1 if spec.reads_rs1 else None,
+            instr.rs2 if spec.reads_rs2 else None,
+            is_mem,
+            is_mem or cls is InstrClass.ATOMIC,
+            cls is InstrClass.MUL or cls is InstrClass.DIV,
+            # ALU result-bucket masks (zero/neg/pos), pre-resolved so the
+            # fused loop picks one with integer tests instead of calling
+            # alu_mask (bucket string + tuple key + memo get) per commit.
+            (alu_mask(instr.mnemonic, 0), alu_mask(instr.mnemonic, 1 << 63),
+             alu_mask(instr.mnemonic, 1)) if cls in _ALU_CLASSES else None,
+            cls is InstrClass.ATOMIC,
+            cls is InstrClass.BRANCH,
+            static_instr_mask(instr, word),
+        ))
+    block.dut_plan = tuple(plan)
+    return block.dut_plan
+
+
 # =================================================================== run result
 @dataclass(frozen=True)
 class DutRunResult:
@@ -619,6 +669,13 @@ class DutExecutor(Executor):
         self.dut_scratch: Dict[str, object] = {}
         #: accumulated coverage bitset (see :mod:`repro.coverage.bitset`).
         self._cov = 0
+        #: icache line of the most recent fetch plus its guaranteed re-hit
+        #: mask -- the icache is only ever touched by fetches, so a fetch
+        #: to the same line as the previous one is a hit that leaves the
+        #: LRU state untouched and the fused loop can skip the cache model
+        #: entirely (see :meth:`CacheModel.repeat_hit_mask`).
+        self._fetch_line = -1
+        self._fetch_rehit = 0
 
     # ------------------------------------------------------------ bug plumbing
     @property
@@ -641,7 +698,12 @@ class DutExecutor(Executor):
     def _record_fetch_decode(self, instr: Instruction, word: int, pc: int) -> None:
         """Coverage of one fetch+decode (bitset fast path)."""
         static_mask, spec, rd, rs1, rs2, is_mem = _decode_plan(instr, word)
-        cov = self._cov | self.icache.access_mask(pc, False) | static_mask
+        icache = self.icache
+        cov = self._cov | icache.access_mask(pc, False) | static_mask
+        line = pc // icache.line_bytes
+        if line != self._fetch_line:
+            self._fetch_line = line
+            self._fetch_rehit = icache.repeat_hit_mask(pc)
         if spec is not None:
             regs = self.state.regs
             self._operand_values = (regs[rs1] if rs1 is not None else 0,
@@ -759,6 +821,192 @@ class DutExecutor(Executor):
             self.last_trap_cause = trap
         return record
 
+    # ------------------------------------------------------------- superblocks
+    def run_block(self, block: Superblock, records: list) -> Optional[tuple]:
+        """Fused superblock execution with inline coverage emission.
+
+        Mirrors one iteration of the per-step path -- fetch/decode coverage,
+        operand capture, execution, retirement counters, commit observation
+        -- per plan entry, with the bounded-memo lookups pre-resolved into
+        the block's plan and the coverage bitset held in a local.  Stateful
+        microarchitectural components (icache LRU, hazard window, dcache via
+        the memory hooks, the DUT's ``structural_mask`` emitter) are still
+        consulted per instruction, in the same order as the per-step path,
+        so the accumulated coverage set is bit-identical.
+
+        Injected bugs and the CSR-transition tracker hook into the per-step
+        machinery at many points; runs configured with either route through
+        the hook-preserving :meth:`~repro.sim.executor.Executor.run_block_generic`
+        instead.
+        """
+        if self.bugs or self.csr_tracker is not None:
+            return self.run_block_generic(block, records)
+        plan = block.dut_plan
+        if plan is None:
+            plan = _block_dut_plan(block)
+        state = self.state
+        regs = state.regs
+        csrs = state.csrs
+        icache = self.icache
+        icache_access = icache.access_mask
+        icache_repeat = icache.repeat_hit_mask
+        line_bytes = icache.line_bytes
+        append = records.append
+        block_start = len(records)
+        count_trapped = self.config.count_trapped_instructions
+        base_address = block.base_address
+        end_address = block.end_address
+        pc = state.pc
+        cov = self._cov
+        dirtied = None
+        # Cross-block fetch-line state: a fetch to the line the previous
+        # fetch touched is a guaranteed re-hit (the icache is only ever
+        # accessed by fetches), so it reduces to ``cov |= rehit`` with no
+        # cache-model call and no LRU mutation.
+        fetch_line = self._fetch_line
+        fetch_rehit = self._fetch_rehit
+        # Hazard-window locals (the tracker's observe_mask inlined below:
+        # one attribute hop and call frame per entry is ~30% of its cost).
+        hazards = self.hazards
+        hz_recent = hazards._recent
+        hz_table = hazards._mask_table()
+        hz_window = hazards.window
+        hz_no_hazard = hz_table["no_hazard"]
+        # Retirement counters are batched like the base run_block: nothing
+        # before a block's tail reads MINSTRET/MCYCLE, so two dict writes
+        # at exit replace 2-per-entry.  A CSR tail can read or write them,
+        # so the batch is flushed (and restarted) right before the tail
+        # entry executes; ``commits`` equals the entry index, so the flush
+        # triggers exactly there.
+        flush_at = block.length - 1 if block.csr_tail else -1
+        commits = 0
+        uncounted = 0  # trapped commits excluded from minstret
+        for (word, instr, handler, spec, cls, rd, rs1, rs2, is_mem,
+             is_memlike, is_muldiv, alu3, is_atomic, is_branch,
+             static_mask) in plan:
+            line = pc // line_bytes
+            if line == fetch_line:
+                cov |= fetch_rehit | static_mask
+            else:
+                cov |= icache_access(pc, False) | static_mask
+                fetch_line = line
+                fetch_rehit = icache_repeat(pc)
+            if spec is not None:
+                # Illegal words (spec None) get no operand capture and no
+                # hazard-window update, exactly like the per-step path.
+                if is_muldiv:
+                    self._operand_values = (regs[rs1] if rs1 is not None else 0,
+                                            regs[rs2] if rs2 is not None else 0)
+                if is_mem:
+                    cov |= mem_mask(instr, spec, self)
+                # --- hazards.observe_mask, inlined ---------------------------
+                hmask = 0
+                distance = 0
+                for position in range(len(hz_recent) - 1, -1, -1):
+                    distance += 1
+                    prior_rd = hz_recent[position]
+                    if not prior_rd:
+                        continue
+                    if rs1 == prior_rd:
+                        hmask |= hz_table["rs1", distance] | hz_table["fwd", prior_rd]
+                    if rs2 == prior_rd:
+                        hmask |= hz_table["rs2", distance] | hz_table["fwd", prior_rd]
+                    if rd == prior_rd:
+                        hmask |= hz_table["waw", distance]
+                cov |= hmask if hmask else hz_no_hazard
+                hz_recent.append(rd)
+                if len(hz_recent) > hz_window:
+                    del hz_recent[0]
+            trap = None
+            if commits == flush_at:
+                # CSR tail: flush the batched counters so its CSR reads
+                # and writes are architecturally exact, then restart the
+                # batch (see Executor.run_block).  Its handler emits CSR
+                # coverage through ``self._cov``, so sync like memlike.
+                csrs[csrdefs.MINSTRET] = (
+                    csrs[csrdefs.MINSTRET] + commits - uncounted) & MASK64
+                csrs[csrdefs.MCYCLE] = (csrs[csrdefs.MCYCLE] + commits) & MASK64
+                commits = 0
+                uncounted = 0
+                flush_at = -1
+                sync_cov = True
+            else:
+                sync_cov = is_memlike
+            if sync_cov:
+                # dcache / CSR coverage is recorded inside the handler via
+                # ``self._cov``; keep it coherent across the handler call.
+                self._cov = cov
+                try:
+                    record = handler(self, instr, pc, word)
+                except Trap as raised:
+                    trap = raised
+                cov = self._cov
+            else:
+                try:
+                    record = handler(self, instr, pc, word)
+                except Trap as raised:
+                    trap = raised
+            if trap is None:
+                rd_value = record.rd_value
+                if rd_value is not None:
+                    if alu3 is not None:
+                        # bucket: zero / neg (bit 63 set) / pos -- same
+                        # partition _alu_bucket derives via to_signed.
+                        cov |= (alu3[0] if rd_value == 0 else
+                                alu3[1] if rd_value >> 63 else alu3[2])
+                    if is_muldiv:
+                        operands = self._operand_values
+                        cov |= self.fu.observe_mask(cls, operands[0],
+                                                    operands[1], rd_value)
+                if is_branch:
+                    taken = record.next_pc != (pc + 4) & MASK64
+                    cov |= branch_mask(instr.mnemonic, taken,
+                                       record.next_pc < pc)
+                    cov |= self.bpred.update_mask(pc, taken)
+                elif is_atomic:
+                    cov |= atomic_mask(instr, record)
+            else:
+                csrs[csrdefs.MEPC] = pc
+                csrs[csrdefs.MCAUSE] = int(trap.cause)
+                csrs[csrdefs.MTVAL] = trap.tval & MASK64
+                record = CommitRecord(
+                    step=self._step_index, pc=pc, word=word,
+                    mnemonic=instr.mnemonic, trap=trap.cause,
+                    next_pc=(pc + 4) & MASK64, trap_tval=trap.tval & MASK64)
+                if not count_trapped:
+                    uncounted += 1
+                if spec is not None:
+                    # (illegal entries carry their trap mask in static_mask)
+                    cov |= trap_mask(instr, record)
+                self.last_trap_step = self._step_index
+                self.last_trap_cause = trap.cause
+            commits += 1
+            append(record)
+            self._step_index += 1
+            pc += 4
+            mem_addr = record.mem_addr
+            if mem_addr is not None:
+                dirtied = dirty_word_span(mem_addr, record.mem_size or 1,
+                                          base_address, end_address)
+                if dirtied is not None:
+                    break  # store hit the code window: stop fused execution
+        # Structural coverage is a pure function of the commit records (plus
+        # the model's own scratch state, which it advances in record order),
+        # so it batches into one call per block instead of one per commit.
+        cov |= self.dut.structural_block_mask(records, block_start, plan, self,
+                                              block)
+        csrs[csrdefs.MINSTRET] = (csrs[csrdefs.MINSTRET] + commits - uncounted) & MASK64
+        csrs[csrdefs.MCYCLE] = (csrs[csrdefs.MCYCLE] + commits) & MASK64
+        self._cov = cov
+        self._fetch_line = fetch_line
+        self._fetch_rehit = fetch_rehit
+        if block.tail_redirect and dirtied is None:
+            # The tail branch/jump ran; its record carries the exit pc.
+            state.pc = record.next_pc
+        else:
+            state.pc = pc & MASK64
+        return dirtied
+
     # ----------------------------------------------------------------- results
     def coverage_hits(self) -> FrozenSet[str]:
         """Materialise the accumulated bitset into the canonical point set."""
@@ -804,6 +1052,11 @@ class LegacyCoverageExecutor(DutExecutor):
 
     def _record_csr(self, kind: str, address: int) -> None:
         self.collector.hit(_csr_point(kind, address))
+
+    def run_block(self, block: Superblock, records: list) -> Optional[tuple]:
+        # The reference implementation must route every entry through its
+        # overridden recording hooks -- no fused fast path, by design.
+        return self.run_block_generic(block, records)
 
     def _observe_commit(self, record: CommitRecord, instr: Instruction) -> CommitRecord:
         collector = self.collector
@@ -887,6 +1140,28 @@ class DutModel(ModelBase):
         """
         points = self.structural_points(record, instr, executor)
         return mask_of(points) if points else 0
+
+    def structural_block_mask(self, records: list, start: int, plan: Tuple,
+                              executor: DutExecutor, block=None) -> int:
+        """Structural coverage of one fused superblock's commits, batched.
+
+        Called once per superblock by the fused DUT loop with the commit
+        records the block appended (``records[start:]`` -- possibly fewer
+        than ``len(plan)`` entries after a dirty-store abort) and the
+        block's execution plan, whose entries carry the decoded
+        instructions.  Equivalent to OR-ing :meth:`structural_mask` over
+        the commits in order -- which is exactly what this default does --
+        but the three processor models override it with a single loop that
+        hoists the table and memo lookups out of the per-commit path (and
+        caches the per-entry plans on ``block.model_plans`` when the
+        superblock is provided).
+        """
+        mask = 0
+        structural = self.structural_mask
+        for offset in range(len(records) - start):
+            mask |= structural(records[start + offset], plan[offset][1],
+                               executor)
+        return mask
 
     def coverage_space(self) -> FrozenSet[str]:
         """The DUT's full branch coverage space (cached)."""

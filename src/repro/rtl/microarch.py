@@ -119,6 +119,26 @@ class CacheModel:
                 self._points_for(is_store, index, hit, victim_dirty))
         return mask
 
+    def repeat_hit_mask(self, address: int) -> int:
+        """Mask of a guaranteed *load re-hit* on the line just accessed.
+
+        A load to a line that is already at the front of its set's LRU list
+        hits, moves nothing and dirties nothing -- ``access_mask`` would
+        return exactly this mask and leave the cache state untouched.  The
+        fused superblock loop exploits that: sequential fetches share a
+        64-byte line, so only the first fetch of each line needs the real
+        LRU update; the remaining ~15 can ``|=`` this precomputed constant.
+        Only valid when ``address``'s line is known to be most-recent in
+        its set (i.e. the previous access touched the same line).
+        """
+        index = (address // self.line_bytes) % self.num_sets
+        key = (self.name, False, index, True, None)
+        mask = self._MASK_MEMO.get(key)
+        if mask is None:
+            mask = self._MASK_MEMO[key] = mask_of(
+                self._points_for(False, index, True, None))
+        return mask
+
     def line_is_dirty(self, address: int) -> bool:
         """Whether the line containing ``address`` is currently dirty."""
         line = address // self.line_bytes

@@ -167,14 +167,10 @@ class RocketModel(DutModel):
             self.__dict__["_rocket_tables"] = tables
         return tables
 
-    def structural_mask(self, record: CommitRecord, instr: Instruction,
-                        executor: DutExecutor) -> int:
-        tables = self._structural_tables()
-        if instr.is_illegal:
-            return tables["illegal"]
-
-        # Per-instruction plan: the pipeline/regfile-read/stall masks and
-        # the spec flags are static per decoded instruction, resolved once.
+    @staticmethod
+    def _instr_plan(instr: Instruction, tables: dict) -> tuple:
+        """Per-instruction static plan: pipeline/regfile-read/stall masks
+        and the spec flags, resolved once per decoded instruction."""
         plans = tables["plans"]
         plan = plans.get(instr)
         if plan is None:
@@ -195,18 +191,30 @@ class RocketModel(DutModel):
                 instr.rs2 if spec.reads_rs2 else None,
                 spec.cls,
             )
-        mask, writes_rd, rs1, rs2, cls = plan
+        return plan
+
+    def structural_mask(self, record: CommitRecord, instr: Instruction,
+                        executor: DutExecutor) -> int:
+        tables = self._structural_tables()
+        if instr.is_illegal:
+            return tables["illegal"]
+
+        mask, writes_rd, rs1, rs2, cls = self._instr_plan(instr, tables)
 
         rd = record.rd
         if writes_rd and rd is not None:
             mask |= tables["rf_write"][rd]
 
-        prev = executor.dut_scratch.get("rocket_prev")
-        if isinstance(prev, dict) and prev.get("rd"):
-            prev_rd = prev["rd"]
+        # The mask path keeps its previous-commit state as a plain
+        # ``(rd, is_load)`` tuple -- the legacy string path above uses a
+        # dict; the two faces never interleave within one run, and a tuple
+        # avoids allocating a dict per committed instruction.
+        prev = executor.dut_scratch.get("rocket_prev_mask")
+        if prev is not None and prev[0]:
+            prev_rd = prev[0]
             if rs1 == prev_rd:
                 mask |= tables["bypass_ex"][prev_rd]
-                if prev.get("is_load"):
+                if prev[1]:
                     mask |= tables["stall_loaduse"]
             if rs2 == prev_rd:
                 mask |= tables["bypass_mem"][prev_rd]
@@ -220,8 +228,73 @@ class RocketModel(DutModel):
         else:
             mask |= tables["sequential"]
 
-        executor.dut_scratch["rocket_prev"] = {
-            "rd": rd,
-            "is_load": cls is InstrClass.LOAD,
-        }
+        executor.dut_scratch["rocket_prev_mask"] = (rd, cls is InstrClass.LOAD)
+        return mask
+
+    def structural_block_mask(self, records: list, start: int, plan: tuple,
+                              executor: DutExecutor, block=None) -> int:
+        """One-call-per-superblock twin of :meth:`structural_mask`.
+
+        Identical emission and scratch-state evolution, with the table and
+        previous-commit lookups hoisted out of the per-commit loop.
+        Illegal words (``None`` in the per-block plan list) emit only the
+        fetch/decode bubbles and leave the previous-commit state alone,
+        like the per-commit illegal fast-exit.  The per-entry static plans
+        are resolved once per block and cached on ``block.model_plans``
+        (masks are stable for the life of the process), replacing an
+        instruction-hash memo lookup per commit with a list index.
+        """
+        tables = self._structural_tables()
+        plans = None if block is None else block.model_plans.get(RocketModel)
+        if plans is None:
+            instr_plan = self._instr_plan
+            plans = [None if entry[3] is None else instr_plan(entry[1], tables)
+                     for entry in plan]
+            if block is not None:
+                block.model_plans[RocketModel] = plans
+        illegal = tables["illegal"]
+        rf_write = tables["rf_write"]
+        bypass_ex = tables["bypass_ex"]
+        bypass_mem = tables["bypass_mem"]
+        stall_loaduse = tables["stall_loaduse"]
+        redirect_trap = tables["redirect_trap"]
+        redirect_jump = tables["redirect_jump"]
+        redirect_branch = tables["redirect_branch"]
+        sequential = tables["sequential"]
+        scratch = executor.dut_scratch
+        prev = scratch.get("rocket_prev_mask")
+        jump_cls = InstrClass.JUMP
+        branch_cls = InstrClass.BRANCH
+        load_cls = InstrClass.LOAD
+        mask = 0
+        for offset in range(len(records) - start):
+            record = records[start + offset]
+            iplan = plans[offset]
+            if iplan is None:
+                mask |= illegal
+                continue
+            base, writes_rd, rs1, rs2, cls = iplan
+            m = base
+            rd = record.rd
+            if writes_rd and rd is not None:
+                m |= rf_write[rd]
+            if prev is not None and prev[0]:
+                prev_rd = prev[0]
+                if rs1 == prev_rd:
+                    m |= bypass_ex[prev_rd]
+                    if prev[1]:
+                        m |= stall_loaduse
+                if rs2 == prev_rd:
+                    m |= bypass_mem[prev_rd]
+            if record.trap is not None:
+                m |= redirect_trap
+            elif cls is jump_cls:
+                m |= redirect_jump
+            elif cls is branch_cls and record.next_pc != record.pc + 4:
+                m |= redirect_branch
+            else:
+                m |= sequential
+            prev = (rd, cls is load_cls)
+            mask |= m
+        scratch["rocket_prev_mask"] = prev
         return mask

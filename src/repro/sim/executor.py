@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
 from repro.isa import csr as csrdefs
+from repro.isa.compiled import Superblock, dirty_word_span
 from repro.isa.decoder import decode_word
 from repro.isa.encoding import InstrClass, InstrFormat, SPECS, spec_for
 from repro.isa.exceptions import Trap, TrapCause
@@ -270,6 +271,118 @@ class Executor:
             self.halt_reason = HaltReason.ECALL
         return record
 
+    # ============================================================ superblocks
+    def run_block(self, block: Superblock, records: list) -> Optional[tuple]:
+        """Execute one fused superblock from the current pc.
+
+        The caller (the shared run loop in :mod:`repro.sim.golden`)
+        guarantees the preconditions: ``state.pc`` is the block's leader
+        address, none of the block's words are dirty, and at least
+        ``block.length`` steps remain under the step limit.  Commit
+        records are appended to ``records`` directly; ``state.pc`` is
+        written once at block exit.  Returns the ``(first, last)``
+        dirty-word span of a committed store that hit the code window --
+        which aborts the block after that instruction, so every
+        subsequent word is re-fetched -- or ``None``.
+
+        This base implementation fuses the *base* semantics: handler
+        call, trap commit, retirement counters.  It bypasses the
+        per-step hook methods (``_observe_decode``, ``_trap_cause``,
+        ``_count_retirement``, ``_observe_commit``), which are identity
+        no-ops here; any subclass that overrides a hook MUST also
+        override :meth:`run_block` (with a fused loop of its own, or by
+        delegating to :meth:`run_block_generic`, which routes every entry
+        through the hooks).
+        """
+        state = self.state
+        csrs = state.csrs
+        pc = state.pc
+        base_address = block.base_address
+        end_address = block.end_address
+        count_trapped = self.config.count_trapped_instructions
+        append = records.append
+        dirtied = None
+        # Retirement counters are batched: nothing before a block's tail
+        # can read MINSTRET/MCYCLE, so one pair of dict writes at block
+        # exit replaces two per entry.  A CSR tail *can* read (or write)
+        # them, so the batch is flushed -- and restarted -- right before
+        # the tail entry executes; ``commits`` equals the entry index, so
+        # the flush triggers exactly there.
+        flush_at = block.length - 1 if block.csr_tail else -1
+        commits = 0
+        uncounted = 0  # trapped commits excluded from minstret
+        for word, instr, handler in block.entries:
+            if commits == flush_at:
+                csrs[csrdefs.MINSTRET] = (
+                    csrs[csrdefs.MINSTRET] + commits - uncounted) & MASK64
+                csrs[csrdefs.MCYCLE] = (csrs[csrdefs.MCYCLE] + commits) & MASK64
+                commits = 0
+                uncounted = 0
+                flush_at = -1
+            try:
+                record = handler(self, instr, pc, word)
+            except Trap as trap:
+                csrs[csrdefs.MEPC] = pc
+                csrs[csrdefs.MCAUSE] = int(trap.cause)
+                csrs[csrdefs.MTVAL] = trap.tval & MASK64
+                record = CommitRecord(
+                    step=self._step_index, pc=pc, word=word,
+                    mnemonic=instr.mnemonic, trap=trap.cause,
+                    next_pc=(pc + 4) & MASK64, trap_tval=trap.tval & MASK64)
+                if not count_trapped:
+                    uncounted += 1
+            commits += 1
+            append(record)
+            self._step_index += 1
+            pc += 4
+            mem_addr = record.mem_addr
+            if mem_addr is not None:
+                dirtied = dirty_word_span(mem_addr, record.mem_size or 1,
+                                          base_address, end_address)
+                if dirtied is not None:
+                    break  # store hit the code window: stop fused execution
+        csrs[csrdefs.MINSTRET] = (csrs[csrdefs.MINSTRET] + commits - uncounted) & MASK64
+        csrs[csrdefs.MCYCLE] = (csrs[csrdefs.MCYCLE] + commits) & MASK64
+        if block.tail_redirect and dirtied is None:
+            # The tail branch/jump ran: its record carries the exit pc
+            # (the redirect target, or pc + 4 for not-taken and trapped
+            # tails -- trap records commit ``next_pc == pc + 4`` too).
+            state.pc = record.next_pc
+        else:
+            state.pc = pc & MASK64
+        return dirtied
+
+    def run_block_generic(self, block: Superblock, records: list) -> Optional[tuple]:
+        """Hook-preserving superblock execution: per-entry via :meth:`step_compiled`.
+
+        Semantically identical to the shared run loop's per-entry path --
+        every decode/trap/commit hook fires -- just without re-checking
+        bounds/alignment/dirtiness between entries (the block's
+        preconditions cover those).  Stops early, returning control to the
+        outer loop, when an entry halts the hart, redirects the pc (a bug
+        replacing an instruction can turn a fusable entry into a jump), or
+        dirties part of the code window (returning the dirty span, like
+        :meth:`run_block`).
+        """
+        step_compiled = self.step_compiled
+        base_address = block.base_address
+        end_address = block.end_address
+        for entry in block.entries:
+            pc = self.state.pc
+            record = step_compiled(entry)
+            if record is None:  # halted before the entry ran
+                break
+            records.append(record)
+            mem_addr = record.mem_addr
+            if mem_addr is not None:
+                span = dirty_word_span(mem_addr, record.mem_size or 1,
+                                       base_address, end_address)
+                if span is not None:
+                    return span
+            if self.halted or record.next_pc != (pc + 4) & MASK64:
+                break
+        return None
+
     # ============================================================ trap commits
     def _commit_trap(self, pc: int, word: int, instr: Instruction,
                      trap: Trap) -> CommitRecord:
@@ -311,8 +424,9 @@ class Executor:
                    mem_value: Optional[int] = None,
                    mem_size: Optional[int] = None) -> CommitRecord:
         value &= MASK64
-        self.state.write_reg(instr.rd, value)
         rd = instr.rd if instr.rd != 0 else None
+        if rd is not None:  # write_reg inlined: x0 stays hardwired to zero
+            self.state.regs[rd] = value
         return CommitRecord(
             step=self._step_index, pc=pc, word=word, mnemonic=instr.mnemonic,
             rd=rd, rd_value=value if rd is not None else None,

@@ -13,7 +13,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
-from repro.isa.compiled import compile_program
+from repro.isa.compiled import (compile_program, dirty_word_span,
+                                superblocks_enabled, superblocks_for)
 from repro.isa.program import TestProgram
 from repro.sim.executor import Executor, ExecutorConfig
 from repro.sim.memory import DEFAULT_LAYOUT, Memory, MemoryLayout
@@ -51,15 +52,28 @@ class ModelBase:
         The loop is driven by the program's **compiled trace**
         (:func:`repro.isa.compiled.compile_program`): an in-range, aligned
         ``pc`` indexes straight into the pre-decoded ``(word, instr,
-        handler)`` entries and skips fetch + decode entirely.  Two cases
-        fall back to the generic fetch-and-decode :meth:`Executor.step`,
-        whose semantics (including its trap behaviour) are unchanged:
+        handler)`` entries and skips fetch + decode entirely.  On top of
+        that, straight-line runs dispatch as fused **superblocks**
+        (:func:`repro.isa.compiled.superblocks_for` /
+        :meth:`Executor.run_block`), retiring a whole run per loop
+        iteration.  A block is dispatched only when its preconditions
+        hold; otherwise the loop degrades gracefully, one level at a time:
 
+        * fewer than ``block.length`` steps remain under the step limit
+          (a partial block replays per-entry, so step-limit truncation is
+          bit-identical to the unfused loop), or the block overlaps a
+          dirty word -> per-entry compiled dispatch;
         * a misaligned in-range ``pc`` (reachable via ``mret`` with a
-          software-seeded ``mepc``), and
-        * a word some earlier store overwrote -- committed stores that
-          overlap the code window mark their word slots dirty, so
-          self-modifying programs execute exactly as they always did.
+          software-seeded ``mepc``) or a word some earlier store
+          overwrote -> the generic fetch-and-decode :meth:`Executor.step`,
+          whose semantics (including its trap behaviour) are unchanged.
+
+        Committed stores that overlap the code window mark their word
+        slots dirty (range math shared with the fused loops through
+        :func:`repro.isa.compiled.dirty_word_span`), so self-modifying
+        programs execute exactly as they always did -- a store into the
+        middle of a fused block aborts it and every subsequent
+        instruction is re-fetched.
         """
         memory = Memory(self.layout)
         memory.load_program_words(program.base_address, program.words())
@@ -76,6 +90,8 @@ class ModelBase:
         end_address = compiled.end_address
         dirty_words: Optional[set] = None  # built lazily on first code store
         step_compiled = executor.step_compiled
+        blocks = superblocks_for(program, compiled) if superblocks_enabled() else None
+        run_block = executor.run_block
         while not executor.halted:
             pc = state.pc
             if pc == end_address:
@@ -95,6 +111,18 @@ class ModelBase:
                 if dirty_words is not None and index in dirty_words:
                     record = executor.step()  # overwritten word: re-fetch
                 else:
+                    if blocks is not None:
+                        block = blocks.at(index)
+                        if (block is not None
+                                and block.length <= limit - len(records)
+                                and (dirty_words is None
+                                     or dirty_words.isdisjoint(block.word_set))):
+                            span = run_block(block, records)
+                            if span is not None:
+                                if dirty_words is None:
+                                    dirty_words = set()
+                                dirty_words.update(range(span[0], span[1] + 1))
+                            continue
                     record = step_compiled(entries[index])
             if record is not None:
                 records.append(record)
@@ -102,17 +130,14 @@ class ModelBase:
                 if mem_addr is not None:
                     # Records carry mem_addr only for committed memory
                     # *writes* (stores, AMOs, successful SCs).
-                    mem_size = record.mem_size or 1
-                    if (mem_addr < end_address
-                            and mem_addr + mem_size > base_address):
+                    span = dirty_word_span(mem_addr, record.mem_size or 1,
+                                           base_address, end_address)
+                    if span is not None:
                         # The store overlapped the code window: its compiled
                         # entries are stale from the next fetch on.
                         if dirty_words is None:
                             dirty_words = set()
-                        first = max(mem_addr - base_address, 0) >> 2
-                        last = (min(mem_addr + mem_size, end_address)
-                                - base_address - 1) >> 2
-                        dirty_words.update(range(first, last + 1))
+                        dirty_words.update(range(span[0], span[1] + 1))
         else:
             # Loop exited because the executor halted itself (e.g. ecall).
             if executor.halt_reason is not None:

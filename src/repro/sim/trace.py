@@ -25,9 +25,16 @@ class HaltReason(enum.Enum):
     STEP_LIMIT = "step_limit"
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True, eq=True)
 class CommitRecord:
     """Architecturally visible effects of executing one instruction.
+
+    Records are immutable *by convention*: one is constructed per committed
+    instruction on the simulator's innermost loop, and the frozen-dataclass
+    ``object.__setattr__`` init path costs ~4x a plain slots init, so the
+    class is deliberately not ``frozen=True``.  Every consumer (the
+    differential tester, coverage emitters, the run caches that share
+    results across trials) only reads.
 
     Attributes:
         step: commit index within the run (0-based).

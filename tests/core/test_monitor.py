@@ -102,6 +102,34 @@ class TestProgressMonitor:
         eta = monitor.eta_seconds()
         assert eta == pytest.approx(2.0)  # 2 remaining at 1 trial/s
 
+    def test_restore_rebases_clock_so_eta_excludes_restore_time(self):
+        # Regression: on --resume the engine starts the monitor, spends a
+        # while loading/salvaging the journal, then credits the restored
+        # trials.  eta_seconds divides elapsed by the trials run *since*
+        # restore, so elapsed must be measured from the restore boundary
+        # -- it used to include the restore, inflating the first ETAs
+        # after a large resume.
+        now = [0.0]
+        lines = []
+        monitor = ProgressMonitor(sink=lines.append, clock=lambda: now[0])
+        monitor.start(total_trials=10, backend="serial")
+        now[0] = 100.0  # a 100s journal restore
+        monitor.restore_completed(8)
+        assert monitor.eta_seconds() is None  # nothing ran yet
+        now[0] = 101.0  # first executed trial lands one second later
+        monitor.trial_completed()
+        assert monitor.eta_seconds() == pytest.approx(1.0)  # 1 left at 1/s
+        assert "grid: 10 trials on serial" in lines[0]
+        assert "8/10 trials restored from checkpoint" in lines[1]
+
+    def test_restore_completed_validation(self):
+        monitor = self._monitor()
+        monitor.start(total_trials=2)
+        with pytest.raises(ValueError):
+            monitor.restore_completed(3)
+        with pytest.raises(ValueError):
+            monitor.restore_completed(-1)
+
     def test_eta_zero_when_done(self):
         monitor = self._monitor()
         monitor.start(total_trials=1)

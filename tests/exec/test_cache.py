@@ -136,11 +136,14 @@ class TestProcessCaches:
         from repro.exec.cache import DEFAULT_CACHE_ENTRIES
         from repro.isa.compiled import process_compiled_cache
 
+        from repro.isa.compiled import process_superblock_cache
+
         try:
             configure_process_caches(77)
             assert process_dut_cache().max_entries == 77
             assert process_golden_cache().max_entries == 77
             assert process_compiled_cache().max_entries == 77
+            assert process_superblock_cache().max_entries == 77
         finally:
             configure_process_caches(None)  # None restores the default bound
         assert process_dut_cache().max_entries == DEFAULT_CACHE_ENTRIES
@@ -153,7 +156,9 @@ class TestProcessCaches:
                               "shared_golden_misses",
                               "shared_golden_evictions",
                               "compiled_trace_hits", "compiled_trace_misses",
-                              "compiled_trace_evictions"}
+                              "compiled_trace_evictions",
+                              "superblock_hits", "superblock_misses",
+                              "superblock_evictions"}
 
     def test_configure_spill_evictions_survive_in_batch_deltas(self):
         """Regression: re-bounding mid-grid must not lose eviction deltas.

@@ -70,23 +70,29 @@ def _start_worker(queue_dir, *extra):
 class TestChaosRecovery:
     def test_kill_torn_result_and_claim_steal_recover_bit_identically(
             self, tmp_path):
-        """The flagship chaos run: one worker claims a backdated lease
-        (steal bait), tears a result file mid-publish, then dies holding a
-        claim -- a clean worker and the dispatcher's retry budget must
-        deliver the exact serial grid with nothing lost."""
+        """The flagship chaos run: one worker tears a result file
+        mid-publish, has its next lease stolen mid-batch (and aborts it),
+        then dies holding a claim -- a clean worker and the dispatcher's
+        retry budget must deliver the exact serial grid with nothing
+        lost."""
         specs = _grid()
         serial = CampaignEngine(backend=SerialBackend()).run_grid(specs)
         plan = FaultPlan(rules=(
-            # First claim looks ancient: a stale sweep steals it while the
-            # chaotic worker is still executing (duplicate execution).
-            FaultRule(site=faults.SITE_QUEUE_CLAIM, action="backdate",
-                      times=1),
             # First publish is cut short mid-write (corrupt result file).
             FaultRule(site=faults.SITE_QUEUE_PUBLISH, action="torn",
                       times=1),
-            # Second batch pickup dies holding the claim, like SIGKILL.
-            FaultRule(site=faults.SITE_WORKER_BATCH, action="kill",
+            # Second claim looks ancient: a stale sweep steals it while
+            # the chaotic worker is still executing; its next heartbeat
+            # notices and the batch is aborted (lease-lost path).
+            FaultRule(site=faults.SITE_QUEUE_CLAIM, action="backdate",
                       after=1, times=1),
+            # Dawdle inside the stolen batch so the sweep is guaranteed
+            # to land before the worker's heartbeat looks.
+            FaultRule(site=faults.SITE_WORKER_TRIAL, action="delay",
+                      arg=0.5, after=1, times=1),
+            # Third batch pickup dies holding the claim, like SIGKILL.
+            FaultRule(site=faults.SITE_WORKER_BATCH, action="kill",
+                      after=2, times=1),
         ))
         plan_path = tmp_path / "plan.json"
         plan_path.write_text(json.dumps(plan.to_dict()))
@@ -105,8 +111,8 @@ class TestChaosRecovery:
         dispatcher = threading.Thread(target=dispatch)
         dispatcher.start()
         # Phase 1: the chaotic worker serves the queue alone, so its fault
-        # schedule is guaranteed to play out: backdated claim, torn
-        # publish, then death on the second batch pickup.
+        # schedule is guaranteed to play out: torn publish, stolen lease
+        # (batch aborted), then death on the third batch pickup.
         chaotic = _start_worker(queue_dir, "--fault-plan", str(plan_path),
                                 "--worker-id", "chaotic")
         clean = None
@@ -134,7 +140,47 @@ class TestChaosRecovery:
         assert chaotic.returncode == faults.KILL_EXIT_CODE
         assert clean.returncode == 0
         assert backend.robustness_stats["retried"] >= 1  # torn result
-        assert backend.robustness_stats["requeued"] >= 1  # killed claim
+        assert backend.robustness_stats["requeued"] >= 1  # stolen + killed claims
+
+    def test_lease_lost_mid_batch_aborts_and_drops_the_result(self, tmp_path):
+        """A worker whose lease is stolen mid-batch must abort the rest of
+        the batch and publish nothing -- the re-execution by the lease's
+        new owner is the only result that lands -- and the grid still
+        completes bit-identically to serial."""
+        specs = _grid()
+        serial = CampaignEngine(backend=SerialBackend()).run_grid(specs)
+        faults.install(FaultPlan(rules=(
+            # First claim looks ancient: the dispatcher's stale sweep
+            # requeues it while the worker dawdles in its first trial.
+            FaultRule(site=faults.SITE_QUEUE_CLAIM, action="backdate",
+                      times=1),
+            # The dawdle guarantees the sweep lands before the worker's
+            # between-trials heartbeat notices the stolen claim.
+            FaultRule(site=faults.SITE_WORKER_TRIAL, action="delay",
+                      arg=0.5, times=1),
+        )).injector())
+        queue_dir = str(tmp_path / "spool")
+        log_lines = []
+        worker = threading.Thread(
+            target=run_worker,
+            kwargs=dict(queue_dir=queue_dir, worker_id="stolen",
+                        poll_interval=0.05, log=log_lines.append))
+        worker.start()
+        try:
+            backend = DistributedBackend(
+                queue_dir, poll_interval=0.05, lease_timeout=1.0,
+                max_attempts=5, batch_size=1, max_wait_seconds=120.0,
+                stop_workers_on_exit=True)
+            distributed = CampaignEngine(backend=backend).run_grid(specs)
+        finally:
+            worker.join(timeout=60)
+        assert not worker.is_alive()
+        assert _canonical(distributed) == _canonical(serial)
+        assert all(ts.is_complete for ts in distributed)
+        assert backend.quarantined == []
+        assert backend.robustness_stats["requeued"] >= 1  # the stolen claim
+        # The worker saw the loss, said so, and dropped its execution.
+        assert any("lease lost" in line for line in log_lines)
 
     def test_heartbeat_keeps_long_batch_from_being_requeued(self, tmp_path):
         """A batch that legitimately outlives the lease must not be stolen

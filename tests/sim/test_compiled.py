@@ -14,8 +14,13 @@ from repro.isa import csr as csrdefs
 from repro.isa.assembler import encode_instruction
 from repro.isa.compiled import (
     CompiledTraceCache,
+    SuperblockCache,
     compile_program,
+    dirty_word_span,
     process_compiled_cache,
+    set_superblocks_enabled,
+    superblocks_enabled,
+    superblocks_for,
 )
 from repro.isa.decoder import decode_word
 from repro.isa.generator import SeedGenerator
@@ -30,6 +35,36 @@ I = Instruction
 
 def _program(*instructions):
     return TestProgram(instructions=tuple(instructions))
+
+
+def _digest(result):
+    return ([(r.step, r.pc, r.word, r.mnemonic, r.rd, r.rd_value, r.trap,
+              r.mem_addr, r.mem_value, r.mem_size, r.csr_addr, r.csr_value,
+              r.next_pc, r.trap_tval) for r in result.records],
+            result.halt_reason, result.final_registers,
+            sorted(result.final_csrs.items()))
+
+
+@pytest.fixture
+def superblocks_off():
+    was = superblocks_enabled()
+    set_superblocks_enabled(False)
+    yield
+    set_superblocks_enabled(was)
+
+
+def _run_both_ways(program, max_steps=None):
+    """Golden digests with superblocks on and off (flag restored)."""
+    golden = GoldenModel()
+    was = superblocks_enabled()
+    digests = {}
+    try:
+        for flag in (False, True):
+            set_superblocks_enabled(flag)
+            digests[flag] = _digest(golden.run(program, max_steps=max_steps))
+    finally:
+        set_superblocks_enabled(was)
+    return digests[True], digests[False]
 
 
 class TestCompileProgram:
@@ -153,6 +188,191 @@ class TestFallbackPaths:
         result = GoldenModel().run(program, max_steps=17)
         assert result.halt_reason is HaltReason.STEP_LIMIT
         assert result.steps == 17
+
+
+class TestDirtyWordSpan:
+    """Boundary regressions for the shared code-window range math.
+
+    Every consumer (the run loop's dirty-word set, both fused loops'
+    abort checks) goes through :func:`dirty_word_span`, so these pins
+    cover them all at once.
+    """
+
+    BASE = 0x4000_0000
+    END = BASE + 16  # a four-word code window
+
+    def test_aligned_word_store_inside_window(self):
+        assert dirty_word_span(self.BASE + 8, 4, self.BASE, self.END) == (2, 2)
+
+    def test_sd_across_an_interior_word_boundary(self):
+        # An 8-byte store at +2 touches bytes 2..9: words 0, 1 and 2.
+        assert dirty_word_span(self.BASE + 2, 8, self.BASE, self.END) == (0, 2)
+
+    def test_sd_spanning_the_end_boundary_clamps(self):
+        # Bytes 12..19: only word 3 is inside the window.
+        assert dirty_word_span(self.BASE + 12, 8, self.BASE, self.END) == (3, 3)
+
+    def test_store_at_end_address_misses(self):
+        assert dirty_word_span(self.END, 8, self.BASE, self.END) is None
+
+    def test_byte_store_just_below_base_misses(self):
+        assert dirty_word_span(self.BASE - 1, 1, self.BASE, self.END) is None
+
+    def test_store_spanning_in_from_below_clamps_to_word_zero(self):
+        assert dirty_word_span(self.BASE - 4, 8, self.BASE, self.END) == (0, 0)
+        assert dirty_word_span(self.BASE - 1, 4, self.BASE, self.END) == (0, 0)
+
+
+class TestSuperblockFormation:
+    def test_terminators_tails_and_illegal_fusion(self):
+        program = _program(
+            I("addi", rd=1, rs1=0, imm=1),            # 0 ┐
+            I("addi", rd=2, rs1=0, imm=2),            # 1 │ block: branch tail
+            I("beq", rs1=0, rs2=0, imm=8),            # 2 ┘
+            I("addi", rd=3, rs1=0, imm=3),            # 3 ┐ block: CSR tail
+            I("csrrs", rd=4, rs1=0, csr=csrdefs.MINSTRET),  # 4 ┘
+            I("addi", rd=5, rs1=0, imm=5),            # 5 ┐
+            I.illegal(0xFFFF_FFFF),                   # 6 │ block: illegal fused
+            I("addi", rd=6, rs1=0, imm=6),            # 7 ┘
+            I("ecall"),                               # 8 never fused (SYSTEM)
+        )
+        blocks = superblocks_for(program)
+        head = blocks.at(0)
+        assert (head.start, head.length) == (0, 3)
+        assert head.tail_redirect and not head.csr_tail
+        assert head.word_set == frozenset({0, 1, 2})
+        csr_block = blocks.at(3)
+        assert (csr_block.start, csr_block.length) == (3, 2)
+        assert csr_block.csr_tail and not csr_block.tail_redirect
+        tail = blocks.at(5)
+        assert (tail.start, tail.length) == (5, 3)
+        assert not tail.tail_redirect and not tail.csr_tail
+        # The illegal word fused with a working stand-in handler.
+        assert all(handler is not None for _, _, handler in tail.entries)
+        assert blocks.at(8) is None  # a lone SYSTEM entry leads no block
+
+    def test_lru_bound_and_stats(self):
+        cache = SuperblockCache(max_entries=2)
+        programs = [_program(I("addi", rd=1, rs1=0, imm=n), I("ecall"))
+                    for n in range(3)]
+        for program in programs:
+            cache.get_or_build(program)
+        assert len(cache) == 2
+        stats = cache.stats()
+        assert stats["misses"] == 3 and stats["evictions"] == 1
+        cache.get_or_build(programs[-1])
+        assert cache.stats()["hits"] == 1
+        cache.configure(1)
+        assert len(cache) == 1
+        with pytest.raises(ValueError):
+            cache.configure(0)
+        with pytest.raises(ValueError):
+            SuperblockCache(max_entries=0)
+
+
+class TestSuperblockSemantics:
+    """Bit-identity of the fused loops against the per-step path."""
+
+    def test_partial_block_step_limit_truncation(self):
+        # A 10-entry straight-line block truncated mid-block: the run loop
+        # must fall back to per-entry dispatch and stop on the exact step.
+        program = _program(*[I("addi", rd=1, rs1=1, imm=1) for _ in range(10)],
+                           I("ecall"))
+        for limit in (5, 10):
+            on, off = _run_both_ways(program, max_steps=limit)
+            assert on == off
+            assert on[1] is HaltReason.STEP_LIMIT
+            assert len(on[0]) == limit
+
+    def test_csr_tail_reads_exact_retirement_counters(self):
+        # MINSTRET/MCYCLE updates are batched to the block exit; a CSR
+        # closing the block must still read architecturally exact values.
+        program = _program(
+            I("addi", rd=1, rs1=0, imm=1),
+            I("addi", rd=2, rs1=0, imm=2),
+            I("csrrs", rd=5, rs1=0, csr=csrdefs.MINSTRET),
+            I("addi", rd=3, rs1=0, imm=3),
+            I("csrrs", rd=6, rs1=0, csr=csrdefs.MINSTRET),
+            I("ecall"),
+        )
+        on, off = _run_both_ways(program)
+        assert on == off
+        result = GoldenModel().run(program)
+        assert result.final_registers[5] == 2  # two retirements before it
+        assert result.final_registers[6] == 4
+
+    def test_fused_illegal_word_traps_identically(self):
+        program = _program(
+            I("addi", rd=1, rs1=0, imm=5),
+            I.illegal(0xFFFF_FFFF),
+            I("addi", rd=2, rs1=0, imm=7),
+            I("ecall"),
+        )
+        on, off = _run_both_ways(program)
+        assert on == off
+        result = GoldenModel().run(program)
+        trap_record = result.records[1]
+        assert trap_record.trap is not None
+        assert trap_record.trap.name == "ILLEGAL_INSTRUCTION"
+        assert trap_record.trap_tval == 0xFFFF_FFFF
+        assert result.final_registers[2] == 7  # execution fell through
+
+    def test_store_into_a_later_block_invalidates_it(self):
+        # The store commits in the block before the branch; the victim
+        # word lives in the *next* block.  Crossing the boundary, the
+        # dirty-word set must force a re-fetch of the new encoding.
+        new_word = encode_instruction(I("addi", rd=5, rs1=0, imm=42))
+        upper = (new_word + 0x800) >> 12
+        lower = new_word - (upper << 12)
+        program = _program(
+            I("lui", rd=1, imm=0x40000),       # 0: x1 = code base
+            I("lui", rd=3, imm=upper),         # 1
+            I("addi", rd=3, rs1=3, imm=lower), # 2: x3 = new_word
+            I("sw", rs1=1, rs2=3, imm=24),     # 3: overwrite slot 6
+            I("beq", rs1=0, rs2=0, imm=4),     # 4: block boundary
+            I("addi", rd=6, rs1=0, imm=7),     # 5
+            I("addi", rd=5, rs1=0, imm=1),     # 6: the victim
+            I("ecall"),                        # 7
+        )
+        on, off = _run_both_ways(program)
+        assert on == off
+        result = GoldenModel().run(program)
+        assert result.final_registers[5] == 42
+
+    def test_self_modifying_and_misaligned_mret_agree_with_unfused(self):
+        # The fallback-path programs from TestFallbackPaths, re-run both
+        # ways: aborting a block mid-flight and leaving the compiled
+        # trace entirely must not depend on the superblock flag.
+        new_word = encode_instruction(I("addi", rd=5, rs1=0, imm=42))
+        upper = (new_word + 0x800) >> 12
+        lower = new_word - (upper << 12)
+        self_modifying = _program(
+            I("lui", rd=1, imm=0x40000),
+            I("lui", rd=3, imm=upper),
+            I("addi", rd=3, rs1=3, imm=lower),
+            I("sw", rs1=1, rs2=3, imm=20),
+            I("addi", rd=6, rs1=0, imm=7),
+            I("addi", rd=5, rs1=0, imm=1),
+            I("ecall"),
+        )
+        misaligned_mret = _program(
+            I("lui", rd=1, imm=0x40000),
+            I("addi", rd=1, rs1=1, imm=6),
+            I("csrrw", rd=0, rs1=1, csr=csrdefs.MEPC),
+            I("mret"),
+            I("addi", rd=2, rs1=0, imm=1),
+            I("ecall"),
+        )
+        for program in (self_modifying, misaligned_mret):
+            on, off = _run_both_ways(program)
+            assert on == off
+
+    def test_superblocks_off_disables_block_dispatch(self, superblocks_off):
+        assert not superblocks_enabled()
+        program = _program(I("addi", rd=1, rs1=0, imm=3), I("ecall"))
+        result = GoldenModel().run(program)
+        assert result.final_registers[1] == 3
+        assert result.halt_reason is HaltReason.ECALL
 
 
 class TestCorpusSanity:

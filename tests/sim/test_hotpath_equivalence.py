@@ -300,6 +300,30 @@ def test_trap_buggy_dut_traces_match_fixtures(fixture_digests, current_digests):
         "bug-injected rocket trap traces diverged from recorded fixtures")
 
 
+def test_superblocks_off_matches_fixtures(fixture_digests):
+    """The unfused per-step loop must reproduce the recorded digests too.
+
+    The other tests in this module run with superblocks on (the default),
+    so together they prove superblock-on == superblock-off == pre-rewrite
+    semantics over the whole corpus.
+    """
+    from repro.isa.compiled import set_superblocks_enabled, superblocks_enabled
+
+    corpus = build_corpus()
+    golden = GoldenModel()
+    was = superblocks_enabled()
+    set_superblocks_enabled(False)
+    try:
+        off_golden = [trace_digest(golden.run(p)) for p in corpus]
+        dut = make_dut("rocket", bugs=[])
+        off_rocket = [trace_digest(dut.run(p).execution)
+                      for p in corpus[:DUT_PROGRAMS]]
+    finally:
+        set_superblocks_enabled(was)
+    assert off_golden == fixture_digests["golden"]
+    assert off_rocket == fixture_digests["duts"]["rocket"]
+
+
 def record_hotpath_fixtures() -> None:  # pragma: no cover - manual tool
     FIXTURE_PATH.parent.mkdir(parents=True, exist_ok=True)
     FIXTURE_PATH.write_text(json.dumps(compute_digests(), indent=1) + "\n")
