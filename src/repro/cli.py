@@ -10,6 +10,8 @@ Installed as the ``mabfuzz`` console script::
     mabfuzz ablation gamma --tests 300            # ablation sweeps
     mabfuzz report --workers 4 --resume grid.jsonl   # parallel + resumable
     mabfuzz worker --queue spool/                 # serve a distributed queue
+    mabfuzz deadletter list --queue spool/        # inspect quarantined batches
+    mabfuzz telemetry serve --port 9900           # collect --telemetry streams
 
 Every command prints its results to stdout; ``--output`` additionally writes
 them to a file.  The grid commands (table1/coverage/report/ablation) accept
@@ -31,11 +33,18 @@ from repro.core.monitor import ProgressMonitor
 from repro.exec import (
     CampaignEngine,
     DistributedBackend,
+    LocalTransport,
     ProcessPoolBackend,
     SerialBackend,
+    SpoolQueue,
+    SshTransport,
+    WorkerSpec,
+    WorkerSupervisor,
     faults,
     run_worker,
 )
+from repro.exec.queue import ATTEMPTS_KEY, MAX_ATTEMPTS_KEY
+from repro.telemetry import TelemetryListener, parse_sink_spec
 from repro.fuzzing.base import FuzzerConfig
 from repro.harness.experiments import (
     ExperimentConfig,
@@ -76,6 +85,36 @@ def _experiment_config(args, algorithms=None, processors=None) -> ExperimentConf
     )
 
 
+def _supervisor(args) -> Optional[WorkerSupervisor]:
+    """Build the worker supervisor from the grid command's fleet flags."""
+    specs = []
+    if args.spawn_workers:
+        transport = LocalTransport()
+        for index in range(args.spawn_workers):
+            # A chaos fault plan applies to the first worker slot only:
+            # the point of --worker-fault-plan is one scripted casualty
+            # whose supervised recovery the rest of the fleet absorbs.
+            specs.append(WorkerSpec(
+                host=f"local-{index}", transport=transport,
+                fault_plan=args.worker_fault_plan if index == 0 else None))
+    if args.worker_hosts:
+        transport = SshTransport()
+        specs.extend(WorkerSpec(host=host, transport=transport)
+                     for host in args.worker_hosts)
+    if not specs:
+        if args.worker_fault_plan or args.crash_loop_budget is not None:
+            raise SystemExit("--worker-fault-plan/--crash-loop-budget require "
+                             "--spawn-workers or --worker-hosts")
+        return None
+    kwargs = {}
+    if args.crash_loop_budget is not None:
+        kwargs["crash_loop_budget"] = args.crash_loop_budget
+    return WorkerSupervisor(
+        specs, args.queue,
+        log=lambda line: print(line, file=sys.stderr, flush=True),
+        **kwargs)
+
+
 def _backend(args):
     """Resolve the execution backend from the grid command's arguments."""
     if args.workers < 1:
@@ -101,12 +140,17 @@ def _backend(args):
             kwargs["max_attempts"] = args.max_attempts
         return DistributedBackend(args.queue,
                                   stop_workers_on_exit=args.stop_workers,
+                                  supervisor=_supervisor(args),
                                   **kwargs)
     if args.queue is not None or args.stop_workers:
         raise SystemExit("--queue/--stop-workers require --backend distributed")
     if args.lease_timeout is not None or args.max_attempts is not None:
         raise SystemExit("--lease-timeout/--max-attempts require "
                          "--backend distributed")
+    if args.spawn_workers or args.worker_hosts or args.worker_fault_plan \
+            or args.crash_loop_budget is not None:
+        raise SystemExit("--spawn-workers/--worker-hosts/--worker-fault-plan/"
+                         "--crash-loop-budget require --backend distributed")
     if backend_name == "process":
         if args.workers < 2:
             raise SystemExit("--backend process requires --workers >= 2")
@@ -130,10 +174,17 @@ def _engine(args) -> CampaignEngine:
     if args.batch_size is not None:
         # 0 = unbounded batches (one per cache-locality group).
         backend.batch_size = args.batch_size or None
+    telemetry = None
+    if args.telemetry:
+        telemetry = parse_sink_spec(args.telemetry,
+                                    spill_path=args.telemetry_spill)
+    elif args.telemetry_spill:
+        raise SystemExit("--telemetry-spill requires --telemetry")
     monitor = ProgressMonitor(
         sink=lambda line: print(line, file=sys.stderr, flush=True))
     return CampaignEngine(backend=backend, checkpoint_path=args.resume,
-                          monitor=monitor, cache_entries=args.cache_entries)
+                          monitor=monitor, cache_entries=args.cache_entries,
+                          telemetry=telemetry)
 
 
 def _emit(text: str, output: Optional[str]) -> None:
@@ -287,6 +338,90 @@ def _cmd_worker(args) -> int:
     return 0
 
 
+def _cmd_deadletter(args) -> int:
+    """Inspect and service the queue's quarantine (docs/service.md)."""
+    import json
+
+    queue = SpoolQueue(args.queue)
+    ids = sorted(queue.deadletter_ids())
+    if args.action == "list":
+        if not ids:
+            _emit(f"deadletter/ of {args.queue} is empty", args.output)
+            return 0
+        lines = [f"{len(ids)} quarantined batch(es) in {args.queue}:"]
+        for task_id in ids:
+            record = queue.read_deadletter(task_id) or {}
+            payload = record.get("payload") or {}
+            trials = payload.get("tasks") or []
+            error = str(record.get("error", "?")).strip().splitlines()
+            lines.append(f"  {task_id}: attempts={record.get('attempts')} "
+                         f"trials={len(trials)} error={error[0] if error else '?'}")
+        _emit("\n".join(lines), args.output)
+        return 0
+    if args.all:
+        targets = ids
+    elif args.task_id:
+        targets = [args.task_id]
+    else:
+        raise SystemExit(f"deadletter {args.action} requires TASK_ID or --all")
+    lines = []
+    for task_id in targets:
+        record = queue.read_deadletter(task_id)
+        if record is None:
+            raise SystemExit(f"no deadletter record for {task_id!r} "
+                             f"in {args.queue}")
+        if args.action == "show":
+            lines.append(json.dumps(record, indent=2, sort_keys=True))
+        elif args.action == "discard":
+            queue.discard_deadletter(task_id)
+            lines.append(f"discarded {task_id}")
+        else:  # requeue
+            payload = record.get("payload")
+            if not isinstance(payload, dict) or payload.get("kind") != "batch":
+                raise SystemExit(
+                    f"refusing to requeue {task_id}: quarantine record does "
+                    "not carry a batch payload (inspect it with "
+                    "`deadletter show` and discard it instead)")
+            payload = {key: value for key, value in payload.items()
+                       if key not in (ATTEMPTS_KEY, MAX_ATTEMPTS_KEY)}
+            budget = args.max_attempts
+            if budget is None:
+                original = (record.get("payload") or {}).get(MAX_ATTEMPTS_KEY)
+                budget = int(original) if original is not None else None
+            # Fresh retry envelope: the batch earned its quarantine under
+            # the old budget; requeueing it is an operator's decision to
+            # try again from zero.
+            queue.ensure().enqueue(task_id, payload, attempts=0,
+                                   max_attempts=budget)
+            queue.discard_deadletter(task_id)
+            lines.append(f"requeued {task_id} (fresh budget "
+                         f"{budget if budget is not None else 'unbounded'})")
+    _emit("\n".join(lines), args.output)
+    return 0
+
+
+def _cmd_telemetry(args) -> int:
+    """Run the NDJSON telemetry collector until interrupted."""
+    listener = TelemetryListener(host=args.host, port=args.port,
+                                 path=args.log)
+    listener.start()
+    print(f"telemetry: listening on {listener.host}:{listener.port}"
+          + (f", events -> {args.log}" if args.log else ""),
+          file=sys.stderr, flush=True)
+    try:
+        while True:
+            import time
+
+            time.sleep(0.5)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        listener.stop()
+        print(f"telemetry: {len(listener.events)} events received",
+              file=sys.stderr, flush=True)
+    return 0
+
+
 # -------------------------------------------------------------------- parser
 _EXECUTION_EPILOG = """\
 parallel execution:
@@ -347,6 +482,30 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
                              "caches (default 4096)")
     parser.add_argument("--resume", metavar="PATH", default=None,
                         help="JSONL checkpoint journal to write and resume from")
+    parser.add_argument("--spawn-workers", type=int, default=0, metavar="N",
+                        help="launch and supervise N local `worker` "
+                             "processes for the queue (distributed backend "
+                             "only; crashed workers restart under the "
+                             "crash-loop budget, docs/service.md)")
+    parser.add_argument("--worker-hosts", nargs="+", metavar="HOST",
+                        default=None,
+                        help="launch and supervise one `worker` per ssh "
+                             "host (distributed backend only)")
+    parser.add_argument("--crash-loop-budget", type=int, default=None,
+                        help="supervised restarts allowed per host per "
+                             "crash window before the host is marked "
+                             "degraded (default 3)")
+    parser.add_argument("--worker-fault-plan", metavar="PATH", default=None,
+                        help="fault-plan JSON exported to the first "
+                             "supervised worker's initial spawn (chaos "
+                             "testing; restarts run clean)")
+    parser.add_argument("--telemetry", metavar="SPEC", default=None,
+                        help="stream NDJSON campaign telemetry to a sink: "
+                             "tcp:HOST:PORT, file:PATH, or a bare file "
+                             "path (docs/service.md)")
+    parser.add_argument("--telemetry-spill", metavar="PATH", default=None,
+                        help="local spill file for events a disconnected "
+                             "tcp: telemetry sink cannot buffer")
     parser.epilog = _EXECUTION_EPILOG
     parser.formatter_class = argparse.RawDescriptionHelpFormatter
 
@@ -458,6 +617,39 @@ def build_parser() -> argparse.ArgumentParser:
                                help="fault-injection plan JSON for chaos "
                                     "testing (docs/robustness.md)")
     worker_parser.set_defaults(func=_cmd_worker)
+
+    deadletter_parser = subparsers.add_parser(
+        "deadletter", help="inspect, requeue or discard quarantined batches")
+    deadletter_parser.add_argument("action",
+                                   choices=("list", "show", "requeue",
+                                            "discard"))
+    deadletter_parser.add_argument("task_id", nargs="?", default=None,
+                                   help="quarantined task id (see `list`)")
+    deadletter_parser.add_argument("--queue", metavar="DIR", required=True,
+                                   help="spool directory holding the "
+                                        "deadletter/ quarantine")
+    deadletter_parser.add_argument("--all", action="store_true",
+                                   help="apply show/requeue/discard to every "
+                                        "quarantined batch")
+    deadletter_parser.add_argument("--max-attempts", type=int, default=None,
+                                   help="retry budget for requeued batches "
+                                        "(default: the batch's original "
+                                        "budget)")
+    deadletter_parser.add_argument("--output")
+    deadletter_parser.set_defaults(func=_cmd_deadletter)
+
+    telemetry_parser = subparsers.add_parser(
+        "telemetry", help="serve a TCP collector for --telemetry tcp: "
+                          "streams")
+    telemetry_parser.add_argument("action", choices=("serve",))
+    telemetry_parser.add_argument("--host", default="127.0.0.1")
+    telemetry_parser.add_argument("--port", type=int, default=0,
+                                  help="TCP port (0 = ephemeral, printed "
+                                       "on stderr)")
+    telemetry_parser.add_argument("--log", metavar="PATH", default=None,
+                                  help="append received events to this "
+                                       "NDJSON file")
+    telemetry_parser.set_defaults(func=_cmd_telemetry)
 
     return parser
 

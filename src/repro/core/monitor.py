@@ -101,6 +101,11 @@ class ProgressMonitor:
         #: seeds, admission traffic); fed by the engine after each trial
         #: of a corpus-enabled grid, empty otherwise.
         self.corpus_stats: Dict[str, int] = {}
+        #: supervised-transport counters for the current grid (worker
+        #: restarts, degraded hosts, telemetry delivery accounting); fed
+        #: by the engine from ``last_run_report["transport"]``, empty for
+        #: unsupervised runs (see ``docs/service.md``).
+        self.transport_stats: Dict[str, object] = {}
         self._started_at: Optional[float] = None
 
     # ------------------------------------------------------------------ updates
@@ -118,6 +123,7 @@ class ProgressMonitor:
         self.worker_cache_stats = {}
         self.robustness_stats = {}
         self.corpus_stats = {}
+        self.transport_stats = {}
         self._started_at = self._clock()
         if self._sink is not None:
             restored = (f" ({restored_trials} restored from checkpoint)"
@@ -179,6 +185,10 @@ class ProgressMonitor:
         """Replace the corpus feedback-loop snapshot (engine-fed, corpus-on)."""
         self.corpus_stats = dict(stats)
 
+    def update_transport_stats(self, stats: Dict[str, object]) -> None:
+        """Replace the supervised-transport snapshot (engine-fed)."""
+        self.transport_stats = dict(stats)
+
     def finish(self, report: Optional[Dict[str, object]] = None) -> None:
         """Emit closing summary lines for recovery and corpus state.
 
@@ -195,6 +205,8 @@ class ProgressMonitor:
             self._sink(f"corpus: {self.corpus_stats.get('global_points', 0)} "
                        f"points in global map, "
                        f"{self.corpus_stats.get('entries', 0)} seeds stored")
+        if self.transport_stats:
+            self._sink("transport: " + self._transport_line())
         quarantined = int((report or {}).get("quarantined_trials", 0) or 0)
         if not self.robustness_stats and not quarantined:
             return
@@ -203,6 +215,33 @@ class ProgressMonitor:
         if quarantined:
             parts.append(f"{quarantined} trial(s) lost to deadletter/")
         self._sink("grid recovery: " + " | ".join(parts))
+
+    def _transport_line(self) -> str:
+        """The closing transport summary: worker fleet, then telemetry.
+
+        Always names the restart and degraded-host counts -- the chaos
+        tests grep this line to prove a supervised recovery actually
+        happened -- and appends telemetry delivery accounting when a sink
+        was configured.
+        """
+        stats = self.transport_stats
+        parts = []
+        if "hosts" in stats:
+            parts.append(f"{stats.get('spawned', 0)} workers on "
+                         f"{stats['hosts']} host(s)")
+            parts.append(f"{stats.get('restarts', 0)} restarted")
+            degraded = stats.get("degraded_hosts") or []
+            parts.append(f"{len(degraded)} degraded"
+                         + (f" ({', '.join(degraded)})" if degraded else ""))
+        telemetry = stats.get("telemetry") or {}
+        if telemetry:
+            tele = [f"{telemetry.get('events', 0)} events"]
+            for counter in ("reconnects", "spilled", "dropped", "errors"):
+                value = telemetry.get(counter)
+                if value:
+                    tele.append(f"{value} {counter}")
+            parts.append("telemetry " + "/".join(tele))
+        return " | ".join(parts)
 
     # ------------------------------------------------------------------ queries
     @property

@@ -7,9 +7,12 @@ journals completed trials to a JSONL checkpoint for kill-safe resume, and
 serves repeated golden/DUT runs from bounded per-process LRU caches.  The
 :mod:`repro.exec.faults` module provides deterministic fault injection for
 exercising the stack's self-healing paths (heartbeat leases, retry budgets
-with dead-letter quarantine, checksummed journal salvage).  See
-``docs/parallel.md``, ``docs/distributed.md`` and ``docs/robustness.md``
-for the architecture, determinism contract and failure semantics.
+with dead-letter quarantine, checksummed journal salvage), and
+:mod:`repro.exec.transport` supervises worker fleets across host
+boundaries (local or ssh) with crash-loop budgets and degraded-host
+redistribution.  See ``docs/parallel.md``, ``docs/distributed.md``,
+``docs/robustness.md`` and ``docs/service.md`` for the architecture,
+determinism contract and failure semantics.
 """
 
 from repro.exec.backends import (
@@ -36,6 +39,12 @@ from repro.exec.distributed import DistributedBackend, run_worker
 from repro.exec.engine import CampaignEngine, grid_summary, run_grid
 from repro.exec.faults import Backoff, FaultInjector, FaultPlan, FaultRule
 from repro.exec.queue import DEFAULT_MAX_ATTEMPTS, LeaseLostError, SpoolQueue
+from repro.exec.transport import (
+    LocalTransport,
+    SshTransport,
+    WorkerSpec,
+    WorkerSupervisor,
+)
 
 __all__ = [
     "Backoff",
@@ -50,11 +59,15 @@ __all__ = [
     "DutRunCache",
     "ExecutionBackend",
     "LeaseLostError",
+    "LocalTransport",
     "ProcessPoolBackend",
     "SerialBackend",
     "SpoolQueue",
+    "SshTransport",
     "TrialBatch",
     "TrialTask",
+    "WorkerSpec",
+    "WorkerSupervisor",
     "configure_process_caches",
     "execute_batch",
     "execute_trial",

@@ -92,6 +92,11 @@ class ExecutionBackend(abc.ABC):
         on_corpus_delta: optional callback invoked with each batch's raw
             corpus delta after it is merged (the engine hooks checkpoint
             journaling here).
+        telemetry: optional :class:`~repro.telemetry.sink.TelemetryRecorder`
+            installed by the engine (mirroring ``corpus``); backends with
+            their own lifecycle events (the distributed one hands it to
+            its :class:`~repro.exec.transport.WorkerSupervisor`) emit
+            through it.  ``None`` -- the default -- costs nothing.
     """
 
     def __init__(self, batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
@@ -107,6 +112,7 @@ class ExecutionBackend(abc.ABC):
         self.quarantined: list = []
         self.corpus: Optional["CorpusManager"] = None
         self.on_corpus_delta: Optional[Callable[[Dict[str, object]], None]] = None
+        self.telemetry = None
 
     def run(self, tasks: Sequence[TrialTask]
             ) -> Iterator[Tuple[TrialTask, Dict[str, object]]]:

@@ -94,6 +94,17 @@ class DistributedBackend(ExecutionBackend):
         max_wait_seconds: abort with ``TimeoutError`` if the grid has not
             finished within this budget (``None`` waits forever) -- a
             guard against waiting on a queue no worker is serving.
+        supervisor: optional :class:`~repro.exec.transport.
+            WorkerSupervisor` owning the worker fleet for this queue.
+            The dispatcher starts it before enqueueing, polls it every
+            result-scan pass (crashed workers restart under its
+            crash-loop budget), and drains it after the STOP sentinel --
+            which is always written when a supervisor is present, since
+            nobody else will stop the workers it spawned.  Its final
+            counters land in ``transport_stats`` for the engine's
+            ``last_run_report["transport"]`` section.
+        transport_stats: supervision counters of the most recent run
+            (``None`` for unsupervised runs).
     """
 
     def __init__(
@@ -106,6 +117,7 @@ class DistributedBackend(ExecutionBackend):
         max_wait_seconds: Optional[float] = None,
         batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
         cache_entries: Optional[int] = None,
+        supervisor=None,
     ) -> None:
         super().__init__(batch_size=batch_size, cache_entries=cache_entries)
         if poll_interval <= 0:
@@ -120,6 +132,8 @@ class DistributedBackend(ExecutionBackend):
         self.max_attempts = max_attempts
         self.stop_workers_on_exit = stop_workers_on_exit
         self.max_wait_seconds = max_wait_seconds
+        self.supervisor = supervisor
+        self.transport_stats = None
 
     def _run_batches(
         self,
@@ -139,6 +153,11 @@ class DistributedBackend(ExecutionBackend):
         for name in ("requeued", "retried", "deadlettered"):
             stats.setdefault(name, 0)
         last_broadcast = -1
+        supervisor = self.supervisor
+        self.transport_stats = None
+        if supervisor is not None:
+            supervisor.telemetry = self.telemetry
+            supervisor.start()
         try:
             for batch in batches:
                 task_id = f"{run_id}-{batch.index:06d}"
@@ -154,6 +173,8 @@ class DistributedBackend(ExecutionBackend):
                 deadline = time.monotonic() + self.max_wait_seconds
             while pending:
                 last_broadcast = self._sync_coverage(queue, last_broadcast)
+                if supervisor is not None:
+                    supervisor.poll()
                 # One directory scan per pass, not one open() per batch.
                 finished = sorted(set(queue.result_ids()) & set(pending))
                 for task_id in finished:
@@ -176,6 +197,14 @@ class DistributedBackend(ExecutionBackend):
                     requeued = queue.requeue_stale(self.lease_timeout)
                     stats["requeued"] += sum(1 for task_id in requeued if task_id in pending)
                     self._reconcile_lost(queue, pending, attempts, missing_strikes, stats)
+                    if supervisor is not None and supervisor.all_degraded:
+                        # Every supervised host is out of crash budget:
+                        # nobody will ever claim the remaining batches.
+                        # Quarantine whatever is unclaimed so the grid
+                        # completes (degraded) instead of hanging; claimed
+                        # batches cycle back through requeue_stale above
+                        # once their dead owner's lease expires.
+                        self._quarantine_unserviceable(queue, pending, attempts, stats)
                     if deadline is not None and time.monotonic() > deadline:
                         raise TimeoutError(
                             f"distributed grid stalled: {len(pending)} batches "
@@ -200,8 +229,11 @@ class DistributedBackend(ExecutionBackend):
             # draining workers snapshot a map identical to the
             # dispatcher's (the convergence invariant of docs/corpus.md).
             self._sync_coverage(queue, -1)
-            if self.stop_workers_on_exit:
+            if self.stop_workers_on_exit or supervisor is not None:
                 queue.request_stop()
+            if supervisor is not None:
+                supervisor.drain()
+                self.transport_stats = supervisor.stats()
 
     def _sync_coverage(self, queue: SpoolQueue, last_broadcast: int) -> int:
         """Drain worker corpus deltas; re-broadcast the map when it changed.
@@ -266,6 +298,31 @@ class DistributedBackend(ExecutionBackend):
                 attempts=count,
                 max_attempts=self.max_attempts,
             )
+
+    def _quarantine_unserviceable(
+        self,
+        queue: SpoolQueue,
+        pending: Dict[str, TrialBatch],
+        attempts: Dict[str, int],
+        stats: Dict[str, int],
+    ) -> None:
+        """All supervised hosts degraded: give up on unclaimed batches.
+
+        Withdrawing a batch can race an unsupervised walk-up worker's
+        claim; ``discard_task`` only succeeds on batches still sitting in
+        ``tasks/``, so anything actually being executed is left alone and
+        collected (or requeued) by the normal paths.
+        """
+        for task_id in sorted(pending):
+            if not queue.discard_task(task_id):
+                continue
+            record = queue.quarantine(
+                task_id,
+                payload=batch_to_wire(pending[task_id]),
+                attempts=attempts.get(task_id, 0),
+                error="no live workers: all supervised hosts degraded",
+            )
+            self._note_quarantine(task_id, pending.pop(task_id), record, stats)
 
     def _note_quarantine(
         self,

@@ -23,13 +23,16 @@ trials complete -- the property ``tests/exec/test_backends.py`` enforces.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.monitor import ProgressMonitor
 from repro.exec.backends import ExecutionBackend, SerialBackend, TrialTask
 from repro.exec.checkpoint import CheckpointJournal, TrialKey
 from repro.fuzzing.results import FuzzCampaignResult
 from repro.harness.campaign import CampaignSpec, TrialSet
+
+if TYPE_CHECKING:
+    from repro.telemetry.sink import TelemetrySink
 
 
 class CampaignEngine:
@@ -51,13 +54,25 @@ class CampaignEngine:
             would be bit-identical anyway.  ``mabfuzz report`` runs the
             Table I grid and the coverage grid through one engine and
             overlaps on every shared cell.
+        telemetry: optional :class:`~repro.telemetry.sink.TelemetrySink`
+            receiving the campaign's NDJSON event stream (per-trial
+            coverage/bug/cache data, recovery deltas, worker lifecycle;
+            schema in ``docs/service.md``).  Purely observational: the
+            engine wraps it in a never-raising
+            :class:`~repro.telemetry.sink.TelemetryRecorder`, so a dead
+            sink can degrade the stream but never the campaign.
     """
 
     def __init__(self, backend: Optional[ExecutionBackend] = None,
                  checkpoint_path: Optional[str] = None,
                  monitor: Optional[ProgressMonitor] = None,
                  cache_entries: Optional[int] = None,
-                 reuse_results: bool = True) -> None:
+                 reuse_results: bool = True,
+                 telemetry: Optional["TelemetrySink"] = None) -> None:
+        # Local import: repro.telemetry imports repro.exec.faults, so a
+        # module-level import here would cycle when telemetry loads first.
+        from repro.telemetry.sink import TelemetryRecorder
+
         self.backend = backend or SerialBackend()
         self.checkpoint_path = checkpoint_path
         self.monitor = monitor or ProgressMonitor()
@@ -65,6 +80,7 @@ class CampaignEngine:
             raise ValueError("cache_entries must be >= 1 or None")
         self.cache_entries = cache_entries
         self.reuse_results = reuse_results
+        self.telemetry = TelemetryRecorder(telemetry)
         self._completed: Dict[TrialKey, Dict[str, object]] = {}
         #: dispatcher-side corpus state (:class:`~repro.fuzzing.corpus.
         #: CorpusManager`) shared across ``run_grid`` calls on this
@@ -98,6 +114,8 @@ class CampaignEngine:
         total = sum(spec.trials for spec in specs)
         self.monitor.start(total_trials=total,
                            backend=self.backend.describe())
+        self.telemetry.record("run_start", specs=len(specs), trials=total,
+                              backend=self.backend.describe())
 
         journal = (CheckpointJournal(self.checkpoint_path)
                    if self.checkpoint_path else None)
@@ -155,6 +173,13 @@ class CampaignEngine:
         self.backend.corpus = self.corpus_state
         self.backend.on_corpus_delta = (journal.record_corpus
                                         if journal is not None else None)
+        # Hand the recorder to the backend too (same injection pattern as
+        # the corpus): the distributed backend forwards it to its worker
+        # supervisor for lifecycle events.
+        previous_telemetry = self.backend.telemetry
+        if self.telemetry.enabled:
+            self.backend.telemetry = self.telemetry
+        recovery_seen: Dict[str, int] = {}
         try:
             if journal is not None and tasks:
                 journal.record_grid(specs)
@@ -173,9 +198,12 @@ class CampaignEngine:
                 self.monitor.trial_completed(
                     label=f"{task.spec.describe()} trial {task.trial_index}",
                     metadata=result.metadata)
+                if self.telemetry.enabled:
+                    self._record_trial_events(task, result, recovery_seen)
         finally:
             self.backend.cache_entries = previous_cache_entries
             self.backend.on_corpus_delta = None
+            self.backend.telemetry = previous_telemetry
             if journal is not None:
                 journal.close()
 
@@ -200,6 +228,24 @@ class CampaignEngine:
         if self.corpus_state is not None:
             self.last_run_report["corpus"] = self.corpus_state.stats()
             self.monitor.update_corpus_stats(self.corpus_state.stats())
+        # The transport section exists whenever there is something to
+        # account for: a worker supervisor (the backend exposes its stats
+        # as ``transport_stats``) and/or a telemetry stream.  The recorder
+        # is closed -- final drain, remainder spilled -- *before* its
+        # stats are read, so spill accounting is complete.
+        supervisor_stats = getattr(self.backend, "transport_stats", None)
+        if supervisor_stats is not None or self.telemetry.enabled:
+            transport: Dict[str, object] = dict(supervisor_stats or {})
+            self.telemetry.record(
+                "run_finish",
+                trials=sum(1 for grid in grids for r in grid if r is not None),
+                quarantined=self.last_run_report["quarantined_trials"],
+                transport=dict(transport))
+            self.telemetry.close()
+            if self.telemetry.enabled:
+                transport["telemetry"] = self.telemetry.stats()
+            self.last_run_report["transport"] = transport
+            self.monitor.update_transport_stats(transport)
         self.monitor.update_robustness_stats(self.backend.robustness_stats)
         self.monitor.finish(self.last_run_report)
 
@@ -212,6 +258,31 @@ class CampaignEngine:
 
         return [TrialSet(spec=spec, results=grids[spec_index])
                 for spec_index, spec in enumerate(specs)]
+
+    def _record_trial_events(self, task: TrialTask,
+                             result: FuzzCampaignResult,
+                             recovery_seen: Dict[str, int]) -> None:
+        """Emit the per-trial telemetry event, plus a recovery delta if any.
+
+        Recovery events are *diffs* of the backend's running robustness
+        counters against the last snapshot recorded, so the stream carries
+        one event per self-healing incident rather than repeating totals.
+        """
+        cache = {name: value for name, value in result.metadata.items()
+                 if name.endswith(("_hits", "_misses", "_evictions"))
+                 and isinstance(value, int)}
+        self.telemetry.record(
+            "trial",
+            spec_index=task.spec_index, trial_index=task.trial_index,
+            label=task.spec.describe(), coverage=result.coverage_count,
+            total_points=result.total_points,
+            bugs=sorted(result.bug_detections), cache=cache)
+        delta = {name: value - recovery_seen.get(name, 0)
+                 for name, value in self.backend.robustness_stats.items()
+                 if value != recovery_seen.get(name, 0)}
+        if delta:
+            recovery_seen.update(self.backend.robustness_stats)
+            self.telemetry.record("recovery", counters=delta)
 
     def run_trials(self, spec: CampaignSpec) -> TrialSet:
         """Single-spec convenience wrapper over :meth:`run_grid`."""

@@ -20,6 +20,10 @@ site                   actions
 ``queue.claim``        ``backdate`` (claim-steal: lease looks expired), ``delay``
 ``queue.publish``      ``torn`` (corrupted result file), ``oserror``, ``delay``
 ``journal.append``     ``corrupt`` (scrambled record), ``torn`` (half a record)
+``transport.spawn``    ``oserror`` (worker launch fails), ``delay``
+``transport.probe``    ``down`` (health probe reports the worker dead), ``delay``
+``sink.connect``       ``oserror`` (telemetry connect refused), ``delay``
+``sink.write``         ``oserror`` (telemetry send fails mid-stream), ``delay``
 =====================  =========================================================
 
 Plans cross process boundaries as JSON (``repro.cli worker --fault-plan``
@@ -45,6 +49,10 @@ SITE_WORKER_TRIAL = "worker.trial"
 SITE_QUEUE_CLAIM = "queue.claim"
 SITE_QUEUE_PUBLISH = "queue.publish"
 SITE_JOURNAL_APPEND = "journal.append"
+SITE_TRANSPORT_SPAWN = "transport.spawn"
+SITE_TRANSPORT_PROBE = "transport.probe"
+SITE_SINK_CONNECT = "sink.connect"
+SITE_SINK_WRITE = "sink.write"
 
 SITES = frozenset({
     SITE_WORKER_BATCH,
@@ -52,6 +60,10 @@ SITES = frozenset({
     SITE_QUEUE_CLAIM,
     SITE_QUEUE_PUBLISH,
     SITE_JOURNAL_APPEND,
+    SITE_TRANSPORT_SPAWN,
+    SITE_TRANSPORT_PROBE,
+    SITE_SINK_CONNECT,
+    SITE_SINK_WRITE,
 })
 
 # ------------------------------------------------------------------- actions
@@ -61,6 +73,7 @@ ACTION_BACKDATE = "backdate"
 ACTION_TORN = "torn"
 ACTION_CORRUPT = "corrupt"
 ACTION_OSERROR = "oserror"
+ACTION_DOWN = "down"
 
 #: actions each site knows how to interpret (validated at plan build time,
 #: so a typo'd plan fails fast instead of silently never firing).
@@ -70,6 +83,10 @@ ACTIONS_BY_SITE: Dict[str, frozenset] = {
     SITE_QUEUE_CLAIM: frozenset({ACTION_BACKDATE, ACTION_DELAY}),
     SITE_QUEUE_PUBLISH: frozenset({ACTION_TORN, ACTION_OSERROR, ACTION_DELAY}),
     SITE_JOURNAL_APPEND: frozenset({ACTION_CORRUPT, ACTION_TORN}),
+    SITE_TRANSPORT_SPAWN: frozenset({ACTION_OSERROR, ACTION_DELAY}),
+    SITE_TRANSPORT_PROBE: frozenset({ACTION_DOWN, ACTION_DELAY}),
+    SITE_SINK_CONNECT: frozenset({ACTION_OSERROR, ACTION_DELAY}),
+    SITE_SINK_WRITE: frozenset({ACTION_OSERROR, ACTION_DELAY}),
 }
 
 #: exit status used by the ``kill`` action -- matches SIGKILL's 128+9 so
@@ -318,8 +335,21 @@ class Backoff:
         self._rng = random.Random(seed)
         self._attempt = 0
 
+    @property
+    def attempt(self) -> int:
+        """How far the schedule has escalated (0 = next delay is ``base``)."""
+        return self._attempt
+
     def reset(self) -> None:
-        """Back to the base delay (call after any successful operation)."""
+        """Back to the base delay (call after any successful operation).
+
+        Sites that keep a long-lived instance (the worker idle poll, the
+        queue's publish retries, the telemetry sink's reconnect loop) MUST
+        call this the moment the operation succeeds, or the next transient
+        outage starts from an inflated delay left over from the previous
+        one.  Each site owns its own instance -- sharing one ``Backoff``
+        across sites couples their escalation schedules.
+        """
         self._attempt = 0
 
     def next(self) -> float:
@@ -343,6 +373,7 @@ def stable_seed(name: str) -> int:
 
 
 __all__ = [
+    "ACTION_DOWN",
     "ACTIONS_BY_SITE",
     "Backoff",
     "FAULT_PLAN_ENV",

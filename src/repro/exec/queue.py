@@ -137,6 +137,14 @@ class SpoolQueue:
         self.deadletter_dir = os.path.join(self.root, "deadletter")
         self.coverage_dir = os.path.join(self.root, "coverage")
         self.stop_path = os.path.join(self.root, "STOP")
+        # One long-lived backoff per queue instance, owned by the publish
+        # site alone: consecutive failing publishes during one filesystem
+        # outage keep escalating across calls, and the first success
+        # resets the schedule so the *next* outage starts from ``base``
+        # again instead of an inflated leftover delay (regression-tested
+        # in tests/exec/test_queue.py).
+        self._publish_backoff = faults.Backoff(
+            base=0.05, cap=1.0, seed=faults.stable_seed(self.root))
 
     def ensure(self) -> "SpoolQueue":
         """Create the queue layout (dispatcher and workers both call it)."""
@@ -588,12 +596,13 @@ class SpoolQueue:
         ``fail_first`` makes the first N attempts fail with an injected
         error (fault-injection hook for the ``oserror`` action).
         """
-        backoff = faults.Backoff(base=0.05, cap=1.0, seed=faults.stable_seed(path))
+        backoff = self._publish_backoff
         for attempt in range(PUBLISH_RETRIES):
             try:
                 if attempt < fail_first:
                     raise faults.InjectedError(f"injected transient fault publishing {path}")
                 self._write_atomic(path, payload)
+                backoff.reset()  # outage over: decay back to the base delay
                 return
             except OSError:
                 if attempt == PUBLISH_RETRIES - 1:

@@ -1,0 +1,440 @@
+"""Worker transports and the supervisor that owns worker lifecycles.
+
+The dispatcher half of campaign-as-a-service (``docs/service.md``).  A
+:class:`Transport` knows how to launch a ``repro.cli worker`` process on
+a host and how to health-check it: :class:`LocalTransport` forks on the
+dispatcher's machine, :class:`SshTransport` wraps the same command in an
+``ssh`` invocation whose local process mirrors the remote worker's
+lifetime.  :class:`WorkerSupervisor` drives a fleet of them end to end:
+
+* **spawn** every configured host's worker via its transport,
+* **watch** liveness each dispatcher poll -- process exit status plus a
+  transport-level probe (the claim-heartbeat protocol in
+  :mod:`~repro.exec.queue` independently covers the work itself),
+* **restart** crashed workers under a crash-loop budget -- more than
+  ``crash_loop_budget`` restarts inside ``crash_window`` seconds marks
+  the host *degraded* and stops respawning there; the spool queue then
+  redistributes its share to the surviving hosts by construction
+  (batches are pulled, not pushed),
+* **drain** on shutdown: the dispatcher writes the STOP sentinel, the
+  supervisor waits for workers to exit and terminates stragglers.
+
+Because trials are deterministic and the queue requeues expired claims,
+a supervised restart re-executes lost batches bit-identically -- a grid
+that loses a host mid-flight still finishes equal to serial
+(``tests/exec/test_transport_chaos.py``).
+
+Fault sites ``transport.spawn`` (launch fails) and ``transport.probe``
+(health check reports a live worker dead) make both failure paths
+deterministically reproducible through the standard
+:class:`~repro.exec.faults.FaultPlan` machinery.
+"""
+
+from __future__ import annotations
+
+import os
+import shlex
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exec import faults
+
+#: default crash-loop budget: restarts allowed inside one crash window
+#: before a host is marked degraded.
+DEFAULT_CRASH_LOOP_BUDGET = 3
+
+#: default crash window in seconds (sliding, per host).
+DEFAULT_CRASH_WINDOW = 60.0
+
+
+class WorkerHandle:
+    """One launched worker process, as seen through its transport."""
+
+    def __init__(self, process: subprocess.Popen, host: str,
+                 worker_id: str) -> None:
+        self.process = process
+        self.host = host
+        self.worker_id = worker_id
+
+    def alive(self) -> bool:
+        return self.process.poll() is None
+
+    @property
+    def returncode(self) -> Optional[int]:
+        return self.process.poll()
+
+    def terminate(self, grace: float = 2.0) -> None:
+        """SIGTERM, a bounded wait, then SIGKILL -- never hangs shutdown."""
+        if not self.alive():
+            return
+        self.process.terminate()
+        try:
+            self.process.wait(timeout=grace)
+        except subprocess.TimeoutExpired:
+            self.process.kill()
+            self.process.wait()
+
+
+class Transport:
+    """Launches and health-checks worker processes on one class of host."""
+
+    def spawn(self, command: Sequence[str], extra_env: Dict[str, str],
+              host: str, worker_id: str,
+              log_path: Optional[str] = None) -> WorkerHandle:
+        """Launch ``command`` for ``host``; raises ``OSError`` on failure.
+
+        ``extra_env`` carries only the variables the supervisor wants the
+        worker to see beyond a clean inherited environment (PYTHONPATH,
+        an optional fault plan); the dispatcher's own ``REPRO_FAULT_PLAN``
+        never leaks through.
+        """
+        for rule in faults.fire(faults.SITE_TRANSPORT_SPAWN, host=host,
+                                worker_id=worker_id):
+            faults.perform(rule)
+        return self._spawn(command, extra_env, host, worker_id, log_path)
+
+    def _spawn(self, command, extra_env, host, worker_id, log_path):
+        raise NotImplementedError
+
+    def probe(self, handle: WorkerHandle) -> bool:
+        """Is the worker behind ``handle`` still alive?
+
+        The ``down`` fault action overrides a healthy answer -- the
+        deterministic stand-in for a hung host or a partitioned network,
+        where the process table still says "running" but the host is
+        effectively gone.
+        """
+        for rule in faults.fire(faults.SITE_TRANSPORT_PROBE,
+                                host=handle.host, worker_id=handle.worker_id):
+            if rule.action == faults.ACTION_DOWN:
+                return False
+            faults.perform(rule)
+        return handle.alive()
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+    @staticmethod
+    def _open_log(log_path: Optional[str]):
+        if log_path is None:
+            return subprocess.DEVNULL
+        parent = os.path.dirname(log_path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        return open(log_path, "ab")
+
+
+class LocalTransport(Transport):
+    """Fork workers on the dispatcher's own machine."""
+
+    def _spawn(self, command, extra_env, host, worker_id, log_path):
+        env = dict(os.environ)
+        env.pop(faults.FAULT_PLAN_ENV, None)  # dispatcher plan stays local
+        env.update(extra_env)
+        log = self._open_log(log_path)
+        try:
+            process = subprocess.Popen(list(command), env=env,
+                                       stdout=log, stderr=subprocess.STDOUT)
+        finally:
+            if log is not subprocess.DEVNULL:
+                log.close()  # the child holds its own descriptor
+        return WorkerHandle(process, host=host, worker_id=worker_id)
+
+    def describe(self) -> str:
+        return "local"
+
+
+class SshTransport(Transport):
+    """Launch workers on remote hosts through ``ssh``.
+
+    The local ``ssh`` process mirrors the remote command's lifetime --
+    it exits with the remote exit status -- so liveness probing and
+    supervision work identically to :class:`LocalTransport`.  The
+    binary and its options are configurable (``BatchMode`` and a connect
+    timeout by default, a stub script in tests), and the remote side
+    must be able to resolve ``repro`` (``remote_python`` plus an
+    optional ``remote_pythonpath``); see the transport matrix in
+    ``docs/service.md``.
+    """
+
+    def __init__(self, ssh_binary: str = "ssh",
+                 ssh_options: Sequence[str] = ("-o", "BatchMode=yes",
+                                               "-o", "ConnectTimeout=5"),
+                 remote_python: str = "python3",
+                 remote_pythonpath: Optional[str] = None) -> None:
+        self.ssh_binary = ssh_binary
+        self.ssh_options = tuple(ssh_options)
+        self.remote_python = remote_python
+        self.remote_pythonpath = remote_pythonpath
+
+    def _spawn(self, command, extra_env, host, worker_id, log_path):
+        env_pairs = dict(extra_env)
+        if self.remote_pythonpath is not None:
+            env_pairs["PYTHONPATH"] = self.remote_pythonpath
+        remote = " ".join(shlex.quote(part) for part in command)
+        if env_pairs:
+            prefix = " ".join(f"{key}={shlex.quote(value)}"
+                              for key, value in sorted(env_pairs.items()))
+            remote = f"env {prefix} {remote}"
+        argv = [self.ssh_binary, *self.ssh_options, host, remote]
+        log = self._open_log(log_path)
+        try:
+            process = subprocess.Popen(argv, stdout=log,
+                                       stderr=subprocess.STDOUT)
+        finally:
+            if log is not subprocess.DEVNULL:
+                log.close()
+        return WorkerHandle(process, host=host, worker_id=worker_id)
+
+    def describe(self) -> str:
+        return f"ssh({self.ssh_binary})"
+
+
+@dataclass
+class WorkerSpec:
+    """One supervised worker slot: a host, its transport, and its knobs.
+
+    ``fault_plan`` (a plan-file path) is exported as ``REPRO_FAULT_PLAN``
+    to the **first spawn only** by default: a plan that kills the worker
+    must not re-fire on the supervised restart, or the restart loop it
+    exists to test would never converge.  ``fault_plan_all_generations``
+    opts back in -- that is how the crash-loop-budget tests make every
+    generation die.
+    """
+
+    host: str
+    transport: Transport
+    fault_plan: Optional[str] = None
+    fault_plan_all_generations: bool = False
+    extra_args: Tuple[str, ...] = ()
+
+
+class _HostState:
+    """Supervisor-internal bookkeeping for one worker slot."""
+
+    def __init__(self, spec: WorkerSpec) -> None:
+        self.spec = spec
+        self.handle: Optional[WorkerHandle] = None
+        self.generation = 0
+        self.restart_times: List[float] = []
+        self.degraded = False
+        self.clean_exit = False
+
+
+class WorkerSupervisor:
+    """Owns a fleet of supervised workers for one campaign queue.
+
+    Wired into :class:`~repro.exec.distributed.DistributedBackend` via
+    its ``supervisor`` argument: the dispatcher calls :meth:`start`
+    before enqueueing, :meth:`poll` once per result-scan pass, and
+    :meth:`drain` after writing the STOP sentinel.  ``telemetry`` (set
+    by the backend, duck-typed to
+    :class:`~repro.telemetry.sink.TelemetryRecorder`) receives one event
+    per lifecycle transition.
+
+    Attributes:
+        queue_dir: spool directory the workers serve.
+        crash_loop_budget: restarts allowed per host inside
+            ``crash_window`` seconds; the next crash degrades the host.
+        worker_args: extra ``repro.cli worker`` arguments shared by all
+            hosts (per-host extras live on the :class:`WorkerSpec`).
+        env: extra environment variables exported to every worker.
+        log_dir: per-worker log files (``{worker_id}.log``) land here;
+            ``None`` discards worker output.
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[WorkerSpec],
+        queue_dir: str,
+        python: Optional[str] = None,
+        crash_loop_budget: int = DEFAULT_CRASH_LOOP_BUDGET,
+        crash_window: float = DEFAULT_CRASH_WINDOW,
+        worker_args: Sequence[str] = (),
+        env: Optional[Dict[str, str]] = None,
+        log_dir: Optional[str] = None,
+        log=None,
+        clock=time.monotonic,
+    ) -> None:
+        if not specs:
+            raise ValueError("supervisor needs at least one WorkerSpec")
+        if crash_loop_budget < 1:
+            raise ValueError("crash_loop_budget must be >= 1")
+        if crash_window <= 0:
+            raise ValueError("crash_window must be > 0")
+        self.queue_dir = str(queue_dir)
+        self.python = python or sys.executable
+        self.crash_loop_budget = crash_loop_budget
+        self.crash_window = crash_window
+        self.worker_args = tuple(worker_args)
+        self.env = dict(env or {})
+        self.log_dir = log_dir
+        self._log = log or (lambda line: None)
+        self._clock = clock
+        self._states = [_HostState(spec) for spec in specs]
+        self.telemetry = None  # duck-typed TelemetryRecorder, set by backend
+        self._counters = {"spawned": 0, "restarts": 0, "spawn_failures": 0,
+                          "probe_failures": 0, "clean_exits": 0}
+
+    # ---------------------------------------------------------------- events
+    def _record(self, kind: str, **fields: object) -> None:
+        if self.telemetry is not None:
+            self.telemetry.record(kind, **fields)
+
+    # ------------------------------------------------------------- lifecycle
+    def start(self) -> None:
+        """Spawn every configured worker (failures consume the crash budget)."""
+        for state in self._states:
+            self._spawn(state)
+
+    def _worker_id(self, state: _HostState) -> str:
+        return f"{state.spec.host}-g{state.generation}"
+
+    def _command(self, state: _HostState, worker_id: str) -> List[str]:
+        return [self.python, "-m", "repro.cli", "worker",
+                "--queue", self.queue_dir, "--worker-id", worker_id,
+                *self.worker_args, *state.spec.extra_args]
+
+    def _spawn(self, state: _HostState) -> bool:
+        """Launch ``state``'s next worker generation; degrade on a crash loop."""
+        while not state.degraded:
+            spec = state.spec
+            worker_id = self._worker_id(state)
+            extra_env = dict(self.env)
+            if spec.fault_plan and (state.generation == 0
+                                    or spec.fault_plan_all_generations):
+                extra_env[faults.FAULT_PLAN_ENV] = spec.fault_plan
+            log_path = (os.path.join(self.log_dir, f"{worker_id}.log")
+                        if self.log_dir else None)
+            try:
+                state.handle = spec.transport.spawn(
+                    self._command(state, worker_id), extra_env,
+                    host=spec.host, worker_id=worker_id, log_path=log_path)
+            except OSError as error:
+                self._counters["spawn_failures"] += 1
+                self._log(f"supervisor: spawn of {worker_id} on {spec.host} "
+                          f"failed: {error}")
+                if not self._charge_crash(state):
+                    return False
+                state.generation += 1
+                continue  # retry immediately under the remaining budget
+            self._counters["spawned"] += 1
+            self._log(f"supervisor: spawned {worker_id} on {spec.host} "
+                      f"({spec.transport.describe()})")
+            self._record("worker_spawn", host=spec.host, worker_id=worker_id,
+                         generation=state.generation)
+            return True
+        return False
+
+    def _charge_crash(self, state: _HostState) -> bool:
+        """One crash observed; ``False`` once the budget degrades the host."""
+        now = self._clock()
+        state.restart_times = [when for when in state.restart_times
+                               if now - when < self.crash_window]
+        if len(state.restart_times) >= self.crash_loop_budget:
+            state.degraded = True
+            state.handle = None
+            self._log(f"supervisor: host {state.spec.host} degraded after "
+                      f"{len(state.restart_times)} restarts in "
+                      f"{self.crash_window:.0f}s; redistributing its share")
+            self._record("host_degraded", host=state.spec.host,
+                         restarts=len(state.restart_times),
+                         window=self.crash_window)
+            return False
+        state.restart_times.append(now)
+        return True
+
+    def poll(self) -> None:
+        """One liveness pass: reap exits, probe survivors, restart crashes."""
+        for state in self._states:
+            if state.degraded or state.clean_exit or state.handle is None:
+                continue
+            handle = state.handle
+            returncode = handle.returncode
+            if returncode is None:
+                if state.spec.transport.probe(handle):
+                    continue
+                # The probe says dead while the process table says alive
+                # (hung host, partitioned network): reclaim the slot
+                # ourselves, then treat it exactly like a crash.
+                self._counters["probe_failures"] += 1
+                handle.terminate()
+                returncode = handle.returncode
+                self._log(f"supervisor: probe lost {handle.worker_id} on "
+                          f"{state.spec.host}")
+            self._record("worker_exit", host=state.spec.host,
+                         worker_id=handle.worker_id, returncode=returncode)
+            if returncode == 0:
+                # A drained worker (STOP sentinel, --max-tasks recycling
+                # budget spent) is a success, not a crash.
+                state.clean_exit = True
+                state.handle = None
+                self._counters["clean_exits"] += 1
+                self._log(f"supervisor: {handle.worker_id} exited cleanly")
+                continue
+            self._log(f"supervisor: {handle.worker_id} on {state.spec.host} "
+                      f"died (exit {returncode})")
+            state.handle = None
+            if self._charge_crash(state):
+                state.generation += 1
+                if self._spawn(state):
+                    self._counters["restarts"] += 1
+                    self._record("worker_restart", host=state.spec.host,
+                                 worker_id=self._worker_id(state),
+                                 generation=state.generation)
+
+    def drain(self, timeout: float = 30.0) -> None:
+        """Wait for workers to exit (STOP already posted); reap stragglers."""
+        deadline = time.monotonic() + timeout
+        live = [state for state in self._states if state.handle is not None]
+        while live and time.monotonic() < deadline:
+            live = [state for state in live
+                    if state.handle is not None and state.handle.alive()]
+            if live:
+                time.sleep(0.05)
+        for state in self._states:
+            handle = state.handle
+            if handle is None:
+                continue
+            if handle.alive():
+                self._log(f"supervisor: terminating straggler {handle.worker_id}")
+                handle.terminate()
+            self._record("worker_exit", host=state.spec.host,
+                         worker_id=handle.worker_id,
+                         returncode=handle.returncode)
+            state.handle = None
+
+    # ------------------------------------------------------------- inspection
+    @property
+    def all_degraded(self) -> bool:
+        """Every supervised host is out of budget: no capacity remains."""
+        return all(state.degraded for state in self._states)
+
+    def live_workers(self) -> int:
+        return sum(1 for state in self._states
+                   if state.handle is not None and state.handle.alive())
+
+    def degraded_hosts(self) -> List[str]:
+        return sorted(state.spec.host for state in self._states
+                      if state.degraded)
+
+    def stats(self) -> Dict[str, object]:
+        stats: Dict[str, object] = dict(self._counters)
+        stats["hosts"] = len(self._states)
+        stats["degraded_hosts"] = self.degraded_hosts()
+        return stats
+
+
+__all__ = [
+    "DEFAULT_CRASH_LOOP_BUDGET",
+    "DEFAULT_CRASH_WINDOW",
+    "LocalTransport",
+    "SshTransport",
+    "Transport",
+    "WorkerHandle",
+    "WorkerSpec",
+    "WorkerSupervisor",
+]

@@ -1,0 +1,39 @@
+"""Campaign telemetry: an NDJSON event stream over pluggable sinks.
+
+The observability half of campaign-as-a-service (``docs/service.md``):
+:mod:`~repro.telemetry.events` defines the event schema,
+:mod:`~repro.telemetry.sink` the file / reconnecting-TCP sinks plus the
+never-raising :class:`TelemetryRecorder` the engine threads through the
+execution stack, and :mod:`~repro.telemetry.listener` a small collector
+for tests and ``repro.cli telemetry serve``.
+"""
+
+from repro.telemetry.events import (
+    KINDS,
+    decode_line,
+    encode_event,
+    make_event,
+)
+from repro.telemetry.listener import TelemetryListener
+from repro.telemetry.sink import (
+    DEFAULT_BUFFER_LIMIT,
+    FileSink,
+    TcpSink,
+    TelemetryRecorder,
+    TelemetrySink,
+    parse_sink_spec,
+)
+
+__all__ = [
+    "DEFAULT_BUFFER_LIMIT",
+    "FileSink",
+    "KINDS",
+    "TcpSink",
+    "TelemetryListener",
+    "TelemetryRecorder",
+    "TelemetrySink",
+    "decode_line",
+    "encode_event",
+    "make_event",
+    "parse_sink_spec",
+]

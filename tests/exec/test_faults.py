@@ -110,6 +110,78 @@ class TestInjector:
         assert issubclass(faults.InjectedError, OSError)
 
 
+class TestServiceSites:
+    """The transport/telemetry sites ride the same plan machinery."""
+
+    SITES = {
+        faults.SITE_TRANSPORT_SPAWN: ("oserror", "delay"),
+        faults.SITE_TRANSPORT_PROBE: ("down", "delay"),
+        faults.SITE_SINK_CONNECT: ("oserror", "delay"),
+        faults.SITE_SINK_WRITE: ("oserror", "delay"),
+    }
+
+    def test_actions_registered_per_site(self):
+        for site, actions in self.SITES.items():
+            for action in actions:
+                FaultRule(site=site, action=action)  # does not raise
+            with pytest.raises(ValueError, match="does not support"):
+                FaultRule(site=site, action="torn")
+        # ``down`` stays exclusive to the probe site.
+        with pytest.raises(ValueError, match="does not support"):
+            FaultRule(site=faults.SITE_TRANSPORT_SPAWN,
+                      action=faults.ACTION_DOWN)
+
+    def test_plan_serialization_round_trip_with_windows(self, tmp_path):
+        plan = FaultPlan(rules=(
+            FaultRule(site=faults.SITE_TRANSPORT_SPAWN, action="oserror",
+                      after=1, times=2),
+            FaultRule(site=faults.SITE_TRANSPORT_PROBE, action="down",
+                      times=1, match=(("host", "node7"),)),
+            FaultRule(site=faults.SITE_SINK_CONNECT, action="delay",
+                      arg=0.25, after=3),
+            FaultRule(site=faults.SITE_SINK_WRITE, action="oserror",
+                      match=(("sink", "tcp"),)),
+        ), seed=7)
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(plan.to_dict()))
+        restored = FaultPlan.from_file(str(path))
+        assert restored == plan
+        assert [rule.site for rule in restored.rules] == [
+            faults.SITE_TRANSPORT_SPAWN, faults.SITE_TRANSPORT_PROBE,
+            faults.SITE_SINK_CONNECT, faults.SITE_SINK_WRITE]
+
+    def test_after_times_window_applies_at_new_sites(self):
+        plan = FaultPlan(rules=(FaultRule(
+            site=faults.SITE_SINK_CONNECT, action="oserror",
+            after=1, times=2),))
+        injector = FaultInjector(plan)
+        fired = [bool(injector.fire(faults.SITE_SINK_CONNECT))
+                 for _ in range(5)]
+        assert fired == [False, True, True, False, False]
+
+    def test_context_match_filters_hosts_and_sinks(self):
+        plan = FaultPlan(rules=(
+            FaultRule(site=faults.SITE_TRANSPORT_PROBE, action="down",
+                      times=0, match=(("host", "node7"),)),
+            FaultRule(site=faults.SITE_SINK_WRITE, action="oserror",
+                      times=0, match=(("sink", "tcp"),)),
+        ))
+        injector = FaultInjector(plan)
+        assert not injector.fire(faults.SITE_TRANSPORT_PROBE, host="node1")
+        assert injector.fire(faults.SITE_TRANSPORT_PROBE, host="node7")
+        # A file sink's writes never match a tcp-scoped rule.
+        assert not injector.fire(faults.SITE_SINK_WRITE, sink="file")
+        assert injector.fire(faults.SITE_SINK_WRITE, sink="tcp")
+
+    def test_sites_are_independent(self):
+        plan = FaultPlan(rules=(FaultRule(
+            site=faults.SITE_SINK_WRITE, action="oserror", times=1),))
+        injector = FaultInjector(plan)
+        assert not injector.fire(faults.SITE_SINK_CONNECT)
+        assert not injector.fire(faults.SITE_TRANSPORT_SPAWN)
+        assert injector.fire(faults.SITE_SINK_WRITE)
+
+
 class TestCorruptBytes:
     def test_torn_keeps_a_strict_prefix(self):
         data = b'{"kind": "trial", "result": {"coverage": 12}}\n'
@@ -137,6 +209,19 @@ class TestBackoff:
         backoff.next()
         backoff.reset()
         assert backoff.next() == 1.0
+
+    def test_attempt_tracks_schedule_position(self):
+        """Regression for the reset-on-success contract: a long-lived
+        per-site instance must decay back to base once an outage clears,
+        not keep paying the escalated delay forever."""
+        backoff = Backoff(base=1.0, factor=2.0, jitter=0.0)
+        assert backoff.attempt == 0
+        delays = [backoff.next() for _ in range(3)]
+        assert delays == [1.0, 2.0, 4.0]
+        assert backoff.attempt == 3
+        backoff.reset()  # the success path every caller must hit
+        assert backoff.attempt == 0
+        assert backoff.next() == 1.0  # not 8.0: the outage is over
 
     def test_default_cap_is_sixteen_times_base(self):
         backoff = Backoff(base=0.25, jitter=0.0)

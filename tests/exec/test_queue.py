@@ -294,3 +294,58 @@ class TestRaceTolerance:
         os.utime(scratch, (1, 1))
         queue.sweep_stale_results(older_than=3600.0)
         assert not os.path.exists(scratch)
+
+
+class _SpyBackoff:
+    """Records the delay schedule the publish path actually consumed."""
+
+    def __init__(self):
+        from repro.exec import faults
+
+        self._inner = faults.Backoff(base=0.001, cap=0.002, jitter=0.0)
+        self.delays = []
+
+    def next(self):
+        delay = self._inner.next()
+        self.delays.append(delay)
+        return delay
+
+    def sleep(self):
+        self.next()  # skip the real time.sleep: tests only track the schedule
+
+    def reset(self):
+        self._inner.reset()
+
+    @property
+    def attempt(self):
+        return self._inner.attempt
+
+
+class TestPublishBackoff:
+    def test_queue_owns_one_long_lived_instance(self, tmp_path):
+        queue = _queue(tmp_path)
+        backoff = queue._publish_backoff
+        queue.enqueue("t0", {"kind": "batch"})
+        queue.request_stop()
+        assert queue._publish_backoff is backoff  # per-site, not per-call
+
+    def test_backoff_decays_after_outage_clears(self, tmp_path):
+        """Regression: a publish outage escalates the shared schedule, and
+        the success that ends it must reset the schedule so the *next*
+        outage pays the base delay again, not the inflated leftover."""
+        queue = _queue(tmp_path)
+        spy = _SpyBackoff()
+        queue._publish_backoff = spy
+
+        queue.enqueue("t0", {"kind": "batch"})  # clean publish: no delays
+        assert spy.delays == []
+
+        path = os.path.join(queue.tasks_dir, "t1.task.json")
+        queue._publish(path, {"kind": "batch"}, fail_first=2)
+        assert spy.delays == [0.001, 0.002]  # escalated during the outage
+        assert spy.attempt == 0  # the success reset the schedule
+
+        queue._publish(os.path.join(queue.tasks_dir, "t2.task.json"),
+                       {"kind": "batch"}, fail_first=1)
+        # Second outage starts from base again -- the decay under test.
+        assert spy.delays[-1] == 0.001

@@ -1,0 +1,439 @@
+"""Unit tests for worker transports and the supervisor lifecycle.
+
+Supervisor behaviour (crash-loop budgets, degradation, fault-plan
+generation gating) is driven through a stub transport that launches
+trivial ``sys.executable -c`` processes, so every test controls exactly
+how its "worker" lives and dies; the end-to-end supervised-campaign
+behaviour lives in ``tests/exec/test_transport_chaos.py``.
+"""
+
+import json
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.exec import faults
+from repro.exec.faults import FaultPlan, FaultRule
+from repro.exec.transport import (
+    DEFAULT_CRASH_LOOP_BUDGET,
+    LocalTransport,
+    SshTransport,
+    Transport,
+    WorkerHandle,
+    WorkerSpec,
+    WorkerSupervisor,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_injector():
+    yield
+    faults.uninstall()
+
+
+class ScriptTransport(Transport):
+    """Ignores the supervisor's command and runs ``code`` instead."""
+
+    def __init__(self, code="import time; time.sleep(60)"):
+        self.code = code
+        self.spawned = []  # (worker_id, extra_env) per launch
+
+    def _spawn(self, command, extra_env, host, worker_id, log_path):
+        self.spawned.append((worker_id, dict(extra_env)))
+        process = subprocess.Popen([sys.executable, "-c", self.code])
+        return WorkerHandle(process, host=host, worker_id=worker_id)
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+class RecordingTelemetry:
+    def __init__(self):
+        self.events = []
+
+    def record(self, kind, **fields):
+        self.events.append({"kind": kind, **fields})
+
+    def kinds(self):
+        return [event["kind"] for event in self.events]
+
+
+def _supervisor(transport, tmp_path, hosts=("h0",), **kwargs):
+    specs = [WorkerSpec(host=host, transport=transport) for host in hosts]
+    return WorkerSupervisor(specs, queue_dir=str(tmp_path / "queue"), **kwargs)
+
+
+def _wait_exit(supervisor, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while supervisor.live_workers() and time.monotonic() < deadline:
+        time.sleep(0.02)
+    assert not supervisor.live_workers()
+
+
+class TestWorkerHandle:
+    def test_alive_and_returncode(self):
+        process = subprocess.Popen([sys.executable, "-c", "import sys; sys.exit(7)"])
+        handle = WorkerHandle(process, host="h", worker_id="w")
+        process.wait()
+        assert not handle.alive()
+        assert handle.returncode == 7
+
+    def test_terminate_is_idempotent_and_bounded(self):
+        process = subprocess.Popen(
+            [sys.executable, "-c", "import time; time.sleep(60)"])
+        handle = WorkerHandle(process, host="h", worker_id="w")
+        assert handle.alive()
+        handle.terminate(grace=2.0)
+        assert not handle.alive()
+        handle.terminate()  # second call is a no-op
+
+
+class TestLocalTransport:
+    def test_spawn_passes_extra_env(self, tmp_path):
+        marker = tmp_path / "env.json"
+        code = ("import json, os, sys; "
+                f"json.dump(dict(os.environ), open({str(marker)!r}, 'w'))")
+        handle = LocalTransport().spawn(
+            [sys.executable, "-c", code], {"REPRO_TEST_VAR": "42"},
+            host="local-0", worker_id="local-0-g0")
+        assert handle.process.wait(timeout=10) == 0
+        child_env = json.loads(marker.read_text())
+        assert child_env["REPRO_TEST_VAR"] == "42"
+
+    def test_dispatcher_fault_plan_does_not_leak(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(faults.FAULT_PLAN_ENV, "/dispatcher/plan.json")
+        marker = tmp_path / "env.json"
+        code = ("import json, os, sys; "
+                f"json.dump(dict(os.environ), open({str(marker)!r}, 'w'))")
+        handle = LocalTransport().spawn(
+            [sys.executable, "-c", code], {}, host="h", worker_id="w")
+        assert handle.process.wait(timeout=10) == 0
+        assert faults.FAULT_PLAN_ENV not in json.loads(marker.read_text())
+
+    def test_log_path_captures_output(self, tmp_path):
+        log_path = tmp_path / "logs" / "w.log"
+        handle = LocalTransport().spawn(
+            [sys.executable, "-c",
+             "import sys; print('out'); print('err', file=sys.stderr)"],
+            {}, host="h", worker_id="w", log_path=str(log_path))
+        handle.process.wait(timeout=10)
+        text = log_path.read_text()
+        assert "out" in text and "err" in text  # stderr folded into the log
+
+    def test_spawn_fault_raises_oserror(self):
+        faults.install(FaultPlan(rules=(
+            FaultRule(site=faults.SITE_TRANSPORT_SPAWN, action="oserror"),
+        )).injector())
+        with pytest.raises(OSError):
+            LocalTransport().spawn([sys.executable, "-c", "pass"], {},
+                                   host="h", worker_id="w")
+
+
+class TestProbe:
+    def test_probe_reflects_liveness(self):
+        transport = LocalTransport()
+        handle = transport.spawn(
+            [sys.executable, "-c", "import time; time.sleep(60)"], {},
+            host="h", worker_id="w")
+        assert transport.probe(handle)
+        handle.terminate()
+        assert not transport.probe(handle)
+
+    def test_down_fault_overrides_a_live_process(self):
+        faults.install(FaultPlan(rules=(
+            FaultRule(site=faults.SITE_TRANSPORT_PROBE, action="down",
+                      times=1),
+        )).injector())
+        transport = LocalTransport()
+        handle = transport.spawn(
+            [sys.executable, "-c", "import time; time.sleep(60)"], {},
+            host="h", worker_id="w")
+        try:
+            assert not transport.probe(handle)  # fault: host "partitioned"
+            assert transport.probe(handle)  # rule exhausted: healthy again
+        finally:
+            handle.terminate()
+
+    def test_probe_match_targets_one_host(self):
+        faults.install(FaultPlan(rules=(
+            FaultRule(site=faults.SITE_TRANSPORT_PROBE, action="down",
+                      match=(("host", "h1"),)),
+        )).injector())
+        transport = LocalTransport()
+        handles = [transport.spawn(
+            [sys.executable, "-c", "import time; time.sleep(60)"], {},
+            host=host, worker_id=f"{host}-g0") for host in ("h0", "h1")]
+        try:
+            assert transport.probe(handles[0])
+            assert not transport.probe(handles[1])
+        finally:
+            for handle in handles:
+                handle.terminate()
+
+
+class TestSshTransport:
+    def _stub(self, tmp_path):
+        """A fake ``ssh`` that records its argv and exits cleanly."""
+        record = tmp_path / "argv.json"
+        stub = tmp_path / "ssh"
+        stub.write_text(
+            "#!/usr/bin/env python3\n"
+            "import json, sys\n"
+            f"json.dump(sys.argv[1:], open({str(record)!r}, 'w'))\n")
+        stub.chmod(0o755)
+        return stub, record
+
+    def test_command_construction(self, tmp_path):
+        stub, record = self._stub(tmp_path)
+        transport = SshTransport(ssh_binary=str(stub),
+                                 remote_pythonpath="/remote/src")
+        handle = transport.spawn(
+            ["python3", "-m", "repro.cli", "worker", "--queue", "/srv/q"],
+            {"REPRO_FAULT_PLAN": "/plans/kill one.json"},
+            host="node7", worker_id="node7-g0")
+        assert handle.process.wait(timeout=10) == 0
+        argv = json.loads(record.read_text())
+        assert argv[:4] == ["-o", "BatchMode=yes", "-o", "ConnectTimeout=5"]
+        assert argv[4] == "node7"
+        remote = argv[5]
+        assert remote.startswith("env ")
+        assert "PYTHONPATH=/remote/src" in remote
+        assert "REPRO_FAULT_PLAN='/plans/kill one.json'" in remote  # quoted
+        assert remote.endswith("python3 -m repro.cli worker --queue /srv/q")
+
+    def test_no_env_prefix_when_empty(self, tmp_path):
+        stub, record = self._stub(tmp_path)
+        transport = SshTransport(ssh_binary=str(stub), ssh_options=())
+        handle = transport.spawn(["python3", "-V"], {}, host="n",
+                                 worker_id="n-g0")
+        assert handle.process.wait(timeout=10) == 0
+        assert json.loads(record.read_text()) == ["n", "python3 -V"]
+
+    def test_describe_names_the_binary(self):
+        assert SshTransport().describe() == "ssh(ssh)"
+        assert LocalTransport().describe() == "local"
+
+
+class TestSupervisorLifecycle:
+    def test_start_spawns_every_host_with_worker_command(self, tmp_path):
+        transport = ScriptTransport()
+        supervisor = _supervisor(transport, tmp_path, hosts=("a", "b"),
+                                 worker_args=("--max-tasks", "5"))
+        commands = []
+        original = transport._spawn
+
+        def capture(command, extra_env, host, worker_id, log_path):
+            commands.append(list(command))
+            return original(command, extra_env, host, worker_id, log_path)
+
+        transport._spawn = capture
+        supervisor.start()
+        try:
+            assert supervisor.live_workers() == 2
+            assert [wid for wid, _env in transport.spawned] == ["a-g0", "b-g0"]
+            for command in commands:
+                assert command[1:3] == ["-m", "repro.cli"]
+                assert "worker" in command
+                assert "--max-tasks" in command
+        finally:
+            supervisor.drain(timeout=0.1)
+        stats = supervisor.stats()
+        assert stats["spawned"] == 2
+        assert stats["hosts"] == 2
+        assert stats["degraded_hosts"] == []
+
+    def test_clean_exit_is_not_restarted(self, tmp_path):
+        supervisor = _supervisor(ScriptTransport("raise SystemExit(0)"),
+                                 tmp_path)
+        telemetry = RecordingTelemetry()
+        supervisor.telemetry = telemetry
+        supervisor.start()
+        _wait_exit(supervisor)
+        supervisor.poll()
+        stats = supervisor.stats()
+        assert stats["clean_exits"] == 1
+        assert stats["restarts"] == 0
+        assert telemetry.kinds() == ["worker_spawn", "worker_exit"]
+        assert telemetry.events[-1]["returncode"] == 0
+
+    def test_crash_is_restarted_with_next_generation(self, tmp_path):
+        transport = ScriptTransport("raise SystemExit(3)")
+        supervisor = _supervisor(transport, tmp_path, crash_loop_budget=2)
+        supervisor.start()
+        _wait_exit(supervisor)
+        supervisor.poll()  # reaps the crash, spawns generation 1
+        assert supervisor.stats()["restarts"] == 1
+        assert [wid for wid, _env in transport.spawned] == ["h0-g0", "h0-g1"]
+        supervisor.drain(timeout=5.0)
+
+    def test_crash_loop_budget_degrades_host(self, tmp_path):
+        clock = FakeClock()
+        transport = ScriptTransport("raise SystemExit(3)")
+        supervisor = _supervisor(transport, tmp_path, crash_loop_budget=2,
+                                 crash_window=60.0, clock=clock)
+        telemetry = RecordingTelemetry()
+        supervisor.telemetry = telemetry
+        supervisor.start()
+        for _ in range(5):  # more polls than the budget allows restarts
+            _wait_exit(supervisor)
+            supervisor.poll()
+            if supervisor.all_degraded:
+                break
+        stats = supervisor.stats()
+        assert stats["restarts"] == 2  # the budget, then degradation
+        assert stats["degraded_hosts"] == ["h0"]
+        assert supervisor.all_degraded
+        assert telemetry.kinds().count("host_degraded") == 1
+        degraded = [event for event in telemetry.events
+                    if event["kind"] == "host_degraded"][0]
+        assert degraded["host"] == "h0"
+        assert degraded["restarts"] == 2
+        # A degraded host is never respawned by later polls.
+        supervisor.poll()
+        assert supervisor.stats()["spawned"] == 3
+
+    def test_crash_window_slides(self, tmp_path):
+        clock = FakeClock()
+        transport = ScriptTransport("raise SystemExit(3)")
+        supervisor = _supervisor(transport, tmp_path, crash_loop_budget=1,
+                                 crash_window=10.0, clock=clock)
+        supervisor.start()
+        for _ in range(4):
+            _wait_exit(supervisor)
+            clock.now += 11.0  # each crash lands in a fresh window
+            supervisor.poll()
+        stats = supervisor.stats()
+        assert stats["restarts"] == 4  # old crashes aged out: no degradation
+        assert stats["degraded_hosts"] == []
+        supervisor.drain(timeout=5.0)
+
+    def test_spawn_failure_consumes_the_budget(self, tmp_path):
+        faults.install(FaultPlan(rules=(
+            FaultRule(site=faults.SITE_TRANSPORT_SPAWN, action="oserror",
+                      times=1),
+        )).injector())
+        transport = ScriptTransport()
+        supervisor = _supervisor(transport, tmp_path, crash_loop_budget=2)
+        supervisor.start()  # first attempt fault-fails, retry succeeds
+        try:
+            stats = supervisor.stats()
+            assert stats["spawn_failures"] == 1
+            assert stats["spawned"] == 1
+            assert supervisor.live_workers() == 1
+            # The retry moved on to the next generation id.
+            assert [wid for wid, _env in transport.spawned] == ["h0-g1"]
+        finally:
+            supervisor.drain(timeout=0.1)
+
+    def test_persistent_spawn_failure_degrades(self, tmp_path):
+        faults.install(FaultPlan(rules=(
+            FaultRule(site=faults.SITE_TRANSPORT_SPAWN, action="oserror",
+                      times=0),
+        )).injector())
+        supervisor = _supervisor(ScriptTransport(), tmp_path,
+                                 crash_loop_budget=2)
+        supervisor.start()
+        stats = supervisor.stats()
+        # Generations 0 and 1 consume the budget; generation 2's failure
+        # tips the host into degradation.
+        assert stats["spawn_failures"] == 3
+        assert stats["spawned"] == 0
+        assert stats["degraded_hosts"] == ["h0"]
+        assert supervisor.all_degraded
+
+    def test_probe_down_reclaims_and_restarts(self, tmp_path):
+        faults.install(FaultPlan(rules=(
+            FaultRule(site=faults.SITE_TRANSPORT_PROBE, action="down",
+                      times=1),
+        )).injector())
+        transport = ScriptTransport()  # sleeps: process table says alive
+        supervisor = _supervisor(transport, tmp_path)
+        supervisor.start()
+        supervisor.poll()  # probe reports the live worker dead
+        try:
+            stats = supervisor.stats()
+            assert stats["probe_failures"] == 1
+            assert stats["restarts"] == 1
+            assert supervisor.live_workers() == 1  # generation 1 running
+        finally:
+            supervisor.drain(timeout=0.1)
+
+    def test_fault_plan_exported_to_generation_zero_only(self, tmp_path):
+        transport = ScriptTransport("raise SystemExit(3)")
+        spec = WorkerSpec(host="h0", transport=transport,
+                          fault_plan="/plans/kill.json")
+        supervisor = WorkerSupervisor([spec], queue_dir=str(tmp_path / "q"),
+                                      crash_loop_budget=3)
+        supervisor.start()
+        _wait_exit(supervisor)
+        supervisor.poll()
+        supervisor.drain(timeout=5.0)
+        envs = {wid: env for wid, env in transport.spawned}
+        assert envs["h0-g0"].get(faults.FAULT_PLAN_ENV) == "/plans/kill.json"
+        assert faults.FAULT_PLAN_ENV not in envs["h0-g1"]  # restart runs clean
+
+    def test_fault_plan_all_generations_opt_in(self, tmp_path):
+        transport = ScriptTransport("raise SystemExit(3)")
+        spec = WorkerSpec(host="h0", transport=transport,
+                          fault_plan="/plans/kill.json",
+                          fault_plan_all_generations=True)
+        supervisor = WorkerSupervisor([spec], queue_dir=str(tmp_path / "q"),
+                                      crash_loop_budget=3)
+        supervisor.start()
+        _wait_exit(supervisor)
+        supervisor.poll()
+        supervisor.drain(timeout=5.0)
+        for _wid, env in transport.spawned:
+            assert env.get(faults.FAULT_PLAN_ENV) == "/plans/kill.json"
+
+    def test_drain_terminates_stragglers(self, tmp_path):
+        supervisor = _supervisor(ScriptTransport(), tmp_path)
+        telemetry = RecordingTelemetry()
+        supervisor.telemetry = telemetry
+        supervisor.start()
+        assert supervisor.live_workers() == 1
+        supervisor.drain(timeout=0.1)  # sleeper never exits on its own
+        assert supervisor.live_workers() == 0
+        assert "worker_exit" in telemetry.kinds()
+
+    def test_worker_logs_land_in_log_dir(self, tmp_path):
+        class EchoTransport(ScriptTransport):
+            def _spawn(self, command, extra_env, host, worker_id, log_path):
+                self.spawned.append((worker_id, dict(extra_env)))
+                log = self._open_log(log_path)
+                try:
+                    process = subprocess.Popen(
+                        [sys.executable, "-c", "print('worker says hi')"],
+                        stdout=log, stderr=subprocess.STDOUT)
+                finally:
+                    if log is not subprocess.DEVNULL:
+                        log.close()
+                return WorkerHandle(process, host=host, worker_id=worker_id)
+
+        log_dir = tmp_path / "logs"
+        supervisor = _supervisor(EchoTransport(), tmp_path,
+                                 log_dir=str(log_dir))
+        supervisor.start()
+        _wait_exit(supervisor)
+        supervisor.poll()
+        assert (log_dir / "h0-g0.log").read_text().strip() == "worker says hi"
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="at least one WorkerSpec"):
+            WorkerSupervisor([], queue_dir=str(tmp_path))
+        spec = WorkerSpec(host="h", transport=ScriptTransport())
+        with pytest.raises(ValueError, match="crash_loop_budget"):
+            WorkerSupervisor([spec], queue_dir=str(tmp_path),
+                             crash_loop_budget=0)
+        with pytest.raises(ValueError, match="crash_window"):
+            WorkerSupervisor([spec], queue_dir=str(tmp_path), crash_window=0)
+
+    def test_default_budget_constant(self):
+        assert DEFAULT_CRASH_LOOP_BUDGET == 3

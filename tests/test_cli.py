@@ -189,3 +189,125 @@ class TestTrapCommands:
         serial_out = capsys.readouterr().out
         assert main(common + ["--workers", "2"]) == 0
         assert capsys.readouterr().out == serial_out
+
+
+class TestServiceFlags:
+    def test_fleet_and_telemetry_flags_parse(self):
+        args = build_parser().parse_args(
+            ["report", "--backend", "distributed", "--queue", "spool",
+             "--spawn-workers", "2", "--worker-hosts", "node1", "node2",
+             "--crash-loop-budget", "5", "--worker-fault-plan", "plan.json",
+             "--telemetry", "tcp:127.0.0.1:9900",
+             "--telemetry-spill", "spill.ndjson"])
+        assert args.spawn_workers == 2
+        assert args.worker_hosts == ["node1", "node2"]
+        assert args.crash_loop_budget == 5
+        assert args.worker_fault_plan == "plan.json"
+        assert args.telemetry == "tcp:127.0.0.1:9900"
+        assert args.telemetry_spill == "spill.ndjson"
+
+    def test_fleet_flags_require_distributed_backend(self):
+        with pytest.raises(SystemExit, match="--backend distributed"):
+            main(["report", "--spawn-workers", "2"])
+
+    def test_fault_plan_requires_a_fleet(self):
+        with pytest.raises(SystemExit, match="--spawn-workers"):
+            main(["report", "--backend", "distributed", "--queue", "spool",
+                  "--worker-fault-plan", "plan.json"])
+
+    def test_telemetry_spill_requires_telemetry(self):
+        with pytest.raises(SystemExit, match="--telemetry-spill requires"):
+            main(["report", "--telemetry-spill", "spill.ndjson"])
+
+    def test_bad_telemetry_spec_rejected(self):
+        with pytest.raises(ValueError, match="expected tcp:HOST:PORT"):
+            main(["report", "--telemetry", "tcp:nohost"])
+
+    def test_telemetry_serve_parses(self):
+        args = build_parser().parse_args(
+            ["telemetry", "serve", "--host", "0.0.0.0", "--port", "9900",
+             "--log", "events.ndjson"])
+        assert args.action == "serve"
+        assert (args.host, args.port, args.log) == (
+            "0.0.0.0", 9900, "events.ndjson")
+
+
+class TestDeadletterCommand:
+    def _quarantine(self, tmp_path, task_id="run-000001", payload=None):
+        from repro.exec import SpoolQueue
+
+        queue = SpoolQueue(str(tmp_path / "spool")).ensure()
+        if payload is None:
+            payload = {"kind": "batch", "attempts": 2, "max_attempts": 3,
+                       "tasks": [[0, 0], [0, 1]]}
+        queue.quarantine(task_id, payload=payload, attempts=2,
+                         error="worker died holding the claim")
+        return queue
+
+    def test_list_empty(self, capsys, tmp_path):
+        from repro.exec import SpoolQueue
+
+        SpoolQueue(str(tmp_path / "spool")).ensure()
+        assert main(["deadletter", "list", "--queue",
+                     str(tmp_path / "spool")]) == 0
+        assert "is empty" in capsys.readouterr().out
+
+    def test_list_shows_summary_lines(self, capsys, tmp_path):
+        queue = self._quarantine(tmp_path)
+        assert main(["deadletter", "list", "--queue", queue.root]) == 0
+        output = capsys.readouterr().out
+        assert "1 quarantined batch(es)" in output
+        assert "run-000001: attempts=2 trials=2" in output
+        assert "worker died holding the claim" in output
+
+    def test_show_dumps_the_record(self, capsys, tmp_path):
+        import json
+
+        queue = self._quarantine(tmp_path)
+        assert main(["deadletter", "show", "run-000001",
+                     "--queue", queue.root]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["error"] == "worker died holding the claim"
+        assert record["payload"]["kind"] == "batch"
+
+    def test_requeue_restores_a_fresh_envelope(self, capsys, tmp_path):
+        queue = self._quarantine(tmp_path)
+        assert main(["deadletter", "requeue", "run-000001",
+                     "--queue", queue.root]) == 0
+        assert "requeued run-000001" in capsys.readouterr().out
+        assert queue.deadletter_ids() == []
+        claim = queue.claim("w0")
+        assert claim is not None
+        assert claim.task_id == "run-000001"
+        assert claim.payload["attempts"] == 0  # fresh retry envelope
+        assert claim.payload["max_attempts"] == 3  # original budget kept
+
+    def test_requeue_max_attempts_override(self, tmp_path):
+        queue = self._quarantine(tmp_path)
+        assert main(["deadletter", "requeue", "run-000001", "--queue",
+                     queue.root, "--max-attempts", "9"]) == 0
+        assert queue.claim("w0").payload["max_attempts"] == 9
+
+    def test_requeue_refuses_non_batch_payloads(self, tmp_path):
+        queue = self._quarantine(tmp_path, payload={"kind": "mystery"})
+        with pytest.raises(SystemExit, match="refusing to requeue"):
+            main(["deadletter", "requeue", "run-000001",
+                  "--queue", queue.root])
+        assert queue.deadletter_ids() == ["run-000001"]  # record untouched
+
+    def test_discard_with_all(self, capsys, tmp_path):
+        queue = self._quarantine(tmp_path)
+        self._quarantine(tmp_path, task_id="run-000002")
+        assert main(["deadletter", "discard", "--all",
+                     "--queue", queue.root]) == 0
+        assert queue.deadletter_ids() == []
+
+    def test_mutating_actions_require_a_target(self, tmp_path):
+        queue = self._quarantine(tmp_path)
+        with pytest.raises(SystemExit, match="requires TASK_ID or --all"):
+            main(["deadletter", "requeue", "--queue", queue.root])
+
+    def test_unknown_task_id_rejected(self, tmp_path):
+        queue = self._quarantine(tmp_path)
+        with pytest.raises(SystemExit, match="no deadletter record"):
+            main(["deadletter", "show", "run-999999", "--queue", queue.root])
